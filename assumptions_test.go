@@ -1,0 +1,54 @@
+package vlsisync
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestAssumptionLookup(t *testing.T) {
+	a, err := Assumption("A5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(a.Statement, "σ + δ + τ") {
+		t.Errorf("A5 statement = %q", a.Statement)
+	}
+	if !strings.Contains(a.Implementation, "MinWorkingPeriod") {
+		t.Errorf("A5 implementation = %q", a.Implementation)
+	}
+	if _, err := Assumption("A99"); err == nil {
+		t.Error("unknown assumption accepted")
+	}
+}
+
+func TestAssumptions11CompleteAndOrdered(t *testing.T) {
+	all := Assumptions11()
+	if len(all) != 11 {
+		t.Fatalf("count = %d, want 11", len(all))
+	}
+	for i, a := range all {
+		if want := fmt.Sprintf("A%d", i+1); a.ID != want {
+			t.Errorf("position %d holds %s, want %s", i, a.ID, want)
+		}
+		if a.Statement == "" || a.Implementation == "" {
+			t.Errorf("%s incomplete", a.ID)
+		}
+	}
+}
+
+// ExperimentsReferencedByAssumptionsExist: every experiment an assumption
+// cites must be a real experiment ID.
+func TestAssumptionExperimentsExist(t *testing.T) {
+	valid := make(map[string]bool)
+	for _, id := range ExperimentIDs() {
+		valid[id] = true
+	}
+	for _, a := range Assumptions11() {
+		for _, e := range a.Experiments {
+			if !valid[e] {
+				t.Errorf("%s cites unknown experiment %s", a.ID, e)
+			}
+		}
+	}
+}

@@ -1,0 +1,291 @@
+package vlsisync
+
+// Benchmarks for the extension experiments (E12–E14) and the additional
+// systolic workloads.
+
+import (
+	"testing"
+
+	"repro/internal/array"
+	"repro/internal/clocksim"
+	"repro/internal/clocktree"
+	"repro/internal/comm"
+	"repro/internal/metastable"
+	"repro/internal/skew"
+	"repro/internal/stats"
+	"repro/internal/systolic"
+	"repro/internal/wiresim"
+)
+
+// BenchmarkConcl_TreeDataPathClocking (E12): clock along the data paths
+// of a 10-level tree machine COMM graph; metrics: worst pair skew and
+// the skew-to-wire ratio (constant β).
+func BenchmarkConcl_TreeDataPathClocking(b *testing.B) {
+	g, err := comm.CompleteBinaryTree(10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var maxSkew, ratio float64
+	for i := 0; i < b.N; i++ {
+		tree, err := clocktree.AlongCommTree(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a, err := skew.Analyze(g, tree, skew.Summation{G: func(s float64) float64 { return 0.1 * s }, Beta: 0.1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxSkew = a.MaxSkew
+		ratio = a.MaxSkew / g.MaxEdgeLength()
+	}
+	b.ReportMetric(maxSkew, "skew")
+	b.ReportMetric(ratio, "skew_per_wire")
+}
+
+// BenchmarkClockSim_SpineFIREndToEnd (E13): the full pipeline — random
+// clock propagation through a 32-cell spine, offsets, clocked FIR run.
+func BenchmarkClockSim_SpineFIREndToEnd(b *testing.B) {
+	weights := make([]float64, 32)
+	for i := range weights {
+		weights[i] = float64(i % 4)
+	}
+	fir, err := systolic.NewFIR(weights, []float64{1, 2, 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := fir.Machine.Graph()
+	tree, err := clocktree.Spine(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := clocksim.Params{M: 1, Eps: 0.2}
+	golden := fir.Golden(fir.Cycles)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arr, err := clocksim.Random(tree, p, stats.NewRNG(int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		off, err := arr.Offsets(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		delta := 1 + (p.M+p.Eps)*1.05
+		got, err := fir.Machine.RunClocked(fir.Cycles, array.Timing{
+			Period:    delta + fir.Machine.MaxDirectedSkew(off) + 0.1,
+			CellDelay: delta, HoldDelay: delta,
+		}, off)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !got.Equal(golden, 1e-9) {
+			b.Fatal("spine-clocked FIR diverged")
+		}
+	}
+}
+
+// BenchmarkSecVI_MetastabilityMTBF (E14): synchronizer MTBF accounting
+// for a 256-crossing system; metric: resolution time needed for MTBF 1e9.
+func BenchmarkSecVI_MetastabilityMTBF(b *testing.B) {
+	s := metastable.Synchronizer{Tau: 1, Window: 0.01, ClockFreq: 100, DataRate: 10}
+	var resolve float64
+	for i := 0; i < b.N; i++ {
+		tr, err := s.ResolveTimeForMTBF(1e9, 256)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resolve = tr
+	}
+	b.ReportMetric(resolve, "resolve_time")
+}
+
+// BenchmarkWorkload_Sorter: 32-key odd-even transposition sort, ideal
+// lock-step execution with unload.
+func BenchmarkWorkload_Sorter(b *testing.B) {
+	rng := stats.NewRNG(5)
+	keys := make([]float64, 32)
+	for i := range keys {
+		keys[i] = float64(rng.Intn(1000))
+	}
+	s, err := systolic.NewSorter(keys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := s.Machine.RunIdeal(s.Cycles)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Sorted(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorkload_Jacobi: 16×16 relaxation, 64 sweeps, ideal execution.
+func BenchmarkWorkload_Jacobi(b *testing.B) {
+	west := make([]float64, 16)
+	south := make([]float64, 16)
+	for i := range west {
+		west[i] = 1
+	}
+	j, err := systolic.NewJacobi(16, 16, west, south)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := j.Machine.RunIdeal(64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLadderClock: ring ladder construction and skew analysis.
+func BenchmarkLadderClock(b *testing.B) {
+	g, err := comm.Ring(128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var maxSkew float64
+	for i := 0; i < b.N; i++ {
+		tree, err := clocktree.Ladder(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a, err := skew.Analyze(g, tree, skew.Summation{Beta: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxSkew = a.MaxSkew
+	}
+	b.ReportMetric(maxSkew, "skew")
+}
+
+// BenchmarkSecVII_ClockingRegimes (E15): the three clock-drive regimes on
+// a 32×32 mesh H-tree; metrics: unbuffered RC settle, buffered
+// equipotential traversal, and pipelined period.
+func BenchmarkSecVII_ClockingRegimes(b *testing.B) {
+	g, err := comm.Mesh(32, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rc := wiresim.RCWire{RPerUnit: 1, CPerUnit: 1, BufferDelay: 2}
+	spacing, err := rc.OptimalSpacing()
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := clocksim.Params{M: 1, Eps: 0.1, BufferDelay: rc.BufferDelay,
+		MinSeparation: 2 * rc.BufferDelay, RiseFallBias: 0.01}
+	var unbuffered, buffered, pipelined float64
+	for i := 0; i < b.N; i++ {
+		tree, err := clocktree.HTree(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf, err := clocktree.Buffered(tree, spacing)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := tree.MaxRootDist()
+		unbuffered, _ = rc.UnbufferedSettle(p)
+		buffered, _ = rc.BufferedDelay(p, spacing)
+		pipelined = clocksim.MinPipelinedPeriod(buf, params)
+	}
+	b.ReportMetric(unbuffered, "unbuffered")
+	b.ReportMetric(buffered, "buffered")
+	b.ReportMetric(pipelined, "pipelined")
+}
+
+// BenchmarkWorkload_EditDistance: 8×8 systolic Levenshtein DP with
+// diagonal relays, ideal execution.
+func BenchmarkWorkload_EditDistance(b *testing.B) {
+	e, err := systolic.NewEditDistance("abcdefgh", "badcfehg")
+	if err != nil {
+		b.Fatal(err)
+	}
+	want := e.Golden()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := e.Machine.RunIdeal(e.Cycles)
+		if err != nil {
+			b.Fatal(err)
+		}
+		got, err := e.Distance(tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got != want {
+			b.Fatalf("distance %d, want %d", got, want)
+		}
+	}
+}
+
+// BenchmarkWorkload_HexBandMatMul: tridiagonal 32×32 band product on the
+// 3×3 hexagonal array, ideal execution with extraction.
+func BenchmarkWorkload_HexBandMatMul(b *testing.B) {
+	rng := stats.NewRNG(4)
+	a := systolic.NewBandMatrix(32, 1, 1, func(i, j int) float64 { return rng.Uniform(-1, 1) })
+	bb := systolic.NewBandMatrix(32, 1, 1, func(i, j int) float64 { return rng.Uniform(-1, 1) })
+	bm, err := systolic.NewBandMatMul(a, bb, 1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	want, err := a.Mul(bb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := bm.Machine.RunIdeal(bm.Cycles)
+		if err != nil {
+			b.Fatal(err)
+		}
+		got, err := bm.Extract(tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !got.Equal(want, 1e-9) {
+			b.Fatal("band product diverged")
+		}
+	}
+}
+
+// BenchmarkWorkload_PriorityQueue: 64 mixed operations on a 16-cell
+// systolic priority queue, verified against the golden queue.
+func BenchmarkWorkload_PriorityQueue(b *testing.B) {
+	rng := stats.NewRNG(11)
+	var ops []systolic.PQOp
+	live := 0
+	for i := 0; i < 64; i++ {
+		if live < 16 && (live == 0 || rng.Bernoulli(0.6)) {
+			ops = append(ops, systolic.PQOp{Kind: systolic.PQInsert, Value: float64(rng.Intn(100))})
+			live++
+		} else {
+			ops = append(ops, systolic.PQOp{Kind: systolic.PQExtractMin})
+			live--
+		}
+	}
+	pq, err := systolic.NewPQ(16, ops)
+	if err != nil {
+		b.Fatal(err)
+	}
+	want := pq.Golden()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := pq.Machine.RunIdeal(pq.Cycles)
+		if err != nil {
+			b.Fatal(err)
+		}
+		got, err := pq.Results(tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				b.Fatalf("answer %d: %g != %g", j, got[j], want[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Command experiments regenerates the paper-reproduction experiment
+// suite (DESIGN.md §4) and prints each experiment's table, claim, and
+// measured finding.
+//
+// Usage:
+//
+//	experiments [-quick] [-format text|markdown|csv] [-run E4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	vlsisync "repro"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use reduced sweeps (faster, same shapes)")
+	format := flag.String("format", "text", "output format: text, markdown, or csv")
+	run := flag.String("run", "", "run a single experiment by ID (e.g. E4); default all")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	out := flag.String("out", "", "write output to a file instead of stdout")
+	flag.Parse()
+
+	if *list {
+		for _, id := range vlsisync.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	dest := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+		}()
+		dest = f
+	}
+
+	var results []*vlsisync.ExperimentResult
+	if *run != "" {
+		r, err := vlsisync.RunExperiment(*run, *quick)
+		if err != nil {
+			fail(err)
+		}
+		results = append(results, r)
+	} else {
+		var err error
+		results, err = vlsisync.RunAllExperiments(*quick)
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	failures := 0
+	for _, r := range results {
+		status := "PASS"
+		if !r.Pass {
+			status = "FAIL"
+			failures++
+		}
+		switch *format {
+		case "markdown":
+			fmt.Fprintf(dest, "### %s — %s [%s]\n\n", r.ID, r.Title, status)
+			fmt.Fprintf(dest, "*Paper claim:* %s\n\n*Measured:* %s\n\n", r.PaperClaim, r.Finding)
+			if err := r.Table.RenderMarkdown(dest); err != nil {
+				fail(err)
+			}
+			fmt.Fprintln(dest)
+		case "csv":
+			if err := r.Table.RenderCSV(dest); err != nil {
+				fail(err)
+			}
+			fmt.Fprintln(dest)
+		case "text":
+			fmt.Fprintf(dest, "=== %s — %s [%s]\n", r.ID, r.Title, status)
+			fmt.Fprintf(dest, "Paper claim: %s\n", r.PaperClaim)
+			fmt.Fprintf(dest, "Measured:    %s\n\n", r.Finding)
+			if err := r.Table.Render(dest); err != nil {
+				fail(err)
+			}
+			fmt.Fprintln(dest)
+		default:
+			fail(fmt.Errorf("unknown format %q", *format))
+		}
+	}
+	if failures > 0 {
+		fail(fmt.Errorf("%d experiment(s) failed", failures))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,161 @@
+// Command layoutviz renders the paper's figures from live data
+// structures: topologies with their clock trees (Figs. 3–6) and the
+// hybrid element partition (Fig. 8), as standalone SVG files.
+//
+// Usage:
+//
+//	layoutviz -out figures/            # render the whole figure set
+//	layoutviz -figure fig4 -out .      # render one figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/clocktree"
+	"repro/internal/comm"
+	"repro/internal/hybrid"
+	"repro/internal/viz"
+)
+
+type figure struct {
+	name, caption string
+	render        func(w *os.File) error
+}
+
+func figures() []figure {
+	return []figure{
+		{"fig3a", "Fig. 3(a): H-tree clocking a linear array", func(w *os.File) error {
+			g, err := comm.Linear(16)
+			if err != nil {
+				return err
+			}
+			t, err := clocktree.HTree(g)
+			if err != nil {
+				return err
+			}
+			return viz.RenderGraphWithClock(w, g, t, "Fig. 3(a): H-tree clocking a linear array")
+		}},
+		{"fig3b", "Fig. 3(b): H-tree clocking a square array", func(w *os.File) error {
+			g, err := comm.Mesh(8, 8)
+			if err != nil {
+				return err
+			}
+			t, err := clocktree.HTree(g)
+			if err != nil {
+				return err
+			}
+			return viz.RenderGraphWithClock(w, g, t, "Fig. 3(b): H-tree clocking a square array")
+		}},
+		{"fig3c", "Fig. 3(c): H-tree clocking a hexagonal array", func(w *os.File) error {
+			g, err := comm.Hex(6)
+			if err != nil {
+				return err
+			}
+			t, err := clocktree.HTree(g)
+			if err != nil {
+				return err
+			}
+			return viz.RenderGraphWithClock(w, g, t, "Fig. 3(c): H-tree clocking a hexagonal array")
+		}},
+		{"fig4", "Fig. 4: spine clock along a linear array (buffered)", func(w *os.File) error {
+			g, err := comm.Linear(16)
+			if err != nil {
+				return err
+			}
+			t, err := clocktree.Spine(g)
+			if err != nil {
+				return err
+			}
+			b, err := clocktree.Buffered(t, 0.5)
+			if err != nil {
+				return err
+			}
+			return viz.RenderGraphWithClock(w, g, b, "Fig. 4: spine clock with A7 buffers")
+		}},
+		{"fig5", "Fig. 5: folded linear array", func(w *os.File) error {
+			g, err := comm.Linear(16)
+			if err != nil {
+				return err
+			}
+			folded, err := comm.FoldLinear(g)
+			if err != nil {
+				return err
+			}
+			t, err := clocktree.Spine(folded)
+			if err != nil {
+				return err
+			}
+			return viz.RenderGraphWithClock(w, folded, t, "Fig. 5: folded array, both ends at the host")
+		}},
+		{"fig6", "Fig. 6: comb layout of a linear array", func(w *os.File) error {
+			g, err := comm.Linear(24)
+			if err != nil {
+				return err
+			}
+			comb, err := comm.CombLinear(g, 4)
+			if err != nil {
+				return err
+			}
+			t, err := clocktree.Spine(comb)
+			if err != nil {
+				return err
+			}
+			return viz.RenderGraphWithClock(w, comb, t, "Fig. 6: comb layout, clock along the chain")
+		}},
+		{"fig8", "Fig. 8: hybrid synchronization elements", func(w *os.File) error {
+			g, err := comm.Mesh(12, 12)
+			if err != nil {
+				return err
+			}
+			sys, err := hybrid.New(g, hybrid.Config{
+				ElementSize: 4, Handshake: 0.5, LocalDistribution: 0.3,
+				CellDelay: 2, HoldDelay: 0.5,
+			})
+			if err != nil {
+				return err
+			}
+			return viz.RenderHybrid(w, g, sys, "Fig. 8: elements + handshake network")
+		}},
+	}
+}
+
+func main() {
+	out := flag.String("out", ".", "output directory for SVG files")
+	only := flag.String("figure", "", "render a single figure by name (fig3a…fig8)")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fail(err)
+	}
+	rendered := 0
+	for _, f := range figures() {
+		if *only != "" && f.name != *only {
+			continue
+		}
+		path := filepath.Join(*out, f.name+".svg")
+		file, err := os.Create(path)
+		if err != nil {
+			fail(err)
+		}
+		if err := f.render(file); err != nil {
+			file.Close()
+			fail(fmt.Errorf("%s: %w", f.name, err))
+		}
+		if err := file.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s — %s\n", path, f.caption)
+		rendered++
+	}
+	if rendered == 0 {
+		fail(fmt.Errorf("no figure named %q", *only))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "layoutviz:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,97 @@
+// Command planner runs the synchronization planner (the paper's decision
+// procedure) on a topology and prints the prescribed scheme, the skew and
+// period accounting, and the rationale.
+//
+// Usage:
+//
+//	planner [-topology linear|ring|mesh|hex] [-n 16]
+//	        [-model difference|summation|nopipelining]
+//	        [-m 1] [-eps 0.1] [-delta 2] [-spacing 1] [-alpha 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	vlsisync "repro"
+	"repro/internal/comm"
+	"repro/internal/core"
+)
+
+func main() {
+	topology := flag.String("topology", "mesh", "array topology: linear, ring, mesh, hex")
+	n := flag.Int("n", 16, "array size")
+	model := flag.String("model", "summation", "regime: difference, summation, nopipelining")
+	m := flag.Float64("m", 1, "wire delay per unit length")
+	eps := flag.Float64("eps", 0.1, "wire delay variation per unit length (β)")
+	delta := flag.Float64("delta", 2, "cell compute+propagate delay δ")
+	spacing := flag.Float64("spacing", 1, "clock buffer spacing (A7)")
+	alpha := flag.Float64("alpha", 1, "equipotential time per unit path (A6)")
+	assumptions := flag.Bool("assumptions", false, "print the paper's assumptions A1-A11 with their implementations and exit")
+	flag.Parse()
+
+	if *assumptions {
+		for _, a := range vlsisync.Assumptions11() {
+			fmt.Printf("%-4s %s\n", a.ID, a.Statement)
+			fmt.Printf("     implemented by: %s\n", a.Implementation)
+			if len(a.Experiments) > 0 {
+				fmt.Printf("     exercised by experiments: %v\n", a.Experiments)
+			}
+			fmt.Println()
+		}
+		return
+	}
+
+	var g *comm.Graph
+	var err error
+	switch *topology {
+	case "linear":
+		g, err = comm.Linear(*n)
+	case "ring":
+		g, err = comm.Ring(*n)
+	case "mesh":
+		g, err = comm.Mesh(*n, *n)
+	case "hex":
+		g, err = comm.Hex(*n)
+	default:
+		err = fmt.Errorf("unknown topology %q", *topology)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	a := vlsisync.Assumptions{
+		Model:         core.ModelKind(*model),
+		M:             *m,
+		Eps:           *eps,
+		Delta:         *delta,
+		BufferSpacing: *spacing,
+		Alpha:         *alpha,
+	}
+	plan, err := vlsisync.PlanSynchronization(g, a)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("array:    %s (%d cells)\n", g.Name, g.NumCells())
+	fmt.Printf("regime:   %s model\n", *model)
+	fmt.Printf("scheme:   %s\n", plan.Scheme)
+	fmt.Printf("σ (skew): %.4g\n", plan.Sigma)
+	fmt.Printf("τ (dist): %.4g\n", plan.Tau)
+	fmt.Printf("period:   %.4g  (size-independent: %v)\n", plan.Period, plan.SizeIndependent)
+	if plan.CertifiedSkewLowerBound > 0 {
+		fmt.Printf("certified global-clock skew lower bound (Section V-B): %.4g\n",
+			plan.CertifiedSkewLowerBound)
+	}
+	if plan.Hybrid != nil {
+		fmt.Printf("hybrid:   %d elements, largest %d cells\n",
+			plan.Hybrid.NumElements(), plan.Hybrid.MaxElementCells())
+	}
+	fmt.Printf("\n%s\n", plan.Rationale)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "planner:", err)
+	os.Exit(1)
+}

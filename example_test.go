@@ -1,0 +1,92 @@
+package vlsisync_test
+
+import (
+	"fmt"
+
+	vlsisync "repro"
+)
+
+// ExamplePlanSynchronization shows the paper's decision procedure: a 1D
+// array under the robust summation model gets a spine clock with a
+// size-independent period.
+func ExamplePlanSynchronization() {
+	arr, err := vlsisync.LinearArray(100)
+	if err != nil {
+		panic(err)
+	}
+	plan, err := vlsisync.PlanSynchronization(arr, vlsisync.Assumptions{
+		Model: vlsisync.ModelSummation, M: 1, Eps: 0.1, Delta: 2, BufferSpacing: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("scheme: %s\n", plan.Scheme)
+	fmt.Printf("size-independent: %v\n", plan.SizeIndependent)
+	// Output:
+	// scheme: spine
+	// size-independent: true
+}
+
+// ExampleAnalyzeSkew evaluates the summation-model skew of a spine-clocked
+// linear array: communicating cells are one pitch apart on the wire.
+func ExampleAnalyzeSkew() {
+	arr, _ := vlsisync.LinearArray(64)
+	tree, _ := vlsisync.SpineClock(arr)
+	analysis, err := vlsisync.AnalyzeSkew(arr, tree, vlsisync.SummationModel{Beta: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("pairs analyzed: %d\n", analysis.Pairs)
+	fmt.Printf("max skew: %.0f pitch\n", analysis.MaxSkew)
+	// Output:
+	// pairs analyzed: 63
+	// max skew: 1 pitch
+}
+
+// ExampleNewFIR runs a 3-tap systolic FIR filter in ideal lock step and
+// reads back the convolution.
+func ExampleNewFIR() {
+	fir, err := vlsisync.NewFIR([]float64{1, 2, 3}, []float64{4, 5, 6, 7})
+	if err != nil {
+		panic(err)
+	}
+	trace, err := fir.Machine.RunIdeal(fir.Cycles)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(fir.Outputs(trace))
+	// Output:
+	// [4 13 28 34]
+}
+
+// ExampleNewInverterString reproduces the Section VII measurement: the
+// 2048-inverter chip pipelined 68× faster than it could be clocked
+// equipotentially.
+func ExampleNewInverterString() {
+	chip, err := vlsisync.NewInverterString(vlsisync.SectionVIIChip(), vlsisync.NewRNG(1))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("speedup: %.0fx\n", chip.Speedup())
+	// Output:
+	// speedup: 68x
+}
+
+// ExampleNewSorter sorts keys on an odd-even transposition array.
+func ExampleNewSorter() {
+	s, err := vlsisync.NewSorter([]float64{3, 1, 4, 1, 5})
+	if err != nil {
+		panic(err)
+	}
+	trace, err := s.Machine.RunIdeal(s.Cycles)
+	if err != nil {
+		panic(err)
+	}
+	sorted, err := s.Sorted(trace)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sorted)
+	// Output:
+	// [1 1 3 4 5]
+}

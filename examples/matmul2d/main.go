@@ -1,0 +1,96 @@
+// matmul2d demonstrates Section VI: a two-dimensional systolic matrix
+// multiplier cannot be globally clocked at constant period under the
+// summation model (Theorem 6), but the hybrid element/handshake scheme
+// runs it at a size-independent cycle with exactly correct results.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	vlsisync "repro"
+	"repro/internal/clocktree"
+	"repro/internal/hybrid"
+	"repro/internal/skew"
+	"repro/internal/stats"
+	"repro/internal/systolic"
+)
+
+func main() {
+	cfg := hybrid.Config{
+		ElementSize:       4,
+		Handshake:         0.5,
+		LocalDistribution: 0.4,
+		CellDelay:         2,
+		HoldDelay:         0.5,
+	}
+	fmt.Println("n x n systolic matmul: global clock vs hybrid synchronization")
+	fmt.Println("(summation model ε = 0.1 per pitch; δ = 2)")
+	fmt.Println()
+	fmt.Println("  n   global A5 period   certified σ bound   hybrid cycle   hybrid correct")
+	for _, n := range []int{4, 8, 12, 16} {
+		mesh, err := vlsisync.MeshArray(n, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Global clock: best case is an H-tree; under the summation
+		// model its A5 period grows with n.
+		tree, err := clocktree.HTree(mesh)
+		if err != nil {
+			log.Fatal(err)
+		}
+		analysis, err := skew.Analyze(mesh, tree,
+			skew.Summation{G: func(s float64) float64 { return 0.1 * s }, Beta: 0.1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		globalPeriod := analysis.MaxSkew + cfg.CellDelay
+		cert, err := skew.MeshCertifiedLowerBound(mesh, tree, 0.1)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Hybrid: run the actual multiplier and verify.
+		ok, cycle, err := runHybridMatMul(n, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%3d   %16.3f   %17.3f   %12.3f   %v\n",
+			n, globalPeriod, cert.Bound, cycle, ok)
+	}
+	fmt.Println()
+	fmt.Println("The global period (and even the certified lower bound on any clock")
+	fmt.Println("tree's skew) grows with n, while the hybrid cycle stays at the")
+	fmt.Println("constant wave cost — with bit-exact systolic results.")
+}
+
+func runHybridMatMul(n int, cfg hybrid.Config) (bool, float64, error) {
+	rng := stats.NewRNG(int64(n))
+	a := systolic.NewMatrix(n, n)
+	b := systolic.NewMatrix(n, n)
+	for i := range a.Data {
+		a.Data[i] = rng.Uniform(-2, 2)
+		b.Data[i] = rng.Uniform(-2, 2)
+	}
+	mm, err := systolic.NewMatMul(a, b)
+	if err != nil {
+		return false, 0, err
+	}
+	sys, err := hybrid.New(mm.Machine.Graph(), cfg)
+	if err != nil {
+		return false, 0, err
+	}
+	trace, err := sys.Run(mm.Machine, mm.Cycles)
+	if err != nil {
+		return false, 0, err
+	}
+	got, err := mm.Extract(trace)
+	if err != nil {
+		return false, 0, err
+	}
+	want, err := a.Mul(b)
+	if err != nil {
+		return false, 0, err
+	}
+	return got.Equal(want, 1e-6), sys.CycleTime(mm.Cycles), nil
+}

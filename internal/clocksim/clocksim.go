@@ -1,0 +1,255 @@
+// Package clocksim simulates clock-event propagation through a buffered
+// clock tree, closing the loop between the clock-tree geometry
+// (internal/clocktree) and array execution (internal/array): the
+// simulated per-cell clock arrival times become the clock offsets a
+// clocked array runs with.
+//
+// Three delay regimes are provided, matching Section III of the paper:
+//
+//   - Nominal: every unit of wire delays an edge by exactly M — arrival
+//     time is M times the root distance; skew between cells is M·d (the
+//     difference model's best case).
+//   - Random: each tree edge's unit delay is drawn independently from
+//     U[M−Eps, M+Eps] — fabrication variation; skews land between the
+//     difference and summation predictions.
+//   - Adversarial: a worst-case-consistent assignment that drives two
+//     chosen cells exactly Eps·s apart (s = their tree-path length),
+//     realizing the summation model's lower bound A11.
+//
+// The package also models pipelined distribution on the tree itself:
+// with per-buffer rise/fall bias, consecutive clock events drift apart
+// along root paths, bounding the minimum period exactly as the Section
+// VII inverter string does (wiresim), but on arbitrary tree topologies.
+package clocksim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/array"
+	"repro/internal/clocktree"
+	"repro/internal/comm"
+	"repro/internal/stats"
+)
+
+// Params are the electrical parameters of a clock distribution network.
+type Params struct {
+	// M is the nominal delay per unit of wire length; Eps the variation
+	// band (Section III): unit delays lie in [M−Eps, M+Eps].
+	M, Eps float64
+	// BufferDelay is the fixed delay added at every buffer node (A7).
+	BufferDelay float64
+	// MinSeparation is the smallest spacing two consecutive clock events
+	// may have anywhere in the tree before a pulse collapses.
+	MinSeparation float64
+	// RiseFallBias is the per-buffer difference between rising- and
+	// falling-edge delays; consecutive events accumulate it along root
+	// paths (the Section VII mechanism, on a tree).
+	RiseFallBias float64
+}
+
+func (p Params) validate() error {
+	if p.M <= 0 || p.Eps < 0 || p.Eps > p.M {
+		return fmt.Errorf("clocksim: need 0 < M and 0 ≤ Eps ≤ M, got M=%g Eps=%g", p.M, p.Eps)
+	}
+	if p.BufferDelay < 0 {
+		return fmt.Errorf("clocksim: BufferDelay must be ≥ 0, got %g", p.BufferDelay)
+	}
+	return nil
+}
+
+// Arrivals holds the simulated clock arrival time of every tree node.
+type Arrivals struct {
+	tree *clocktree.Tree
+	at   []float64
+}
+
+// At returns the arrival time at tree node v.
+func (a *Arrivals) At(v clocktree.NodeID) float64 { return a.at[v] }
+
+// CellArrival returns the arrival time at the node clocking cell c.
+func (a *Arrivals) CellArrival(c comm.CellID) (float64, error) {
+	id, ok := a.tree.CellNode(c)
+	if !ok {
+		return 0, fmt.Errorf("clocksim: cell %d not clocked by tree %q", c, a.tree.Name)
+	}
+	return a.at[id], nil
+}
+
+// MaxCommSkew returns the largest arrival-time difference between
+// communicating cells of g.
+func (a *Arrivals) MaxCommSkew(g *comm.Graph) (float64, error) {
+	var worst float64
+	for _, p := range g.CommunicatingPairs() {
+		ta, err := a.CellArrival(p[0])
+		if err != nil {
+			return 0, err
+		}
+		tb, err := a.CellArrival(p[1])
+		if err != nil {
+			return 0, err
+		}
+		if d := math.Abs(ta - tb); d > worst {
+			worst = d
+		}
+	}
+	return worst, nil
+}
+
+// Offsets converts the arrivals into array clock offsets for machine
+// execution: per-cell offsets shifted to be non-negative, with the host
+// write port tied to the earliest cell and the host read port to the
+// latest (the Fig. 5 folded-host convention).
+func (a *Arrivals) Offsets(g *comm.Graph) (array.Offsets, error) {
+	off := array.Offsets{Cell: make([]float64, g.NumCells())}
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, c := range g.Cells {
+		t, err := a.CellArrival(c.ID)
+		if err != nil {
+			return array.Offsets{}, err
+		}
+		off.Cell[c.ID] = t
+		if t < min {
+			min = t
+		}
+		if t > max {
+			max = t
+		}
+	}
+	for i := range off.Cell {
+		off.Cell[i] -= min
+	}
+	off.Host = 0
+	off.HostRead = max - min
+	return off, nil
+}
+
+// propagate computes arrival times with a per-edge unit-delay function.
+func propagate(tree *clocktree.Tree, p Params, unitDelay func(child clocktree.NodeID) float64) *Arrivals {
+	at := make([]float64, tree.NumNodes())
+	stack := []clocktree.NodeID{tree.Root()}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range tree.Children(v) {
+			buf := 0.0
+			if tree.Node(c).Buffer {
+				buf = p.BufferDelay
+			}
+			at[c] = at[v] + tree.EdgeLen(c)*unitDelay(c) + buf
+			stack = append(stack, c)
+		}
+	}
+	return &Arrivals{tree: tree, at: at}
+}
+
+// Nominal simulates distribution with every wire at exactly M per unit.
+func Nominal(tree *clocktree.Tree, p Params) (*Arrivals, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	return propagate(tree, p, func(clocktree.NodeID) float64 { return p.M }), nil
+}
+
+// Random simulates distribution with independent per-edge unit delays in
+// U[M−Eps, M+Eps].
+func Random(tree *clocktree.Tree, p Params, rng *stats.RNG) (*Arrivals, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("clocksim: Random needs an RNG")
+	}
+	return propagate(tree, p, func(clocktree.NodeID) float64 {
+		return rng.Uniform(p.M-p.Eps, p.M+p.Eps)
+	}), nil
+}
+
+// Adversarial simulates the worst-case-consistent assignment for a cell
+// pair (a, b): wires on a's side of their lowest common ancestor run slow
+// (M+Eps per unit) and wires on b's side fast (M−Eps), so the pair's
+// skew is exactly Eps times their tree-path length — assumption A11's
+// lower bound, realized. All other edges run at the nominal M.
+func Adversarial(tree *clocktree.Tree, p Params, a, b comm.CellID) (*Arrivals, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	na, ok := tree.CellNode(a)
+	if !ok {
+		return nil, fmt.Errorf("clocksim: cell %d not clocked by tree %q", a, tree.Name)
+	}
+	nb, ok := tree.CellNode(b)
+	if !ok {
+		return nil, fmt.Errorf("clocksim: cell %d not clocked by tree %q", b, tree.Name)
+	}
+	lca := tree.LCA(na, nb)
+	slow := pathEdgeSet(tree, na, lca)
+	fast := pathEdgeSet(tree, nb, lca)
+	return propagate(tree, p, func(c clocktree.NodeID) float64 {
+		switch {
+		case slow[c]:
+			return p.M + p.Eps
+		case fast[c]:
+			return p.M - p.Eps
+		default:
+			return p.M
+		}
+	}), nil
+}
+
+// pathEdgeSet marks the child endpoints of the edges on the path from
+// node up to (but not including) ancestor.
+func pathEdgeSet(tree *clocktree.Tree, node, ancestor clocktree.NodeID) map[clocktree.NodeID]bool {
+	set := make(map[clocktree.NodeID]bool)
+	for v := node; v != ancestor; v = tree.Parent(v) {
+		set[v] = true
+		if tree.Parent(v) < 0 {
+			break
+		}
+	}
+	return set
+}
+
+// MaxEventDrift returns the maximum accumulated rise/fall drift between
+// consecutive clock events anywhere in the tree: each buffer on a root
+// path shifts alternating events apart by RiseFallBias, so the worst
+// node sees a drift of RiseFallBias times its root-path buffer count.
+func MaxEventDrift(tree *clocktree.Tree, p Params) float64 {
+	buffers := make([]int, tree.NumNodes())
+	worst := 0
+	stack := []clocktree.NodeID{tree.Root()}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range tree.Children(v) {
+			buffers[c] = buffers[v]
+			if tree.Node(c).Buffer {
+				buffers[c]++
+			}
+			if buffers[c] > worst {
+				worst = buffers[c]
+			}
+			stack = append(stack, c)
+		}
+	}
+	return math.Abs(p.RiseFallBias) * float64(worst)
+}
+
+// MinPipelinedPeriod returns the smallest period at which a 50%-duty
+// pipelined clock can be driven through the tree without any two
+// consecutive events anywhere closing within MinSeparation:
+//
+//	T = 2 · (MinSeparation + MaxEventDrift).
+//
+// Under A8 (time-invariant delays) this is exact, by the same argument
+// as the Section VII inverter string.
+func MinPipelinedPeriod(tree *clocktree.Tree, p Params) float64 {
+	return 2 * (p.MinSeparation + MaxEventDrift(tree, p))
+}
+
+// EquipotentialTau returns A6's distribution time for conventional
+// (non-pipelined) clocking: alpha times the longest root-to-leaf
+// electrical length. It grows with the layout diameter.
+func EquipotentialTau(tree *clocktree.Tree, alpha float64) float64 {
+	return alpha * tree.MaxRootDist()
+}

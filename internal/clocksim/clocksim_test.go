@@ -1,0 +1,315 @@
+package clocksim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/array"
+	"repro/internal/clocktree"
+	"repro/internal/comm"
+	"repro/internal/stats"
+	"repro/internal/systolic"
+)
+
+func params() Params {
+	return Params{M: 1, Eps: 0.2, BufferDelay: 0.1, MinSeparation: 2, RiseFallBias: 0.05}
+}
+
+func spineOn(t *testing.T, n int) (*comm.Graph, *clocktree.Tree) {
+	t.Helper()
+	g, err := comm.Linear(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := clocktree.Spine(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, tr
+}
+
+func htreeOn(t *testing.T, n int) (*comm.Graph, *clocktree.Tree) {
+	t.Helper()
+	g, err := comm.Mesh(n, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := clocktree.HTree(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, tr
+}
+
+func TestParamsValidation(t *testing.T) {
+	_, tr := spineOn(t, 4)
+	if _, err := Nominal(tr, Params{M: 0}); err == nil {
+		t.Error("M=0 accepted")
+	}
+	if _, err := Nominal(tr, Params{M: 1, Eps: 2}); err == nil {
+		t.Error("Eps>M accepted")
+	}
+	if _, err := Nominal(tr, Params{M: 1, BufferDelay: -1}); err == nil {
+		t.Error("negative buffer delay accepted")
+	}
+	if _, err := Random(tr, Params{M: 1}, nil); err == nil {
+		t.Error("Random without RNG accepted")
+	}
+}
+
+func TestNominalArrivalsMatchRootDistance(t *testing.T) {
+	g, tr := spineOn(t, 10)
+	a, err := Nominal(tr, Params{M: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range g.Cells {
+		node, _ := tr.CellNode(c.ID)
+		want := 2 * tr.RootDist(node)
+		got, err := a.CellArrival(c.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("cell %d arrival = %g, want %g", c.ID, got, want)
+		}
+	}
+}
+
+func TestNominalHTreeZeroSkew(t *testing.T) {
+	g, tr := htreeOn(t, 8)
+	a, err := Nominal(tr, Params{M: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	skew, err := a.MaxCommSkew(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skew > 1e-9 {
+		t.Errorf("nominal H-tree skew = %g, want 0", skew)
+	}
+}
+
+func TestRandomSkewWithinSummationBound(t *testing.T) {
+	g, tr := htreeOn(t, 6)
+	p := params()
+	for seed := int64(0); seed < 10; seed++ {
+		a, err := Random(tr, p, stats.NewRNG(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		skew, err := a.MaxCommSkew(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Upper bound: M·d + Eps·s over all pairs (Section III).
+		var bound float64
+		for _, pr := range g.CommunicatingPairs() {
+			b := p.M*tr.CellDiffDist(pr[0], pr[1]) + p.Eps*tr.CellPathLen(pr[0], pr[1])
+			if b > bound {
+				bound = b
+			}
+		}
+		if skew > bound+1e-9 {
+			t.Errorf("seed %d: random skew %g exceeds σ ≤ m·d+ε·s bound %g", seed, skew, bound)
+		}
+	}
+}
+
+func TestAdversarialAchievesA11Bound(t *testing.T) {
+	g, tr := htreeOn(t, 8)
+	p := params()
+	// Pick the worst communicating pair under the summation metric.
+	var a, b comm.CellID
+	var worstS float64
+	for _, pr := range g.CommunicatingPairs() {
+		if s := tr.CellPathLen(pr[0], pr[1]); s > worstS {
+			worstS = s
+			a, b = pr[0], pr[1]
+		}
+	}
+	arr, err := Adversarial(tr, p, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, _ := arr.CellArrival(a)
+	tb, _ := arr.CellArrival(b)
+	want := p.Eps * worstS
+	if math.Abs(math.Abs(ta-tb)-want) > 1e-9 {
+		t.Errorf("adversarial pair skew = %g, want exactly ε·s = %g", math.Abs(ta-tb), want)
+	}
+}
+
+func TestAdversarialUnknownCell(t *testing.T) {
+	_, tr := spineOn(t, 4)
+	if _, err := Adversarial(tr, params(), 0, 99); err == nil {
+		t.Error("unknown cell accepted")
+	}
+	if _, err := Adversarial(tr, params(), 99, 0); err == nil {
+		t.Error("unknown cell accepted")
+	}
+}
+
+func TestOffsetsNonNegativeAndAnchored(t *testing.T) {
+	g, tr := spineOn(t, 12)
+	a, err := Random(tr, params(), stats.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := a.Offsets(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, o := range off.Cell {
+		if o < 0 {
+			t.Fatalf("negative offset %g", o)
+		}
+		min = math.Min(min, o)
+		max = math.Max(max, o)
+	}
+	if min != 0 {
+		t.Errorf("offsets not anchored at 0 (min %g)", min)
+	}
+	if off.Host != 0 || math.Abs(off.HostRead-max) > 1e-12 {
+		t.Errorf("host offsets = %g/%g, want 0/%g", off.Host, off.HostRead, max)
+	}
+}
+
+// End-to-end: simulated spine clock arrivals drive a real FIR machine;
+// with the pipelined clock traveling alongside the data, the array works
+// at a period independent of its size.
+func TestSpineClockDrivesFIREndToEnd(t *testing.T) {
+	for _, n := range []int{4, 12} {
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = float64(i%3) - 1
+		}
+		fir, err := systolic.NewFIR(weights, []float64{1, 2, 3, 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := fir.Machine.Graph()
+		tr, err := clocktree.Spine(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arr, err := Random(tr, params(), stats.NewRNG(int64(n)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		off, err := arr.Offsets(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Receiver clocks trail senders by ≈ M per pitch, so pad δ to
+		// cover the lag (holds) and clock at δ + directed skew (setup).
+		delta := 1.0 + (params().M+params().Eps)*1.05
+		timing := array.Timing{
+			Period:    delta + fir.Machine.MaxDirectedSkew(off) + 0.1,
+			CellDelay: delta,
+			HoldDelay: delta,
+		}
+		got, err := fir.Machine.RunClocked(fir.Cycles, timing, off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(fir.Golden(fir.Cycles), 1e-9) {
+			t.Errorf("n=%d: spine-clocked FIR diverged from golden", n)
+		}
+	}
+}
+
+func TestMaxEventDriftCountsBuffers(t *testing.T) {
+	_, tr := spineOn(t, 16)
+	buffered, err := clocktree.Buffered(tr, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := params()
+	drift := MaxEventDrift(buffered, p)
+	// Spine of length 15 with 0.5 spacing: ≥ 15 buffers on the deepest
+	// path; drift = bias × count.
+	if drift < 15*p.RiseFallBias-1e-9 {
+		t.Errorf("drift = %g, want ≥ %g", drift, 15*p.RiseFallBias)
+	}
+	if unbuffered := MaxEventDrift(tr, p); unbuffered != 0 {
+		t.Errorf("unbuffered tree drift = %g, want 0", unbuffered)
+	}
+}
+
+func TestMinPipelinedPeriodGrowsWithDepthButNotSize(t *testing.T) {
+	p := params()
+	// For an H-tree, the buffered depth grows like √N, so the pipelined
+	// period grows like √N times the bias — the tree analogue of E7.
+	_, tr4 := htreeOn(t, 4)
+	_, tr16 := htreeOn(t, 16)
+	b4, err := clocktree.Buffered(tr4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b16, err := clocktree.Buffered(tr16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p4 := MinPipelinedPeriod(b4, p)
+	p16 := MinPipelinedPeriod(b16, p)
+	if p16 <= p4 {
+		t.Errorf("period did not grow with tree depth: %g vs %g", p4, p16)
+	}
+	// But equipotential τ grows faster (proportional to root distance
+	// times alpha with a much bigger constant in practice).
+	if EquipotentialTau(b16, 1) <= EquipotentialTau(b4, 1) {
+		t.Errorf("equipotential tau did not grow")
+	}
+}
+
+func TestRandomArrivalsDeterministicPerSeed(t *testing.T) {
+	g, tr := spineOn(t, 8)
+	a1, err := Random(tr, params(), stats.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Random(tr, params(), stats.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range g.Cells {
+		t1, _ := a1.CellArrival(c.ID)
+		t2, _ := a2.CellArrival(c.ID)
+		if t1 != t2 {
+			t.Fatalf("cell %d arrivals differ", c.ID)
+		}
+	}
+}
+
+func TestArrivalsMonotoneAlongTreeProperty(t *testing.T) {
+	// Arrival times must increase from parent to child (positive delays).
+	f := func(seed int64, nn uint8) bool {
+		n := int(nn%12) + 2
+		g, err := comm.Linear(n)
+		if err != nil {
+			return false
+		}
+		tr, err := clocktree.HTree(g)
+		if err != nil {
+			return false
+		}
+		a, err := Random(tr, params(), stats.NewRNG(seed))
+		if err != nil {
+			return false
+		}
+		for v := 0; v < tr.NumNodes(); v++ {
+			id := clocktree.NodeID(v)
+			if p := tr.Parent(id); p >= 0 && a.At(id) < a.At(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

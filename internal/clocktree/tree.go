@@ -1,0 +1,418 @@
+// Package clocktree models the paper's CLK trees (assumption A4): rooted
+// binary trees laid out in the plane that distribute clock events to the
+// cells of a COMM graph. It provides the clock layouts the paper studies —
+// H-trees (Fig. 3), the spine clock for one-dimensional arrays (Fig. 4),
+// folded (Fig. 5) and comb (Fig. 6) variants, serpentine and random trees
+// for the Section V-B lower-bound experiments — plus buffer insertion
+// (A7) and the distance queries (root distance d, tree-path distance s)
+// that the two skew models of Section III are defined on.
+package clocktree
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/comm"
+	"repro/internal/geom"
+)
+
+// NodeID identifies a node of a clock tree; IDs are dense in [0, NumNodes).
+type NodeID int
+
+// Node is one vertex of the clock distribution tree. A node may be the
+// clocking point of a cell (Cell ≥ 0), an internal branch point, or an
+// inserted buffer.
+type Node struct {
+	ID     NodeID
+	Pos    geom.Point
+	Cell   comm.CellID // comm.Host (-1) if the node clocks no cell
+	Buffer bool        // true for nodes inserted by Buffered (A7)
+}
+
+// Tree is a rooted binary clock tree with a planar wire layout. Build one
+// with a Builder; a finalized Tree is immutable and safe for concurrent
+// reads.
+type Tree struct {
+	Name  string
+	nodes []Node
+	root  NodeID
+
+	parent   []NodeID
+	children [][]NodeID
+	wire     []geom.Path // wire[v]: route from parent(v).Pos to v.Pos
+	edgeLen  []float64   // edgeLen[v] = wire[v].Length(), 0 at the root
+	extra    []float64   // tuned slack added to edge v by Equalize
+
+	rootDist []float64
+	depth    []int
+	up       [][]int32 // binary-lifting ancestor table
+
+	cellNode map[comm.CellID]NodeID
+}
+
+// NumNodes returns the number of tree nodes.
+func (t *Tree) NumNodes() int { return len(t.nodes) }
+
+// Root returns the root node ID.
+func (t *Tree) Root() NodeID { return t.root }
+
+// Node returns the node with the given ID.
+func (t *Tree) Node(id NodeID) Node { return t.nodes[id] }
+
+// Parent returns the parent of v, or -1 for the root.
+func (t *Tree) Parent(v NodeID) NodeID { return t.parent[v] }
+
+// Children returns v's children; the slice must not be modified.
+func (t *Tree) Children(v NodeID) []NodeID { return t.children[v] }
+
+// Wire returns the wire route from v's parent to v (nil at the root).
+func (t *Tree) Wire(v NodeID) geom.Path { return t.wire[v] }
+
+// EdgeLen returns the electrical length of the wire from v's parent to v,
+// including any tuning slack added by Equalize.
+func (t *Tree) EdgeLen(v NodeID) float64 { return t.edgeLen[v] + t.extra[v] }
+
+// CellNode returns the tree node that clocks the given cell.
+func (t *Tree) CellNode(c comm.CellID) (NodeID, bool) {
+	id, ok := t.cellNode[c]
+	return id, ok
+}
+
+// RootDist returns the electrical length of the path from the root to v —
+// the h value of Section III.
+func (t *Tree) RootDist(v NodeID) float64 { return t.rootDist[v] }
+
+// CellRootDist returns the root distance of the node clocking cell c.
+func (t *Tree) CellRootDist(c comm.CellID) float64 {
+	id, ok := t.cellNode[c]
+	if !ok {
+		panic(fmt.Sprintf("clocktree: cell %d is not clocked by tree %q", c, t.Name))
+	}
+	return t.rootDist[id]
+}
+
+// MaxRootDist returns the longest root-to-node electrical length P; per
+// A6 the equipotential distribution time τ is at least α·P.
+func (t *Tree) MaxRootDist() float64 {
+	var m float64
+	for _, d := range t.rootDist {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// LCA returns the lowest common ancestor of a and b.
+func (t *Tree) LCA(a, b NodeID) NodeID {
+	u, v := int32(a), int32(b)
+	if t.depth[u] < t.depth[v] {
+		u, v = v, u
+	}
+	diff := t.depth[u] - t.depth[v]
+	for k := 0; diff != 0; k++ {
+		if diff&1 != 0 {
+			u = t.up[k][u]
+		}
+		diff >>= 1
+	}
+	if u == v {
+		return NodeID(u)
+	}
+	for k := len(t.up) - 1; k >= 0; k-- {
+		if t.up[k][u] != t.up[k][v] {
+			u = t.up[k][u]
+			v = t.up[k][v]
+		}
+	}
+	return NodeID(t.up[0][u])
+}
+
+// PathLen returns the electrical length s of the tree path connecting a
+// and b: rootDist(a) + rootDist(b) − 2·rootDist(lca). This is the distance
+// the summation model (A10/A11) is defined on.
+func (t *Tree) PathLen(a, b NodeID) float64 {
+	l := t.LCA(a, b)
+	return t.rootDist[a] + t.rootDist[b] - 2*t.rootDist[l]
+}
+
+// DiffDist returns the positive difference d between the root distances of
+// a and b — the distance the difference model (A9) is defined on.
+func (t *Tree) DiffDist(a, b NodeID) float64 {
+	return math.Abs(t.rootDist[a] - t.rootDist[b])
+}
+
+// CellPathLen returns PathLen between the nodes clocking cells a and b.
+func (t *Tree) CellPathLen(a, b comm.CellID) float64 {
+	return t.PathLen(t.mustCellNode(a), t.mustCellNode(b))
+}
+
+// CellDiffDist returns DiffDist between the nodes clocking cells a and b.
+func (t *Tree) CellDiffDist(a, b comm.CellID) float64 {
+	return t.DiffDist(t.mustCellNode(a), t.mustCellNode(b))
+}
+
+func (t *Tree) mustCellNode(c comm.CellID) NodeID {
+	id, ok := t.cellNode[c]
+	if !ok {
+		panic(fmt.Sprintf("clocktree: cell %d is not clocked by tree %q", c, t.Name))
+	}
+	return id
+}
+
+// TotalWireLength returns the total electrical length of all tree wires,
+// used for layout-area accounting (Lemma 1: the clock tree must fit in a
+// constant factor of the layout area; with unit-width wires, wire length
+// is wire area by A3).
+func (t *Tree) TotalWireLength() float64 {
+	var sum float64
+	for v := range t.nodes {
+		sum += t.EdgeLen(NodeID(v))
+	}
+	return sum
+}
+
+// Bounds returns the bounding rectangle of all nodes and wire vertices.
+func (t *Tree) Bounds() geom.Rect {
+	r := geom.BoundingRectOfPaths(t.wire)
+	for _, n := range t.nodes {
+		r = r.Union(geom.Rect{Min: n.Pos, Max: n.Pos})
+	}
+	return r
+}
+
+// ParentArray returns the tree as a parent array (parent[root] = -1), the
+// representation used by graph.TreeEdgeSeparator (Lemma 5).
+func (t *Tree) ParentArray() []int {
+	out := make([]int, len(t.parent))
+	for v, p := range t.parent {
+		out[v] = int(p)
+	}
+	return out
+}
+
+// CellMask returns a boolean mask over tree nodes marking the nodes that
+// clock cells, for use with the Lemma-5 separator.
+func (t *Tree) CellMask() []bool {
+	mask := make([]bool, len(t.nodes))
+	for _, id := range t.cellNode {
+		mask[id] = true
+	}
+	return mask
+}
+
+// Covers reports whether every cell of g is clocked by some node of t
+// (A4: a cell can be clocked only if it is also a node of CLK).
+func (t *Tree) Covers(g *comm.Graph) bool {
+	for _, c := range g.Cells {
+		if _, ok := t.cellNode[c.ID]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Equalize adds tuning slack to leaf edges so that every cell node has the
+// same root distance (the maximum). This models the practice, discussed in
+// Section VII, of tuning discrete clock-tree wiring so delay from the root
+// is the same for all cells — the regime where the difference model makes
+// H-tree clocking exact. It returns the amount of slack added in total.
+func (t *Tree) Equalize() float64 {
+	target := 0.0
+	for _, id := range t.cellNode {
+		if d := t.rootDist[id]; d > target {
+			target = d
+		}
+	}
+	var added float64
+	for _, id := range t.cellNode {
+		slack := target - t.rootDist[id]
+		if slack > 0 {
+			t.extra[id] += slack
+			added += slack
+		}
+	}
+	t.recomputeDistances()
+	return added
+}
+
+// recomputeDistances refreshes rootDist after edge-length changes.
+func (t *Tree) recomputeDistances() {
+	stack := []NodeID{t.root}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if p := t.parent[v]; p >= 0 {
+			t.rootDist[v] = t.rootDist[p] + t.EdgeLen(v)
+		} else {
+			t.rootDist[v] = 0
+		}
+		stack = append(stack, t.children[v]...)
+	}
+}
+
+// Validate checks the structural invariants required by A4 and the layout
+// conventions: a single root, binary branching, wires connecting parent to
+// child positions, and acyclicity (every node reachable from the root
+// exactly once).
+func (t *Tree) Validate() error {
+	n := len(t.nodes)
+	if n == 0 {
+		return fmt.Errorf("clocktree %q: empty tree", t.Name)
+	}
+	if t.parent[t.root] != -1 {
+		return fmt.Errorf("clocktree %q: root %d has a parent", t.Name, t.root)
+	}
+	seen := make([]bool, n)
+	count := 0
+	stack := []NodeID{t.root}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[v] {
+			return fmt.Errorf("clocktree %q: node %d reached twice", t.Name, v)
+		}
+		seen[v] = true
+		count++
+		if len(t.children[v]) > 2 {
+			return fmt.Errorf("clocktree %q: node %d has %d children (A4 requires binary)",
+				t.Name, v, len(t.children[v]))
+		}
+		for _, c := range t.children[v] {
+			if t.parent[c] != v {
+				return fmt.Errorf("clocktree %q: parent/child mismatch at %d→%d", t.Name, v, c)
+			}
+			w := t.wire[c]
+			if len(w) < 1 {
+				return fmt.Errorf("clocktree %q: edge %d→%d has no wire", t.Name, v, c)
+			}
+			if !w.Start().Eq(t.nodes[v].Pos, 1e-6) || !w.End().Eq(t.nodes[c].Pos, 1e-6) {
+				return fmt.Errorf("clocktree %q: wire of edge %d→%d does not connect node positions",
+					t.Name, v, c)
+			}
+			stack = append(stack, c)
+		}
+	}
+	if count != n {
+		return fmt.Errorf("clocktree %q: %d of %d nodes unreachable from root", t.Name, n-count, n)
+	}
+	for c, id := range t.cellNode {
+		if t.nodes[id].Cell != c {
+			return fmt.Errorf("clocktree %q: cell index broken for cell %d", t.Name, c)
+		}
+	}
+	return nil
+}
+
+// Builder assembles a Tree incrementally. Create with NewBuilder, add the
+// root with Root, attach nodes with Child, then call Finalize.
+type Builder struct {
+	t       *Tree
+	rootSet bool
+}
+
+// NewBuilder returns a Builder for a tree with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{t: &Tree{Name: name, cellNode: make(map[comm.CellID]NodeID)}}
+}
+
+// Root creates the root node. It may be called only once.
+func (b *Builder) Root(pos geom.Point, cell comm.CellID) NodeID {
+	if b.rootSet {
+		panic("clocktree: Root called twice")
+	}
+	b.rootSet = true
+	id := b.addNode(pos, cell, false)
+	b.t.root = id
+	b.t.parent[id] = -1
+	return id
+}
+
+// Child creates a node at pos attached to parent by the given wire route.
+// If wire is nil, a rectilinear route from the parent is used. cell may be
+// comm.Host for internal nodes.
+func (b *Builder) Child(parent NodeID, pos geom.Point, cell comm.CellID, wire geom.Path) NodeID {
+	if !b.rootSet {
+		panic("clocktree: Child before Root")
+	}
+	if wire == nil {
+		wire = geom.Rectilinear(b.t.nodes[parent].Pos, pos)
+	}
+	id := b.addNode(pos, cell, false)
+	b.t.parent[id] = parent
+	b.t.children[parent] = append(b.t.children[parent], id)
+	b.t.wire[id] = wire
+	b.t.edgeLen[id] = wire.Length()
+	return id
+}
+
+func (b *Builder) addNode(pos geom.Point, cell comm.CellID, buffer bool) NodeID {
+	id := NodeID(len(b.t.nodes))
+	b.t.nodes = append(b.t.nodes, Node{ID: id, Pos: pos, Cell: cell, Buffer: buffer})
+	b.t.parent = append(b.t.parent, -1)
+	b.t.children = append(b.t.children, nil)
+	b.t.wire = append(b.t.wire, nil)
+	b.t.edgeLen = append(b.t.edgeLen, 0)
+	b.t.extra = append(b.t.extra, 0)
+	if cell != comm.Host {
+		if _, dup := b.t.cellNode[cell]; dup {
+			panic(fmt.Sprintf("clocktree: cell %d clocked twice", cell))
+		}
+		b.t.cellNode[cell] = id
+	}
+	return id
+}
+
+// Finalize computes distances and ancestor tables and returns the
+// completed tree. The Builder must not be used afterwards.
+func (b *Builder) Finalize() (*Tree, error) {
+	t := b.t
+	b.t = nil
+	if t == nil || len(t.nodes) == 0 {
+		return nil, fmt.Errorf("clocktree: Finalize on empty builder")
+	}
+	n := len(t.nodes)
+	t.rootDist = make([]float64, n)
+	t.depth = make([]int, n)
+	t.recomputeDistances()
+	// Depths via BFS from root.
+	queue := []NodeID{t.root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, c := range t.children[v] {
+			t.depth[c] = t.depth[v] + 1
+			queue = append(queue, c)
+		}
+	}
+	// Binary-lifting table.
+	levels := 1
+	maxDepth := 0
+	for _, d := range t.depth {
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	for 1<<levels <= maxDepth {
+		levels++
+	}
+	t.up = make([][]int32, levels)
+	t.up[0] = make([]int32, n)
+	for v := 0; v < n; v++ {
+		if p := t.parent[v]; p >= 0 {
+			t.up[0][v] = int32(p)
+		} else {
+			t.up[0][v] = int32(v)
+		}
+	}
+	for k := 1; k < levels; k++ {
+		t.up[k] = make([]int32, n)
+		for v := 0; v < n; v++ {
+			t.up[k][v] = t.up[k-1][t.up[k-1][v]]
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,544 @@
+package clocktree
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/comm"
+	"repro/internal/geom"
+	"repro/internal/stats"
+)
+
+func mustLinear(t *testing.T, n int) *comm.Graph {
+	t.Helper()
+	g, err := comm.Linear(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func mustMesh(t *testing.T, r, c int) *comm.Graph {
+	t.Helper()
+	g, err := comm.Mesh(r, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSpineStructure(t *testing.T) {
+	g := mustLinear(t, 8)
+	tr, err := Spine(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumNodes() != 8 {
+		t.Errorf("NumNodes = %d", tr.NumNodes())
+	}
+	if !tr.Covers(g) {
+		t.Error("spine does not cover all cells")
+	}
+	// Chain: neighbor path length 1, far pair path length = index diff.
+	if d := tr.CellPathLen(3, 4); math.Abs(d-1) > 1e-9 {
+		t.Errorf("neighbor PathLen = %g", d)
+	}
+	if d := tr.CellPathLen(0, 7); math.Abs(d-7) > 1e-9 {
+		t.Errorf("end-to-end PathLen = %g", d)
+	}
+	if d := tr.CellRootDist(5); math.Abs(d-5) > 1e-9 {
+		t.Errorf("CellRootDist(5) = %g", d)
+	}
+}
+
+func TestSpineWithHost(t *testing.T) {
+	g := mustLinear(t, 6)
+	tr, err := SpineWithHost(g, geom.Pt(-1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumNodes() != 7 {
+		t.Errorf("NumNodes = %d", tr.NumNodes())
+	}
+	// Host-to-far-end path length grows with n — the Fig. 5 concern.
+	rootNode := tr.Root()
+	far, _ := tr.CellNode(5)
+	if d := tr.PathLen(rootNode, far); math.Abs(d-6) > 1e-9 {
+		t.Errorf("host-to-end PathLen = %g, want 6", d)
+	}
+}
+
+func TestFoldedSpineReducesHostSkew(t *testing.T) {
+	// Fold the array (Fig. 5): with the host at the fold's open end, the
+	// host-to-last-cell tree path shrinks from n to ≈ 2 hops of wire.
+	n := 16
+	g := mustLinear(t, n)
+	folded, err := comm.FoldLinear(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	straight, err := SpineWithHost(g, geom.Pt(-1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bent, err := SpineWithHost(folded, geom.Pt(-1, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastStraight, _ := straight.CellNode(comm.CellID(n - 1))
+	lastBent, _ := bent.CellNode(comm.CellID(n - 1))
+	dStraight := straight.PathLen(straight.Root(), lastStraight)
+	dBent := bent.PathLen(bent.Root(), lastBent)
+	// The folded layout still routes the clock along the whole chain, but
+	// the *physical* distance from host to the last cell is now O(1).
+	if got := bent.Node(lastBent).Pos.Dist(bent.Node(bent.Root()).Pos); got > 2.5 {
+		t.Errorf("folded last cell sits %g from host, want ≤ 2.5", got)
+	}
+	if dBent < dStraight-1e9 {
+		t.Logf("tree path host→end: straight %g, folded %g", dStraight, dBent)
+	}
+}
+
+func TestSerpentineNeighborGap(t *testing.T) {
+	g := mustMesh(t, 4, 8)
+	tr, err := Serpentine(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Covers(g) {
+		t.Error("serpentine does not cover mesh")
+	}
+	// Vertically adjacent cells at a row end are 1 apart on the chain; at
+	// the far end of the row they are ≈ 2·cols−1 apart — the failure mode
+	// of 1D clocking in 2D.
+	a, _ := g.CellAt(0, 0)
+	b, _ := g.CellAt(1, 0)
+	if d := tr.CellPathLen(a.ID, b.ID); d < float64(2*g.Cols-2) {
+		t.Errorf("serpentine column-adjacent path = %g, want ≥ %d", d, 2*g.Cols-2)
+	}
+}
+
+func TestSerpentineRejectsNonGrid(t *testing.T) {
+	g, err := comm.CompleteBinaryTree(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Serpentine(g); err == nil {
+		t.Error("Serpentine accepted a non-grid graph")
+	}
+}
+
+func TestHTreeEquidistantOnPowerOfTwoMesh(t *testing.T) {
+	g := mustMesh(t, 8, 8)
+	tr, err := HTree(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Covers(g) {
+		t.Fatal("H-tree does not cover mesh")
+	}
+	// Root distances of all cells should be equal (classical H-tree).
+	var dists []float64
+	for _, c := range g.Cells {
+		dists = append(dists, tr.CellRootDist(c.ID))
+	}
+	spread := stats.Max(dists) - stats.Min(dists)
+	if spread > 1e-9 {
+		t.Errorf("H-tree on 8×8 mesh root-distance spread = %g, want 0", spread)
+	}
+}
+
+func TestHTreeEqualizeOnIrregularLayout(t *testing.T) {
+	g := mustMesh(t, 5, 7) // not a power of two: raw H-tree is unequal
+	tr, err := HTree(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	added := tr.Equalize()
+	if added < 0 {
+		t.Errorf("Equalize added negative slack %g", added)
+	}
+	var dists []float64
+	for _, c := range g.Cells {
+		dists = append(dists, tr.CellRootDist(c.ID))
+	}
+	if spread := stats.Max(dists) - stats.Min(dists); spread > 1e-9 {
+		t.Errorf("post-Equalize spread = %g, want 0", spread)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHTreeAreaConstantFactor(t *testing.T) {
+	// Lemma 1: the clock tree fits in O(layout area). Check wire length
+	// per cell stays bounded as the mesh grows.
+	var prev float64
+	for _, n := range []int{8, 16, 32} {
+		g := mustMesh(t, n, n)
+		tr, err := HTree(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perCell := tr.TotalWireLength() / float64(g.NumCells())
+		if prev > 0 && perCell > prev*1.5 {
+			t.Errorf("n=%d: wire per cell %g grows vs %g — not constant factor", n, perCell, prev)
+		}
+		prev = perCell
+	}
+}
+
+func TestHTreeSingleCell(t *testing.T) {
+	g := mustLinear(t, 1)
+	tr, err := HTree(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumNodes() != 1 {
+		t.Errorf("NumNodes = %d", tr.NumNodes())
+	}
+	if tr.MaxRootDist() != 0 {
+		t.Errorf("MaxRootDist = %g", tr.MaxRootDist())
+	}
+}
+
+func TestRandomBinaryValidAndCovering(t *testing.T) {
+	g := mustMesh(t, 6, 6)
+	for seed := int64(0); seed < 5; seed++ {
+		tr, err := RandomBinary(g, stats.NewRNG(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !tr.Covers(g) {
+			t.Fatalf("seed %d: not covering", seed)
+		}
+	}
+}
+
+func TestRandomBinaryDeterministicPerSeed(t *testing.T) {
+	g := mustMesh(t, 5, 5)
+	a, _ := RandomBinary(g, stats.NewRNG(9))
+	b, _ := RandomBinary(g, stats.NewRNG(9))
+	if a.NumNodes() != b.NumNodes() {
+		t.Fatalf("node counts differ: %d vs %d", a.NumNodes(), b.NumNodes())
+	}
+	for _, c := range g.Cells {
+		if a.CellRootDist(c.ID) != b.CellRootDist(c.ID) {
+			t.Fatalf("cell %d root dist differs", c.ID)
+		}
+	}
+}
+
+func TestLCAAndPathLen(t *testing.T) {
+	// Hand-built tree:        r
+	//                       /   \
+	//                      a     b
+	//                     / \
+	//                    c   d
+	b := NewBuilder("hand")
+	r := b.Root(geom.Pt(0, 0), comm.Host)
+	a := b.Child(r, geom.Pt(-2, 0), 0, nil)
+	bb := b.Child(r, geom.Pt(3, 0), 1, nil)
+	c := b.Child(a, geom.Pt(-2, 2), 2, nil)
+	d := b.Child(a, geom.Pt(-2, -1), 3, nil)
+	tr, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.LCA(c, d); got != a {
+		t.Errorf("LCA(c,d) = %d, want %d", got, a)
+	}
+	if got := tr.LCA(c, bb); got != r {
+		t.Errorf("LCA(c,b) = %d, want root", got)
+	}
+	if got := tr.LCA(a, c); got != a {
+		t.Errorf("LCA(a,c) = %d, want a", got)
+	}
+	if got := tr.LCA(r, r); got != r {
+		t.Errorf("LCA(r,r) = %d", got)
+	}
+	if pl := tr.PathLen(c, d); math.Abs(pl-3) > 1e-9 {
+		t.Errorf("PathLen(c,d) = %g, want 3", pl)
+	}
+	if pl := tr.PathLen(c, bb); math.Abs(pl-7) > 1e-9 {
+		t.Errorf("PathLen(c,b) = %g, want 7", pl)
+	}
+	if dd := tr.DiffDist(c, bb); math.Abs(dd-1) > 1e-9 {
+		t.Errorf("DiffDist(c,b) = %g, want 1", dd)
+	}
+	if pl := tr.PathLen(r, r); pl != 0 {
+		t.Errorf("PathLen(r,r) = %g", pl)
+	}
+}
+
+func TestPathLenSymmetryProperty(t *testing.T) {
+	g := mustMesh(t, 4, 4)
+	tr, err := HTree(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b uint8) bool {
+		x := comm.CellID(int(a) % g.NumCells())
+		y := comm.CellID(int(b) % g.NumCells())
+		return math.Abs(tr.CellPathLen(x, y)-tr.CellPathLen(y, x)) < 1e-12 &&
+			tr.CellPathLen(x, y) >= tr.CellDiffDist(x, y)-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBufferedPreservesDistances(t *testing.T) {
+	g := mustMesh(t, 4, 4)
+	tr, err := HTree(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := Buffered(tr, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := buf.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !buf.Covers(g) {
+		t.Fatal("buffered tree lost cells")
+	}
+	if buf.BufferCount() == 0 {
+		t.Error("no buffers inserted")
+	}
+	if seg := buf.MaxSegmentLength(); seg > 0.75+1e-9 {
+		t.Errorf("max segment %g exceeds spacing", seg)
+	}
+	// Electrical distances are preserved by subdivision.
+	for _, c := range g.Cells {
+		if d1, d2 := tr.CellRootDist(c.ID), buf.CellRootDist(c.ID); math.Abs(d1-d2) > 1e-6 {
+			t.Errorf("cell %d root dist changed %g → %g", c.ID, d1, d2)
+		}
+	}
+	pairs := g.CommunicatingPairs()
+	for _, p := range pairs[:5] {
+		if d1, d2 := tr.CellPathLen(p[0], p[1]), buf.CellPathLen(p[0], p[1]); math.Abs(d1-d2) > 1e-6 {
+			t.Errorf("pair %v path len changed %g → %g", p, d1, d2)
+		}
+	}
+}
+
+func TestBufferedRejectsBadSpacing(t *testing.T) {
+	g := mustLinear(t, 3)
+	tr, _ := Spine(g)
+	if _, err := Buffered(tr, 0); err == nil {
+		t.Error("spacing 0 accepted")
+	}
+	if _, err := Buffered(tr, -1); err == nil {
+		t.Error("negative spacing accepted")
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	b := NewBuilder("x")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Child before Root should panic")
+			}
+		}()
+		b.Child(0, geom.Pt(0, 0), comm.Host, nil)
+	}()
+	b.Root(geom.Pt(0, 0), comm.Host)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("second Root should panic")
+			}
+		}()
+		b.Root(geom.Pt(1, 1), comm.Host)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double-clocked cell should panic")
+			}
+		}()
+		b.Child(0, geom.Pt(1, 0), 5, nil)
+		b.Child(0, geom.Pt(2, 0), 5, nil)
+	}()
+}
+
+func TestValidateRejectsTernary(t *testing.T) {
+	b := NewBuilder("ternary")
+	r := b.Root(geom.Pt(0, 0), comm.Host)
+	b.Child(r, geom.Pt(1, 0), 0, nil)
+	b.Child(r, geom.Pt(0, 1), 1, nil)
+	b.Child(r, geom.Pt(-1, 0), 2, nil)
+	if _, err := b.Finalize(); err == nil {
+		t.Error("ternary root accepted (violates A4)")
+	}
+}
+
+func TestCellRootDistPanicsOnUnknownCell(t *testing.T) {
+	g := mustLinear(t, 2)
+	tr, _ := Spine(g)
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown cell should panic")
+		}
+	}()
+	tr.CellRootDist(99)
+}
+
+func TestCombSpineBoundedNeighborWire(t *testing.T) {
+	g := mustLinear(t, 30)
+	combed, err := comm.CombLinear(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Spine(combed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i+1 < combed.NumCells(); i++ {
+		if d := tr.CellPathLen(comm.CellID(i), comm.CellID(i+1)); d > 2+1e-9 {
+			t.Errorf("comb neighbor %d path len %g > 2", i, d)
+		}
+	}
+	// Comb layout has aspect ratio ≈ cols/rows, not 30:1.
+	if ar := combed.Bounds().AspectRatio(); ar > 4 {
+		t.Errorf("comb aspect ratio %g, want ≤ 4", ar)
+	}
+}
+
+func TestParentArrayAndCellMask(t *testing.T) {
+	g := mustMesh(t, 3, 3)
+	tr, _ := HTree(g)
+	pa := tr.ParentArray()
+	roots := 0
+	for _, p := range pa {
+		if p == -1 {
+			roots++
+		}
+	}
+	if roots != 1 {
+		t.Errorf("parent array has %d roots", roots)
+	}
+	mask := tr.CellMask()
+	marked := 0
+	for _, m := range mask {
+		if m {
+			marked++
+		}
+	}
+	if marked != 9 {
+		t.Errorf("cell mask marks %d nodes, want 9", marked)
+	}
+}
+
+func TestLadderRingConstantSkew(t *testing.T) {
+	for _, n := range []int{4, 9, 40, 101} {
+		g, err := comm.Ring(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := Ladder(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !tr.Covers(g) {
+			t.Fatalf("n=%d: ladder not covering", n)
+		}
+		// Every ring pair — wrap-around included — within constant tree
+		// distance.
+		for _, p := range g.CommunicatingPairs() {
+			if d := tr.CellPathLen(p[0], p[1]); d > 4.5 {
+				t.Errorf("n=%d: pair %v tree distance %g > 4.5", n, p, d)
+			}
+		}
+	}
+}
+
+func TestLadderRejectsTallLayouts(t *testing.T) {
+	g := mustMesh(t, 3, 3)
+	if _, err := Ladder(g); err == nil {
+		t.Error("3-row layout accepted")
+	}
+}
+
+func TestLadderOnLinear(t *testing.T) {
+	// Single-row layouts are fine: the ladder degenerates to a spine
+	// with unit rungs.
+	g := mustLinear(t, 10)
+	tr, err := Ladder(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range g.CommunicatingPairs() {
+		if d := tr.CellPathLen(p[0], p[1]); d > 2.1 {
+			t.Errorf("pair %v distance %g", p, d)
+		}
+	}
+}
+
+func TestAlongCommTreeSkewTracksWireLength(t *testing.T) {
+	g, err := comm.CompleteBinaryTree(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := AlongCommTree(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Covers(g) {
+		t.Fatal("not covering")
+	}
+	// Every communicating pair is a COMM tree edge, and the clock path
+	// between them IS that edge: tree distance == physical distance.
+	for _, p := range g.CommunicatingPairs() {
+		want := g.Cell(p[0]).Pos.Dist(g.Cell(p[1]).Pos)
+		if got := tr.CellPathLen(p[0], p[1]); math.Abs(got-want) > 1e-9 {
+			t.Errorf("pair %v: clock distance %g != wire %g", p, got, want)
+		}
+	}
+}
+
+func TestAlongCommTreeRejectsNonTree(t *testing.T) {
+	g := mustMesh(t, 3, 3)
+	if _, err := AlongCommTree(g); err == nil {
+		t.Error("mesh accepted")
+	}
+}
+
+func TestAlongCommTreeSingleNode(t *testing.T) {
+	g, err := comm.CompleteBinaryTree(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := AlongCommTree(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumNodes() != 1 {
+		t.Errorf("NumNodes = %d", tr.NumNodes())
+	}
+}

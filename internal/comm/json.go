@@ -1,0 +1,76 @@
+package comm
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/geom"
+)
+
+// graphJSON is the interchange representation of a Graph.
+type graphJSON struct {
+	Kind  Kind       `json:"kind"`
+	Name  string     `json:"name"`
+	Rows  int        `json:"rows,omitempty"`
+	Cols  int        `json:"cols,omitempty"`
+	Cells []cellJSON `json:"cells"`
+	Edges []edgeJSON `json:"edges"`
+}
+
+type cellJSON struct {
+	ID  CellID  `json:"id"`
+	X   float64 `json:"x"`
+	Y   float64 `json:"y"`
+	Row int     `json:"row,omitempty"`
+	Col int     `json:"col,omitempty"`
+}
+
+type edgeJSON struct {
+	From  CellID `json:"from"` // -1 encodes the host
+	To    CellID `json:"to"`
+	Label string `json:"label,omitempty"`
+}
+
+// WriteJSON serializes the graph for interchange with external tools
+// (layout viewers, other simulators). The format is stable: kind, name,
+// grid dims, cells with positions, and directed edges with -1 as the
+// host sentinel.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	out := graphJSON{
+		Kind: g.Kind, Name: g.Name, Rows: g.Rows, Cols: g.Cols,
+		Cells: make([]cellJSON, len(g.Cells)),
+		Edges: make([]edgeJSON, len(g.Edges)),
+	}
+	for i, c := range g.Cells {
+		out.Cells[i] = cellJSON{ID: c.ID, X: c.Pos.X, Y: c.Pos.Y, Row: c.Row, Col: c.Col}
+	}
+	for i, e := range g.Edges {
+		out.Edges[i] = edgeJSON{From: e.From, To: e.To, Label: e.Label}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON deserializes a graph written by WriteJSON and validates it.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var in graphJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("comm: decoding graph: %w", err)
+	}
+	g := newGraph(in.Kind, in.Name, in.Rows, in.Cols)
+	for i, c := range in.Cells {
+		if int(c.ID) != i {
+			return nil, fmt.Errorf("comm: cell %d has ID %d; IDs must be dense and ordered", i, c.ID)
+		}
+		g.addCell(c.Row, c.Col, geom.Pt(c.X, c.Y))
+	}
+	for _, e := range in.Edges {
+		g.Edges = append(g.Edges, Edge{From: e.From, To: e.To, Label: e.Label})
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("comm: decoded graph invalid: %w", err)
+	}
+	return g, nil
+}

@@ -1,0 +1,78 @@
+package comm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	builders := []func() (*Graph, error){
+		func() (*Graph, error) { return Linear(7) },
+		func() (*Graph, error) { return Mesh(3, 5) },
+		func() (*Graph, error) { return Hex(3) },
+		func() (*Graph, error) { return Ring(9) },
+		func() (*Graph, error) { return CompleteBinaryTree(4) },
+		func() (*Graph, error) { return MeshWithBoundaryIO(3, 3) },
+		func() (*Graph, error) { return HexWithBandIO(3) },
+	}
+	for _, build := range builders {
+		orig, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf strings.Builder
+		if err := orig.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadJSON(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("%s: %v", orig.Name, err)
+		}
+		if got.Name != orig.Name || got.Kind != orig.Kind ||
+			got.Rows != orig.Rows || got.Cols != orig.Cols {
+			t.Errorf("%s: metadata changed", orig.Name)
+		}
+		if got.NumCells() != orig.NumCells() || len(got.Edges) != len(orig.Edges) {
+			t.Fatalf("%s: size changed", orig.Name)
+		}
+		for i, c := range orig.Cells {
+			if got.Cells[i] != c {
+				t.Fatalf("%s: cell %d changed: %+v vs %+v", orig.Name, i, got.Cells[i], c)
+			}
+		}
+		for i, e := range orig.Edges {
+			if got.Edges[i] != e {
+				t.Fatalf("%s: edge %d changed", orig.Name, i)
+			}
+		}
+		// Grid index must survive the round trip.
+		if orig.Kind == KindMesh {
+			a, okA := orig.CellAt(1, 2)
+			b, okB := got.CellAt(1, 2)
+			if okA != okB || a.ID != b.ID {
+				t.Errorf("%s: CellAt broken after round trip", orig.Name)
+			}
+		}
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{nonsense")); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Non-dense IDs.
+	bad := `{"kind":"linear","name":"x","cells":[{"id":3,"x":0,"y":0}],"edges":[]}`
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Error("non-dense IDs accepted")
+	}
+	// Dangling edge.
+	bad2 := `{"kind":"linear","name":"x","cells":[{"id":0,"x":0,"y":0}],"edges":[{"from":0,"to":9}]}`
+	if _, err := ReadJSON(strings.NewReader(bad2)); err == nil {
+		t.Error("dangling edge accepted")
+	}
+	// Duplicate positions.
+	bad3 := `{"kind":"linear","name":"x","cells":[{"id":0,"x":0,"y":0},{"id":1,"x":0,"y":0}],"edges":[]}`
+	if _, err := ReadJSON(strings.NewReader(bad3)); err == nil {
+		t.Error("duplicate positions accepted")
+	}
+}

@@ -1,0 +1,87 @@
+package comm
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// FoldLinear returns a copy of a linear (or bidirectional) array with its
+// cells repositioned in the folded layout of Fig. 5: the array is bent in
+// the middle so that both ends sit next to the host. Cell i keeps its
+// topological position in the chain; successive cells remain at distance
+// ≤ √2, and cells 0 and n−1 end up one pitch apart.
+func FoldLinear(g *Graph) (*Graph, error) {
+	if g.Kind != KindLinear {
+		return nil, fmt.Errorf("comm: FoldLinear needs a linear array, got %q", g.Kind)
+	}
+	n := len(g.Cells)
+	out := cloneGraph(g)
+	out.Name = "folded-" + g.Name
+	half := (n + 1) / 2
+	for i := range out.Cells {
+		if i < half {
+			out.Cells[i].Pos = geom.Pt(float64(i), 0)
+			out.Cells[i].Row, out.Cells[i].Col = 0, i
+		} else {
+			out.Cells[i].Pos = geom.Pt(float64(n-1-i), 1)
+			out.Cells[i].Row, out.Cells[i].Col = 1, n-1-i
+		}
+	}
+	out.Rows, out.Cols = 2, half
+	out.rebuildPosIndex()
+	return out, nil
+}
+
+// CombLinear returns a copy of a linear array with its cells repositioned
+// in the comb layout of Fig. 6: the chain runs up and down vertical teeth
+// of the given height, letting a one-dimensional array fill a layout of
+// any desired aspect ratio. Successive cells remain at distance ≤ 2.
+func CombLinear(g *Graph, toothHeight int) (*Graph, error) {
+	if g.Kind != KindLinear {
+		return nil, fmt.Errorf("comm: CombLinear needs a linear array, got %q", g.Kind)
+	}
+	if toothHeight < 1 {
+		return nil, fmt.Errorf("comm: CombLinear toothHeight must be ≥ 1, got %d", toothHeight)
+	}
+	out := cloneGraph(g)
+	out.Name = fmt.Sprintf("comb%d-%s", toothHeight, g.Name)
+	for i := range out.Cells {
+		tooth := i / toothHeight
+		within := i % toothHeight
+		y := within
+		if tooth%2 == 1 {
+			y = toothHeight - 1 - within
+		}
+		// Teeth are two pitches apart so the comb's gaps are visible in
+		// the layout (and wires between teeth have length 2).
+		out.Cells[i].Pos = geom.Pt(float64(2*tooth), float64(y))
+		out.Cells[i].Row, out.Cells[i].Col = y, 2*tooth
+	}
+	out.Rows = toothHeight
+	out.Cols = (len(g.Cells)+toothHeight-1)/toothHeight*2 - 1
+	out.rebuildPosIndex()
+	return out, nil
+}
+
+// cloneGraph deep-copies a graph's cells and edges.
+func cloneGraph(g *Graph) *Graph {
+	out := &Graph{
+		Kind:  g.Kind,
+		Name:  g.Name,
+		Cells: append([]Cell(nil), g.Cells...),
+		Edges: append([]Edge(nil), g.Edges...),
+		Rows:  g.Rows,
+		Cols:  g.Cols,
+	}
+	out.rebuildPosIndex()
+	return out
+}
+
+// rebuildPosIndex refreshes the (row, col) → cell index after a re-layout.
+func (g *Graph) rebuildPosIndex() {
+	g.byPos = make(map[[2]int]CellID, len(g.Cells))
+	for _, c := range g.Cells {
+		g.byPos[[2]int{c.Row, c.Col}] = c.ID
+	}
+}

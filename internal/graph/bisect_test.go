@@ -1,0 +1,213 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestKernighanLinBisectMesh(t *testing.T) {
+	// The true bisection width of an 8×8 mesh is 8 (cut one column of
+	// edges). KL should find a cut close to that and respect balance.
+	g := Mesh(8, 8)
+	b := KernighanLinBisect(g, 4, stats.NewRNG(1))
+	if b.SizeA != 32 || b.SizeB != 32 {
+		t.Errorf("unbalanced: %d vs %d", b.SizeA, b.SizeB)
+	}
+	if b.Cut < 8 {
+		t.Errorf("cut %d below true bisection width 8 — impossible", b.Cut)
+	}
+	if b.Cut > 16 {
+		t.Errorf("cut %d far above optimum 8 — heuristic broken?", b.Cut)
+	}
+	if got := g.CutSize(b.Side); got != b.Cut {
+		t.Errorf("reported cut %d != recomputed %d", b.Cut, got)
+	}
+}
+
+func TestKernighanLinBisectPath(t *testing.T) {
+	// Path graphs bisect with a single edge.
+	g := PathGraph(16)
+	b := KernighanLinBisect(g, 6, stats.NewRNG(2))
+	if b.Cut != 1 {
+		t.Errorf("path cut = %d, want 1", b.Cut)
+	}
+}
+
+func TestKernighanLinBisectRespectsLowerBound(t *testing.T) {
+	// The heuristic upper bound must never fall below the Lemma-4 lower
+	// bound for a true bisection (neither side > n²/2 here, well within
+	// the 23/30 fraction).
+	for _, n := range []int{4, 6, 8} {
+		g := Mesh(n, n)
+		b := KernighanLinBisect(g, 3, stats.NewRNG(int64(n)))
+		lb := MeshCutLowerBound(n, n*n/2)
+		if b.Cut < lb {
+			t.Errorf("n=%d: heuristic cut %d < lower bound %d", n, b.Cut, lb)
+		}
+	}
+}
+
+func TestKernighanLinBisectEmpty(t *testing.T) {
+	b := KernighanLinBisect(New(0), 2, stats.NewRNG(3))
+	if len(b.Side) != 0 {
+		t.Errorf("empty graph bisection = %+v", b)
+	}
+}
+
+// buildParentArray converts the implicit heap-indexed complete binary tree
+// into a parent array.
+func completeBinaryParents(levels int) []int {
+	n := (1 << levels) - 1
+	parent := make([]int, n)
+	parent[0] = -1
+	for v := 1; v < n; v++ {
+		parent[v] = (v - 1) / 2
+	}
+	return parent
+}
+
+func TestTreeEdgeSeparatorLeafMarked(t *testing.T) {
+	// Mark all leaves of a depth-5 complete binary tree; classical strict
+	// 2/3 bound applies.
+	parent := completeBinaryParents(5)
+	n := len(parent)
+	marked := make([]bool, n)
+	total := 0
+	for v := n / 2; v < n; v++ {
+		marked[v] = true
+		total++
+	}
+	child, err := TreeEdgeSeparator(parent, marked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	below := countMarkedBelow(parent, marked, child)
+	above := total - below
+	if 3*below > 2*total || 3*above > 2*total {
+		t.Errorf("split %d|%d violates 2/3 of %d", below, above, total)
+	}
+}
+
+func TestTreeEdgeSeparatorAllMarked(t *testing.T) {
+	parent := completeBinaryParents(6)
+	marked := make([]bool, len(parent))
+	for i := range marked {
+		marked[i] = true
+	}
+	total := len(parent)
+	child, err := TreeEdgeSeparator(parent, marked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	below := countMarkedBelow(parent, marked, child)
+	above := total - below
+	// Internal marks allow the documented +1/2 slack.
+	if 2*3*below > 2*(2*total)+3 || 2*3*above > 2*(2*total)+3 {
+		t.Errorf("split %d|%d violates 2/3+1/2 of %d", below, above, total)
+	}
+}
+
+func TestTreeEdgeSeparatorPathTree(t *testing.T) {
+	// A path (degenerate binary tree) with both endpoints marked: any
+	// internal edge separates 1|1.
+	n := 9
+	parent := make([]int, n)
+	parent[0] = -1
+	for v := 1; v < n; v++ {
+		parent[v] = v - 1
+	}
+	marked := make([]bool, n)
+	marked[0], marked[n-1] = true, true
+	child, err := TreeEdgeSeparator(parent, marked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	below := countMarkedBelow(parent, marked, child)
+	if below != 1 {
+		t.Errorf("path separator below-count = %d, want 1", below)
+	}
+}
+
+func TestTreeEdgeSeparatorErrors(t *testing.T) {
+	parent := completeBinaryParents(3)
+	if _, err := TreeEdgeSeparator(parent, make([]bool, 2)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	one := make([]bool, len(parent))
+	one[0] = true
+	if _, err := TreeEdgeSeparator(parent, one); err == nil {
+		t.Error("single marked node accepted")
+	}
+	noRoot := []int{1, 0} // cycle, no -1
+	if _, err := TreeEdgeSeparator(noRoot, []bool{true, true}); err == nil {
+		t.Error("rootless parent array accepted")
+	}
+	twoRoots := []int{-1, -1}
+	if _, err := TreeEdgeSeparator(twoRoots, []bool{true, true}); err == nil {
+		t.Error("two roots accepted")
+	}
+	ternary := []int{-1, 0, 0, 0}
+	if _, err := TreeEdgeSeparator(ternary, []bool{true, true, true, true}); err == nil {
+		t.Error("ternary tree accepted")
+	}
+	badParent := []int{-1, 5}
+	if _, err := TreeEdgeSeparator(badParent, []bool{true, true}); err == nil {
+		t.Error("out-of-range parent accepted")
+	}
+}
+
+func TestTreeEdgeSeparatorProperty(t *testing.T) {
+	// For random leaf-marked complete binary trees the strict 2/3 bound
+	// must always hold.
+	f := func(seed int64, lv uint8) bool {
+		levels := int(lv%4) + 3 // 3..6
+		parent := completeBinaryParents(levels)
+		n := len(parent)
+		rng := stats.NewRNG(seed)
+		marked := make([]bool, n)
+		total := 0
+		for v := n / 2; v < n; v++ {
+			if rng.Bernoulli(0.5) {
+				marked[v] = true
+				total++
+			}
+		}
+		if total < 2 {
+			return true
+		}
+		child, err := TreeEdgeSeparator(parent, marked)
+		if err != nil {
+			return false
+		}
+		below := countMarkedBelow(parent, marked, child)
+		above := total - below
+		return 3*below <= 2*total && 3*above <= 2*total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// countMarkedBelow counts marked nodes in the subtree rooted at sub.
+func countMarkedBelow(parent []int, marked []bool, sub int) int {
+	n := len(parent)
+	children := make([][]int, n)
+	for v, p := range parent {
+		if p >= 0 {
+			children[p] = append(children[p], v)
+		}
+	}
+	count := 0
+	stack := []int{sub}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if marked[v] {
+			count++
+		}
+		stack = append(stack, children[v]...)
+	}
+	return count
+}

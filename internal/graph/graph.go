@@ -1,0 +1,227 @@
+// Package graph provides the combinatorial machinery behind the paper's
+// Section V-B lower bound: undirected graphs, partition cut counting, a
+// Kernighan–Lin bisection heuristic, the mesh bisection-width lower bound
+// (Lemma 4), and the binary-tree edge-separator (Lemma 5).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a simple undirected graph on vertices 0..N-1. Parallel edges
+// and self-loops are rejected by AddEdge.
+type Graph struct {
+	n   int
+	adj [][]int
+	set map[[2]int]bool
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Graph{n: n, adj: make([][]int, n), set: make(map[[2]int]bool)}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.set) }
+
+// key normalizes an edge to (min, max) order.
+func key(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+// AddEdge inserts the undirected edge {u, v}. It returns an error for
+// out-of-range endpoints, self-loops, or duplicate edges.
+func (g *Graph) AddEdge(u, v int) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop at %d", u)
+	}
+	k := key(u, v)
+	if g.set[k] {
+		return fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
+	}
+	g.set[k] = true
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+	return nil
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool { return g.set[key(u, v)] }
+
+// Neighbors returns the adjacency list of u. The returned slice must not
+// be modified.
+func (g *Graph) Neighbors(u int) []int { return g.adj[u] }
+
+// Degree returns the degree of u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// Edges returns all edges in (min, max) order, sorted lexicographically.
+func (g *Graph) Edges() [][2]int {
+	out := make([][2]int, 0, len(g.set))
+	for k := range g.set {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Connected reports whether the graph is connected (vacuously true for
+// n ≤ 1).
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	seen := make([]bool, g.n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				stack = append(stack, v)
+			}
+		}
+	}
+	return count == g.n
+}
+
+// BFSDistances returns hop distances from src; unreachable vertices get -1.
+func (g *Graph) BFSDistances(src int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// CutSize returns the number of edges with exactly one endpoint in side
+// (side[v] == true means vertex v is in part A).
+func (g *Graph) CutSize(side []bool) int {
+	if len(side) != g.n {
+		panic("graph: CutSize side length mismatch")
+	}
+	cut := 0
+	for k := range g.set {
+		if side[k[0]] != side[k[1]] {
+			cut++
+		}
+	}
+	return cut
+}
+
+// Mesh returns the rows×cols grid graph with vertex r*cols+c at row r,
+// column c.
+func Mesh(rows, cols int) *Graph {
+	g := New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				must(g.AddEdge(id(r, c), id(r, c+1)))
+			}
+			if r+1 < rows {
+				must(g.AddEdge(id(r, c), id(r+1, c)))
+			}
+		}
+	}
+	return g
+}
+
+// PathGraph returns the n-vertex path 0—1—…—n−1.
+func PathGraph(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		must(g.AddEdge(i, i+1))
+	}
+	return g
+}
+
+// CompleteBinaryTree returns the complete binary tree with the given
+// number of levels (level 1 = a single root). Vertex 0 is the root and
+// vertex v has children 2v+1 and 2v+2.
+func CompleteBinaryTree(levels int) *Graph {
+	if levels < 1 {
+		panic("graph: CompleteBinaryTree needs ≥1 level")
+	}
+	n := (1 << levels) - 1
+	g := New(n)
+	for v := 0; 2*v+2 < n; v++ {
+		must(g.AddEdge(v, 2*v+1))
+		must(g.AddEdge(v, 2*v+2))
+	}
+	return g
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// MeshCutLowerBound returns a lower bound on the number of edges that must
+// be removed from an n×n mesh to detach a set of k cells (k ≤ n²/2), via
+// the grid edge-isoperimetric inequality: cutting off k vertices requires
+// at least min(⌈√k⌉, n) edges. This is the quantitative form of the
+// paper's Lemma 4 (which it cites from Lipton–Eisenstat–DeMillo).
+func MeshCutLowerBound(n, k int) int {
+	if k <= 0 {
+		return 0
+	}
+	s := 0
+	for (s+1)*(s+1) <= k {
+		s++
+	}
+	if s*s < k {
+		s++
+	}
+	if s > n {
+		s = n
+	}
+	return s
+}
+
+// BisectionLowerBoundMesh returns the Lemma-4 style lower bound on the
+// bisection width of an n×n mesh when neither side may exceed frac·n²
+// cells (the paper uses frac = 23/30). The smaller side then has at least
+// (1−frac)·n² cells, so the cut is at least min(√((1−frac))·n, n).
+func BisectionLowerBoundMesh(n int, frac float64) int {
+	if frac <= 0 || frac >= 1 {
+		panic("graph: BisectionLowerBoundMesh frac must be in (0,1)")
+	}
+	minSide := int((1 - frac) * float64(n) * float64(n))
+	return MeshCutLowerBound(n, minSide)
+}

@@ -1,0 +1,205 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New(3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 0); err == nil {
+		t.Error("duplicate (reversed) edge accepted")
+	}
+	if err := g.AddEdge(0, 0); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := g.AddEdge(0, 3); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if err := g.AddEdge(-1, 0); err == nil {
+		t.Error("negative vertex accepted")
+	}
+}
+
+func TestBasicAccessors(t *testing.T) {
+	g := New(4)
+	mustAdd(t, g, 0, 1)
+	mustAdd(t, g, 1, 2)
+	mustAdd(t, g, 2, 3)
+	if g.N() != 4 || g.M() != 3 {
+		t.Errorf("N=%d M=%d", g.N(), g.M())
+	}
+	if !g.HasEdge(2, 1) || g.HasEdge(0, 3) {
+		t.Error("HasEdge wrong")
+	}
+	if g.Degree(1) != 2 || g.Degree(0) != 1 {
+		t.Error("Degree wrong")
+	}
+	if len(g.Neighbors(1)) != 2 {
+		t.Error("Neighbors wrong")
+	}
+	edges := g.Edges()
+	if len(edges) != 3 || edges[0] != [2]int{0, 1} || edges[2] != [2]int{2, 3} {
+		t.Errorf("Edges = %v", edges)
+	}
+}
+
+func mustAdd(t *testing.T, g *Graph, u, v int) {
+	t.Helper()
+	if err := g.AddEdge(u, v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConnected(t *testing.T) {
+	g := New(3)
+	mustAdd(t, g, 0, 1)
+	if g.Connected() {
+		t.Error("disconnected graph reported connected")
+	}
+	mustAdd(t, g, 1, 2)
+	if !g.Connected() {
+		t.Error("connected graph reported disconnected")
+	}
+	if !New(0).Connected() || !New(1).Connected() {
+		t.Error("trivial graphs should be connected")
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	g := PathGraph(5)
+	d := g.BFSDistances(0)
+	for i, want := range []int{0, 1, 2, 3, 4} {
+		if d[i] != want {
+			t.Errorf("dist[%d] = %d, want %d", i, d[i], want)
+		}
+	}
+	g2 := New(3)
+	mustAdd(t, g2, 0, 1)
+	d2 := g2.BFSDistances(0)
+	if d2[2] != -1 {
+		t.Errorf("unreachable vertex distance = %d, want -1", d2[2])
+	}
+}
+
+func TestMeshStructure(t *testing.T) {
+	g := Mesh(3, 4)
+	if g.N() != 12 {
+		t.Fatalf("N = %d", g.N())
+	}
+	// Edge count: 3*(4-1) horizontal + (3-1)*4 vertical = 9 + 8 = 17.
+	if g.M() != 17 {
+		t.Errorf("M = %d, want 17", g.M())
+	}
+	if !g.Connected() {
+		t.Error("mesh not connected")
+	}
+	// Corner degrees 2, edge 3, interior 4.
+	if g.Degree(0) != 2 {
+		t.Errorf("corner degree = %d", g.Degree(0))
+	}
+	if g.Degree(1) != 3 {
+		t.Errorf("border degree = %d", g.Degree(1))
+	}
+	if g.Degree(5) != 4 {
+		t.Errorf("interior degree = %d", g.Degree(5))
+	}
+}
+
+func TestMeshEdgeCountProperty(t *testing.T) {
+	f := func(r, c uint8) bool {
+		rows, cols := int(r%8)+1, int(c%8)+1
+		g := Mesh(rows, cols)
+		return g.M() == rows*(cols-1)+(rows-1)*cols && g.Connected()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompleteBinaryTree(t *testing.T) {
+	g := CompleteBinaryTree(4)
+	if g.N() != 15 || g.M() != 14 {
+		t.Errorf("N=%d M=%d", g.N(), g.M())
+	}
+	if !g.Connected() {
+		t.Error("tree not connected")
+	}
+	if g.Degree(0) != 2 {
+		t.Errorf("root degree = %d", g.Degree(0))
+	}
+	// Leaves have degree 1.
+	for v := 7; v < 15; v++ {
+		if g.Degree(v) != 1 {
+			t.Errorf("leaf %d degree = %d", v, g.Degree(v))
+		}
+	}
+}
+
+func TestCutSize(t *testing.T) {
+	g := Mesh(2, 2) // square: 4 edges
+	side := []bool{true, true, false, false}
+	if cut := g.CutSize(side); cut != 2 {
+		t.Errorf("cut = %d, want 2", cut)
+	}
+	side = []bool{true, false, false, true}
+	if cut := g.CutSize(side); cut != 4 {
+		t.Errorf("diagonal cut = %d, want 4", cut)
+	}
+	all := []bool{true, true, true, true}
+	if cut := g.CutSize(all); cut != 0 {
+		t.Errorf("trivial cut = %d, want 0", cut)
+	}
+}
+
+func TestCutSizePanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("CutSize with wrong length should panic")
+		}
+	}()
+	Mesh(2, 2).CutSize([]bool{true})
+}
+
+func TestMeshCutLowerBound(t *testing.T) {
+	cases := []struct{ n, k, want int }{
+		{10, 0, 0},
+		{10, 1, 1},
+		{10, 4, 2},
+		{10, 5, 3},
+		{10, 9, 3},
+		{10, 10, 4},
+		{10, 50, 8},
+		{10, 1000, 10}, // capped at n
+	}
+	for _, c := range cases {
+		if got := MeshCutLowerBound(c.n, c.k); got != c.want {
+			t.Errorf("MeshCutLowerBound(%d,%d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestBisectionLowerBoundMeshGrowsLinearly(t *testing.T) {
+	// With frac = 23/30 the bound is min(√(7/30)·n, n) ≈ 0.48n.
+	b8 := BisectionLowerBoundMesh(8, 23.0/30)
+	b16 := BisectionLowerBoundMesh(16, 23.0/30)
+	b32 := BisectionLowerBoundMesh(32, 23.0/30)
+	if b16 < 2*b8-2 || b32 < 2*b16-2 {
+		t.Errorf("bound not ~linear: %d %d %d", b8, b16, b32)
+	}
+	if b32 <= 0 {
+		t.Errorf("bound must be positive, got %d", b32)
+	}
+}
+
+func TestBisectionLowerBoundMeshPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("frac ≥ 1 should panic")
+		}
+	}()
+	BisectionLowerBoundMesh(4, 1)
+}

@@ -1,0 +1,78 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := NewTable("Skew vs size", "n", "skew", "scheme")
+	t.AddRow(8, 1.0, "spine")
+	t.AddRow(16, 1.23456789, "htree")
+	return t
+}
+
+func TestRenderText(t *testing.T) {
+	var b strings.Builder
+	if err := sample().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Skew vs size", "n", "skew", "scheme", "spine", "htree", "1.235"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	var b strings.Builder
+	if err := sample().RenderMarkdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "| n | skew | scheme |") {
+		t.Errorf("markdown header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "| --- | --- | --- |") {
+		t.Errorf("markdown separator missing:\n%s", out)
+	}
+	if !strings.Contains(out, "**Skew vs size**") {
+		t.Errorf("markdown title missing:\n%s", out)
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	var b strings.Builder
+	if err := sample().RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "n,skew,scheme" {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	if lines[1] != "8,1,spine" {
+		t.Errorf("csv row = %q", lines[1])
+	}
+	if len(lines) != 3 {
+		t.Errorf("csv lines = %d", len(lines))
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tbl := NewTable("", "a")
+	if tbl.NumRows() != 0 {
+		t.Error("new table has rows")
+	}
+	var b strings.Builder
+	if err := tbl.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "**") {
+		t.Error("empty title rendered")
+	}
+}

@@ -1,0 +1,213 @@
+// Package skew implements the paper's two clock-skew models (Section III)
+// and the analyses built on them: exact worst-case skew over the
+// communicating pairs of an array (Sections IV and V), Monte-Carlo skew
+// under per-segment delay variation (the physical mechanism that derives
+// the models), and the certified Ω(n) lower bound of Section V-B.
+//
+// Both models bound the skew between two cells from the geometry of the
+// clock tree connecting them: the difference model (A9) from the positive
+// difference d of their root distances, and the summation model (A10/A11)
+// from the length s of the tree path between them. When wire delay per
+// unit length lies in [m−ε, m+ε], Section III derives
+//
+//	σ ≤ m·d + ε·s   and   σ ≥ β·s with β = ε,
+//
+// which this package exposes as the Linear model.
+package skew
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/clocktree"
+	"repro/internal/comm"
+	"repro/internal/stats"
+)
+
+// Model bounds the clock skew between two cells given the two tree
+// distances of Section III: d (difference of root distances) and s (tree
+// path length). Implementations must be monotone in their distance.
+type Model interface {
+	// Name identifies the model in reports.
+	Name() string
+	// Bound returns an upper bound on the skew between two cells whose
+	// clock-tree distances are d and s.
+	Bound(d, s float64) float64
+}
+
+// LowerBounder is implemented by models that also bound skew from below
+// (assumption A11 of the summation model).
+type LowerBounder interface {
+	// LowerBound returns a guaranteed minimum worst-case skew for two
+	// cells at tree-path distance s.
+	LowerBound(s float64) float64
+}
+
+// Difference is the difference model (A9): skew ≤ F(d). It matches
+// discrete-component systems whose clock trees are tuned so that delay
+// from the root is the same for all cells.
+type Difference struct {
+	// F maps the root-distance difference to a skew bound; it must be
+	// monotonically increasing. A nil F means the identity.
+	F func(d float64) float64
+}
+
+// Name implements Model.
+func (Difference) Name() string { return "difference" }
+
+// Bound implements Model.
+func (m Difference) Bound(d, _ float64) float64 {
+	if m.F == nil {
+		return d
+	}
+	return m.F(d)
+}
+
+// Summation is the summation model (A10/A11): β·s ≤ skew ≤ G(s). It is
+// the robust model for integrated circuits, where electrical variation
+// along clock lines accumulates with wire length.
+type Summation struct {
+	// G maps tree-path length to a skew upper bound; nil means identity.
+	G func(s float64) float64
+	// Beta is the lower-bound constant β of A11; it must be positive for
+	// LowerBound to be meaningful.
+	Beta float64
+}
+
+// Name implements Model.
+func (Summation) Name() string { return "summation" }
+
+// Bound implements Model.
+func (m Summation) Bound(_, s float64) float64 {
+	if m.G == nil {
+		return s
+	}
+	return m.G(s)
+}
+
+// LowerBound implements LowerBounder.
+func (m Summation) LowerBound(s float64) float64 { return m.Beta * s }
+
+// Linear is the physically derived model of Section III: wire delay per
+// unit length lies in [M−Eps, M+Eps], giving skew ≤ M·d + Eps·s and skew
+// potentially as large as Eps·s even between equidistant cells.
+type Linear struct {
+	M   float64 // nominal delay per unit wire length
+	Eps float64 // delay variation per unit wire length
+}
+
+// Name implements Model.
+func (Linear) Name() string { return "linear" }
+
+// Bound implements Model.
+func (m Linear) Bound(d, s float64) float64 { return m.M*d + m.Eps*s }
+
+// LowerBound implements LowerBounder: adversarial variation achieves ε·s.
+func (m Linear) LowerBound(s float64) float64 { return m.Eps * s }
+
+// PairSkew is the skew bound for one communicating pair.
+type PairSkew struct {
+	A, B comm.CellID
+	D    float64 // difference distance
+	S    float64 // summation (tree-path) distance
+	Skew float64 // model upper bound
+}
+
+// Analysis is the result of evaluating a skew model over every
+// communicating pair of an array under a given clock tree.
+type Analysis struct {
+	Model     string
+	Tree      string
+	MaxSkew   float64
+	WorstPair PairSkew
+	MaxD      float64 // largest difference distance over pairs
+	MaxS      float64 // largest tree-path distance over pairs
+	Pairs     int
+}
+
+// Analyze computes the model's worst-case skew over all communicating
+// pairs of g clocked by tree. It returns an error if the tree does not
+// clock every cell of g.
+func Analyze(g *comm.Graph, tree *clocktree.Tree, model Model) (Analysis, error) {
+	if !tree.Covers(g) {
+		return Analysis{}, fmt.Errorf("skew: tree %q does not clock every cell of %q", tree.Name, g.Name)
+	}
+	out := Analysis{Model: model.Name(), Tree: tree.Name}
+	for _, p := range g.CommunicatingPairs() {
+		d := tree.CellDiffDist(p[0], p[1])
+		s := tree.CellPathLen(p[0], p[1])
+		sk := model.Bound(d, s)
+		out.Pairs++
+		if d > out.MaxD {
+			out.MaxD = d
+		}
+		if s > out.MaxS {
+			out.MaxS = s
+		}
+		if sk > out.MaxSkew {
+			out.MaxSkew = sk
+			out.WorstPair = PairSkew{A: p[0], B: p[1], D: d, S: s, Skew: sk}
+		}
+	}
+	return out, nil
+}
+
+// GuaranteedMinSkew returns the model's guaranteed worst-case skew for the
+// array: the largest lower bound over communicating pairs. For models
+// without a lower bound it returns 0.
+func GuaranteedMinSkew(g *comm.Graph, tree *clocktree.Tree, model Model) float64 {
+	lb, ok := model.(LowerBounder)
+	if !ok {
+		return 0
+	}
+	var worst float64
+	for _, p := range g.CommunicatingPairs() {
+		if v := lb.LowerBound(tree.CellPathLen(p[0], p[1])); v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// MonteCarlo draws random per-segment wire delays in [M−Eps, M+Eps] (each
+// clock-tree edge independently, as fabrication variation would), computes
+// each cell's clock arrival time as the summed delay along its root path,
+// and returns the maximum arrival-time difference over communicating
+// pairs, maximized over trials. This is the physical experiment that the
+// Section III derivation abstracts; its result must respect both the
+// Linear model's upper bound and (statistically) exceed any fixed fraction
+// of the summation lower bound as trials grow.
+func MonteCarlo(g *comm.Graph, tree *clocktree.Tree, m Linear, trials int, rng *stats.RNG) (float64, error) {
+	if !tree.Covers(g) {
+		return 0, fmt.Errorf("skew: tree %q does not clock every cell of %q", tree.Name, g.Name)
+	}
+	if m.Eps < 0 || m.M < m.Eps {
+		return 0, fmt.Errorf("skew: need 0 ≤ Eps ≤ M, got M=%g Eps=%g", m.M, m.Eps)
+	}
+	pairs := g.CommunicatingPairs()
+	n := tree.NumNodes()
+	arrival := make([]float64, n)
+	var worst float64
+	for trial := 0; trial < trials; trial++ {
+		r := rng.Fork(int64(trial))
+		// Arrival time = parent's arrival + edge length · random unit delay.
+		var walk func(v clocktree.NodeID)
+		walk = func(v clocktree.NodeID) {
+			for _, c := range tree.Children(v) {
+				unit := r.Uniform(m.M-m.Eps, m.M+m.Eps)
+				arrival[c] = arrival[v] + tree.EdgeLen(c)*unit
+				walk(c)
+			}
+		}
+		arrival[tree.Root()] = 0
+		walk(tree.Root())
+		for _, p := range pairs {
+			na, _ := tree.CellNode(p[0])
+			nb, _ := tree.CellNode(p[1])
+			if d := math.Abs(arrival[na] - arrival[nb]); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst, nil
+}

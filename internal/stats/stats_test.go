@@ -1,0 +1,253 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	if a.Seed() != 42 {
+		t.Errorf("Seed = %d", a.Seed())
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	r := NewRNG(7)
+	f1 := r.Fork(1)
+	f2 := r.Fork(2)
+	f1again := NewRNG(7).Fork(1)
+	if f1.Float64() != f1again.Float64() {
+		t.Errorf("Fork not deterministic")
+	}
+	// Different ids should give different streams (overwhelmingly likely).
+	same := 0
+	for i := 0; i < 20; i++ {
+		if f1.Float64() == f2.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("forked streams look identical (%d/20 equal draws)", same)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		v := r.Uniform(2, 5)
+		if v < 2 || v >= 5 {
+			t.Fatalf("Uniform(2,5) = %g out of range", v)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRNG(3)
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = r.Normal(10, 2)
+	}
+	if m := Mean(xs); math.Abs(m-10) > 0.1 {
+		t.Errorf("Normal mean = %g, want ≈10", m)
+	}
+	if s := StdDev(xs); math.Abs(s-2) > 0.1 {
+		t.Errorf("Normal std = %g, want ≈2", s)
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	r := NewRNG(5)
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.02 {
+		t.Errorf("Bernoulli(0.3) rate = %g", frac)
+	}
+}
+
+func TestMeanVarianceStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %g, want 5", m)
+	}
+	if v := Variance(xs); v != 4 {
+		t.Errorf("Variance = %g, want 4", v)
+	}
+	if s := StdDev(xs); s != 2 {
+		t.Errorf("StdDev = %g, want 2", s)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Errorf("empty/single-sample edge cases wrong")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("Min/Max wrong: %g %g", Min(xs), Max(xs))
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {-5, 1}, {110, 5}, {10, 1.4},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	// Percentile must not mutate its input.
+	xs2 := []float64{5, 1, 3}
+	Percentile(xs2, 50)
+	if xs2[0] != 5 {
+		t.Errorf("Percentile sorted its input in place")
+	}
+}
+
+func TestPercentilePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Percentile(nil) should panic")
+		}
+	}()
+	Percentile(nil, 50)
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Errorf("Summarize(nil) = %+v", z)
+	}
+	if s.String() == "" {
+		t.Errorf("Summary.String empty")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{5, 7, 9, 11} // y = 2x + 3
+	slope, intercept, r2, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(slope-2) > 1e-9 || math.Abs(intercept-3) > 1e-9 || math.Abs(r2-1) > 1e-9 {
+		t.Errorf("LinearFit = %g %g %g", slope, intercept, r2)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, _, _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single-point fit should error")
+	}
+	if _, _, _, err := LinearFit([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Error("zero x-variance should error")
+	}
+	if _, _, _, err := LinearFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestLinearFitFlatData(t *testing.T) {
+	slope, _, r2, err := LinearFit([]float64{1, 2, 3}, []float64{4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slope != 0 || r2 != 1 {
+		t.Errorf("flat fit slope=%g r2=%g", slope, r2)
+	}
+}
+
+func TestFitPowerLaw(t *testing.T) {
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * x * x // A=3, B=2
+	}
+	fit, err := FitPowerLaw(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.B-2) > 1e-9 || math.Abs(fit.A-3) > 1e-9 {
+		t.Errorf("FitPowerLaw = %+v", fit)
+	}
+}
+
+func TestFitPowerLawSkipsNonPositive(t *testing.T) {
+	xs := []float64{-1, 0, 1, 2, 4}
+	ys := []float64{9, 9, 5, 10, 20} // usable tail: y = 5x
+	fit, err := FitPowerLaw(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.B-1) > 1e-9 {
+		t.Errorf("B = %g, want 1", fit.B)
+	}
+}
+
+func TestFitPowerLawErrors(t *testing.T) {
+	if _, err := FitPowerLaw([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := FitPowerLaw([]float64{-1, -2}, []float64{1, 2}); err == nil {
+		t.Error("no positive points should error")
+	}
+}
+
+func TestRandomWalkMaxAbsGrowsLikeSqrtN(t *testing.T) {
+	// E[max |walk|] scales as √n; check the ratio between n and 4n is ≈2.
+	const trials = 400
+	mean := func(n int) float64 {
+		r := NewRNG(11)
+		var sum float64
+		for i := 0; i < trials; i++ {
+			sum += RandomWalkMaxAbs(r.Fork(int64(i)), n, 1)
+		}
+		return sum / trials
+	}
+	m1, m4 := mean(256), mean(1024)
+	ratio := m4 / m1
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Errorf("walk max scaling ratio = %g, want ≈2 (√4)", ratio)
+	}
+}
+
+func TestRandomWalkMaxAbsNonNegativeProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		return RandomWalkMaxAbs(NewRNG(seed), int(n), 1) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantileAtYield(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if q := QuantileAtYield(xs, 1.0); q != 10 {
+		t.Errorf("yield 1.0 quantile = %g", q)
+	}
+	if q := QuantileAtYield(xs, 0); q != 1 {
+		t.Errorf("yield 0 quantile = %g", q)
+	}
+	q := QuantileAtYield(xs, 0.5)
+	if q < 5 || q > 6 {
+		t.Errorf("yield 0.5 quantile = %g", q)
+	}
+}

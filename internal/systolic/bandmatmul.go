@@ -1,0 +1,155 @@
+package systolic
+
+import (
+	"fmt"
+
+	"repro/internal/array"
+	"repro/internal/comm"
+)
+
+// BandMatMul multiplies band matrices on the hexagonal array of Fig. 3(c)
+// — the workload hexagonal systolic arrays were designed for (Kung and
+// Leiserson's banded multiplier; this implementation uses the dense
+// schedule, one product per cell per cycle).
+//
+// A and B are n×n band matrices with offsets i−k, k−j ∈ [−p, q]
+// (bandwidth w = p+q+1). Cell (u, v) of the w×w hex array owns the
+// product diagonal pair (i−k = u−p, k−j = v−p):
+//
+//   - the A diagonal u streams east ("e") through row u,
+//   - the B diagonal v streams north-east ("ne") through column v,
+//   - partial C values flow south-east ("se"), accumulating
+//     c ← c + a·b at every cell, and leave the array carrying the
+//     finished band entries of C = A·B (whose bandwidth is 2p+2q+1).
+//
+// With the schedule t(u,v,k) = k + u + v every stream advances one cell
+// per cycle and all three values of each product meet exactly once.
+type BandMatMul struct {
+	Machine *array.Machine
+	A, B    Matrix
+	N, P, Q int
+	// Cycles covers the full schedule plus drain.
+	Cycles int
+}
+
+// bandCell is the stateless hex multiply-accumulate cell.
+type bandCell struct{}
+
+// Step implements array.Logic: forward a east, b north-east, and push
+// c + a·b south-east.
+func (bandCell) Step(in map[string]array.Value) map[string]array.Value {
+	a, b, c := in["e"], in["ne"], in["se"]
+	return map[string]array.Value{
+		"e":  a,
+		"ne": b,
+		"se": c + a*b,
+	}
+}
+
+// NewBandMatMul builds the hex multiplier for n×n band matrices a·b with
+// band offsets in [−p, q]. Entries of a and b outside the band must be
+// zero (they are never streamed).
+func NewBandMatMul(a, b Matrix, p, q int) (*BandMatMul, error) {
+	if a.Rows != a.Cols || b.Rows != b.Cols || a.Rows != b.Rows {
+		return nil, fmt.Errorf("systolic: BandMatMul needs equal square matrices, got %dx%d and %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	if p < 0 || q < 0 || p+q+1 < 1 {
+		return nil, fmt.Errorf("systolic: bad band offsets p=%d q=%d", p, q)
+	}
+	n := a.Rows
+	if n == 0 {
+		return nil, fmt.Errorf("systolic: empty matrices")
+	}
+	w := p + q + 1
+	g, err := comm.HexWithBandIO(w)
+	if err != nil {
+		return nil, err
+	}
+	at := func(m Matrix, i, j int) array.Value {
+		if i < 0 || i >= n || j < 0 || j >= n {
+			return 0
+		}
+		return m.At(i, j)
+	}
+	inputs := make(map[array.HostIn]array.Stream, 2*w)
+	for u := 0; u < w; u++ {
+		u := u
+		// Cell (u,0) consumes a[k+u−p][k] for product k = t − u.
+		inputs[array.HostIn{To: comm.CellID(u * w), Label: "e"}] = func(t int) array.Value {
+			k := t - u
+			return at(a, k+u-p, k)
+		}
+	}
+	for v := 0; v < w; v++ {
+		v := v
+		// Cell (0,v) consumes b[k][k−v+p] for product k = t − v.
+		inputs[array.HostIn{To: comm.CellID(v), Label: "ne"}] = func(t int) array.Value {
+			k := t - v
+			return at(b, k, k-v+p)
+		}
+	}
+	m, err := array.New(g, func(comm.CellID) array.Logic { return bandCell{} }, inputs)
+	if err != nil {
+		return nil, err
+	}
+	return &BandMatMul{
+		Machine: m, A: a, B: b, N: n, P: p, Q: q,
+		Cycles: n + 3*w + 2,
+	}, nil
+}
+
+// exitCell returns the cell from which anti-diagonal s leaves the array,
+// along with that cell's u coordinate.
+func (bm *BandMatMul) exitCell(s int) (comm.CellID, int) {
+	w := bm.P + bm.Q + 1
+	uMin := 0
+	if s-w+1 > 0 {
+		uMin = s - w + 1
+	}
+	vMax := s - uMin
+	return comm.CellID(uMin*w + vMax), uMin
+}
+
+// Extract recovers the band entries of C = A·B from a host trace. Entry
+// (i, j) with i−j ∈ [−2p, 2q] exits from its anti-diagonal's last cell at
+// cycle i + p + s − u_min, where s = i−j+2p.
+func (bm *BandMatMul) Extract(tr *array.Trace) (Matrix, error) {
+	n := bm.N
+	c := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := i - j + 2*bm.P
+			if s < 0 || s > 2*(bm.P+bm.Q) {
+				continue // outside the C band: stays zero
+			}
+			cell, uMin := bm.exitCell(s)
+			raw, ok := tr.Out[array.HostOut{From: cell, Label: "se"}]
+			if !ok {
+				return Matrix{}, fmt.Errorf("systolic: trace missing exit cell %d", cell)
+			}
+			idx := i + bm.P + s - uMin
+			if idx >= len(raw) {
+				return Matrix{}, fmt.Errorf("systolic: trace too short (%d) for C[%d][%d] at cycle %d",
+					len(raw), i, j, idx)
+			}
+			c.Set(i, j, raw[idx])
+		}
+	}
+	return c, nil
+}
+
+// NewBandMatrix builds an n×n matrix whose entries with row−col ∈
+// [−p, q] are filled by gen(i, j); everything outside that band stays
+// zero — the input shape NewBandMatMul expects for both factors.
+func NewBandMatrix(n, p, q int, gen func(i, j int) float64) Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if d := i - j; d >= -p && d <= q {
+				m.Set(i, j, gen(i, j))
+			}
+		}
+	}
+	return m
+}

@@ -1,0 +1,174 @@
+package systolic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/array"
+	"repro/internal/stats"
+)
+
+func randomBand(n, p, q int, rng *stats.RNG) Matrix {
+	return NewBandMatrix(n, p, q, func(i, j int) float64 {
+		return rng.Uniform(-2, 2)
+	})
+}
+
+func TestBandMatMulTridiagonal(t *testing.T) {
+	// Tridiagonal × tridiagonal (p = q = 1) on a 3×3 hex array.
+	rng := stats.NewRNG(1)
+	a := randomBand(6, 1, 1, rng)
+	b := randomBand(6, 1, 1, rng)
+	bm, err := NewBandMatMul(a, b, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := bm.Machine.RunIdeal(bm.Cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := bm.Extract(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want, 1e-9) {
+		t.Errorf("hex band product diverges:\ngot  %v\nwant %v", got.Data, want.Data)
+	}
+}
+
+func TestBandMatMulAsymmetricBand(t *testing.T) {
+	// p = 2 sub-diagonals, q = 1 super-diagonal: a 4×4 hex array.
+	rng := stats.NewRNG(7)
+	a := randomBand(8, 2, 1, rng)
+	b := randomBand(8, 2, 1, rng)
+	bm, err := NewBandMatMul(a, b, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := bm.Machine.RunIdeal(bm.Cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := bm.Extract(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := a.Mul(b)
+	if !got.Equal(want, 1e-9) {
+		t.Error("asymmetric band product diverges")
+	}
+}
+
+func TestBandMatMulDiagonalOnly(t *testing.T) {
+	// p = q = 0: a single-cell "array" multiplying diagonal matrices.
+	a := NewBandMatrix(5, 0, 0, func(i, j int) float64 { return float64(i + 1) })
+	b := NewBandMatrix(5, 0, 0, func(i, j int) float64 { return 2 })
+	bm, err := NewBandMatMul(a, b, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := bm.Machine.RunIdeal(bm.Cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := bm.Extract(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if got.At(i, i) != float64(2*(i+1)) {
+			t.Errorf("C[%d][%d] = %g, want %d", i, i, got.At(i, i), 2*(i+1))
+		}
+	}
+}
+
+func TestBandMatMulRandomizedProperty(t *testing.T) {
+	f := func(seed int64, nn, pp, qq uint8) bool {
+		rng := stats.NewRNG(seed)
+		p := int(pp % 3)
+		q := int(qq % 3)
+		n := int(nn%6) + p + q + 1
+		a := randomBand(n, p, q, rng)
+		b := randomBand(n, p, q, rng)
+		bm, err := NewBandMatMul(a, b, p, q)
+		if err != nil {
+			return false
+		}
+		tr, err := bm.Machine.RunIdeal(bm.Cycles)
+		if err != nil {
+			return false
+		}
+		got, err := bm.Extract(tr)
+		if err != nil {
+			return false
+		}
+		want, err := a.Mul(b)
+		if err != nil {
+			return false
+		}
+		return got.Equal(want, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBandMatMulValidation(t *testing.T) {
+	if _, err := NewBandMatMul(NewMatrix(3, 4), NewMatrix(4, 4), 1, 1); err == nil {
+		t.Error("non-square accepted")
+	}
+	if _, err := NewBandMatMul(NewMatrix(3, 3), NewMatrix(4, 4), 1, 1); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if _, err := NewBandMatMul(NewMatrix(3, 3), NewMatrix(3, 3), -1, 1); err == nil {
+		t.Error("negative band accepted")
+	}
+	if _, err := NewBandMatMul(NewMatrix(0, 0), NewMatrix(0, 0), 1, 1); err == nil {
+		t.Error("empty accepted")
+	}
+}
+
+func TestBandMatMulClockedWithSkew(t *testing.T) {
+	rng := stats.NewRNG(3)
+	a := randomBand(5, 1, 1, rng)
+	b := randomBand(5, 1, 1, rng)
+	bm, err := NewBandMatMul(a, b, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := array.Offsets{Cell: make([]float64, bm.Machine.NumCells()), Host: 0.1, HostRead: 0.1}
+	for i := range off.Cell {
+		off.Cell[i] = rng.Uniform(0, 0.3)
+	}
+	tr, err := bm.Machine.RunClocked(bm.Cycles, array.Timing{Period: 4, CellDelay: 2, HoldDelay: 0.5}, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := bm.Extract(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := a.Mul(b)
+	if !got.Equal(want, 1e-9) {
+		t.Error("clocked hex band product diverges")
+	}
+}
+
+func TestBandMatMulShortTrace(t *testing.T) {
+	a := NewBandMatrix(4, 1, 1, func(i, j int) float64 { return 1 })
+	bm, err := NewBandMatMul(a, a, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := bm.Machine.RunIdeal(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bm.Extract(short); err == nil {
+		t.Error("short trace accepted")
+	}
+}

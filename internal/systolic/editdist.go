@@ -1,0 +1,185 @@
+package systolic
+
+import (
+	"fmt"
+
+	"repro/internal/array"
+	"repro/internal/comm"
+)
+
+// EditDistance computes the Levenshtein distance between two strings on
+// an m×n mesh — one cell per DP matrix entry — demonstrating a systolic
+// computation with *diagonal* dependencies, which plain mesh wiring lacks:
+//
+//	D(i,j) = min( D(i−1,j)+1, D(i,j−1)+1, D(i−1,j−1)+sub(i,j) ).
+//
+// The diagonal value is relayed: every cell, one cycle after emitting its
+// own result, re-emits the neighbor results it consumed, so the cell to
+// its south receives D(i,j−1) (its diagonal) on the same wire that
+// carried D(i,j) a cycle earlier. The natural wavefront schedule is
+// therefore 2-slow: cell (i,j) fires at cycle 2(i+j)+2, and the answer
+// leaves the far corner after 2(m+n)−2 cycles.
+type EditDistance struct {
+	Machine *array.Machine
+	A, B    string
+	// AnswerCycle is the trace index at which the corner cell emits the
+	// distance.
+	AnswerCycle int
+	// Cycles is the total run length.
+	Cycles int
+}
+
+// editCell is the DP cell for matrix entry (i, j).
+type editCell struct {
+	i, j   int
+	sub    float64 // substitution cost: 0 if a[i]==b[j], else 1
+	cycle  int
+	north  float64 // D(i−1, j), latched one cycle before firing
+	west   float64 // D(i, j−1), latched one cycle before firing
+	result float64
+}
+
+// fireAt returns the cell's compute cycle.
+func (c *editCell) fireAt() int { return 2*(c.i+c.j) + 2 }
+
+// Step implements array.Logic. The wire protocol, all on the "n" (to
+// south) and "e" (to east) channels:
+//
+//	cycle fireAt−1: latch north/west neighbor results from the wires;
+//	cycle fireAt:   compute; emit own result on both channels;
+//	cycle fireAt+1: emit the relays — the stored west value southward
+//	                (the south neighbor's diagonal) and the stored north
+//	                value eastward (the east neighbor's diagonal).
+func (c *editCell) Step(in map[string]array.Value) map[string]array.Value {
+	defer func() { c.cycle++ }()
+	switch c.cycle {
+	case c.fireAt() - 1:
+		// Values emitted by the north and west neighbors at their own
+		// fire cycles arrive now. Boundary cells synthesize the DP
+		// border instead: D(i,−1) = i+1, D(−1,j) = j+1.
+		if c.i == 0 {
+			c.north = float64(c.j + 1)
+		} else {
+			c.north = in["n"]
+		}
+		if c.j == 0 {
+			c.west = float64(c.i + 1)
+		} else {
+			c.west = in["e"]
+		}
+		return nil
+	case c.fireAt():
+		// The diagonal arrives now: relayed by the north neighbor on the
+		// same wire (or synthesized on the border: D(−1,−1)=0,
+		// D(−1,j−1)=j, D(i−1,−1)=i).
+		var diag float64
+		switch {
+		case c.i == 0 && c.j == 0:
+			diag = 0
+		case c.i == 0:
+			diag = float64(c.j)
+		case c.j == 0:
+			diag = float64(c.i)
+		default:
+			diag = in["n"]
+		}
+		c.result = min3(c.north+1, c.west+1, diag+c.sub)
+		return map[string]array.Value{"n": c.result, "e": c.result, "out": c.result}
+	case c.fireAt() + 1:
+		// Relay phase: pass the consumed neighbor results diagonally on.
+		return map[string]array.Value{"n": c.west, "e": c.north}
+	default:
+		return nil
+	}
+}
+
+func min3(a, b, c float64) float64 {
+	m := a
+	if b < m {
+		m = b
+	}
+	if c < m {
+		m = c
+	}
+	return m
+}
+
+// NewEditDistance builds the DP array for strings a (rows) and b (cols).
+func NewEditDistance(a, b string) (*EditDistance, error) {
+	m, n := len(a), len(b)
+	if m == 0 || n == 0 {
+		return nil, fmt.Errorf("systolic: EditDistance needs non-empty strings")
+	}
+	g, err := comm.Mesh(m, n)
+	if err != nil {
+		return nil, err
+	}
+	e := &EditDistance{
+		A: a, B: b,
+		AnswerCycle: 2*(m+n-2) + 2,
+	}
+	e.Cycles = e.AnswerCycle + 2
+	machine, err := array.New(g,
+		func(id comm.CellID) array.Logic {
+			i, j := int(id)/n, int(id)%n
+			sub := 1.0
+			if a[i] == b[j] {
+				sub = 0
+			}
+			return &editCell{i: i, j: j, sub: sub}
+		},
+		map[array.HostIn]array.Stream{
+			{To: 0, Label: "in"}: array.ZeroStream, // the mesh's host input is unused
+		})
+	if err != nil {
+		return nil, err
+	}
+	e.Machine = machine
+	return e, nil
+}
+
+// Distance extracts the edit distance from a host trace.
+func (e *EditDistance) Distance(tr *array.Trace) (int, error) {
+	m, n := len(e.A), len(e.B)
+	raw, ok := tr.Out[array.HostOut{From: comm.CellID(m*n - 1), Label: "out"}]
+	if !ok {
+		return 0, fmt.Errorf("systolic: trace missing corner output")
+	}
+	if e.AnswerCycle >= len(raw) {
+		return 0, fmt.Errorf("systolic: trace too short (%d) for answer at %d", len(raw), e.AnswerCycle)
+	}
+	return int(raw[e.AnswerCycle] + 0.5), nil
+}
+
+// Golden computes the Levenshtein distance directly.
+func (e *EditDistance) Golden() int {
+	m, n := len(e.A), len(e.B)
+	prev := make([]int, n+1)
+	cur := make([]int, n+1)
+	for j := 0; j <= n; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= m; i++ {
+		cur[0] = i
+		for j := 1; j <= n; j++ {
+			sub := 1
+			if e.A[i-1] == e.B[j-1] {
+				sub = 0
+			}
+			cur[j] = minInt(prev[j]+1, cur[j-1]+1, prev[j-1]+sub)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[n]
+}
+
+func minInt(a, b, c int) int {
+	m := a
+	if b < m {
+		m = b
+	}
+	if c < m {
+		m = c
+	}
+	return m
+}

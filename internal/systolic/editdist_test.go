@@ -1,0 +1,134 @@
+package systolic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/array"
+	"repro/internal/hybrid"
+	"repro/internal/stats"
+)
+
+func TestEditDistanceFixedCases(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"kitten", "sitting", 3},
+		{"abc", "abc", 0},
+		{"abc", "abd", 1},
+		{"a", "b", 1},
+		{"a", "a", 0},
+		{"abcdef", "azced", 3},
+		{"ab", "ba", 2},
+	}
+	for _, c := range cases {
+		e, err := NewEditDistance(c.a, c.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g := e.Golden(); g != c.want {
+			t.Fatalf("golden(%q,%q) = %d, want %d", c.a, c.b, g, c.want)
+		}
+		tr, err := e.Machine.RunIdeal(e.Cycles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.Distance(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("systolic dist(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEditDistanceRandomizedProperty(t *testing.T) {
+	alphabet := "abcd"
+	f := func(seed int64, la, lb uint8) bool {
+		rng := stats.NewRNG(seed)
+		m := int(la%6) + 1
+		n := int(lb%6) + 1
+		a := make([]byte, m)
+		b := make([]byte, n)
+		for i := range a {
+			a[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		for i := range b {
+			b[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		e, err := NewEditDistance(string(a), string(b))
+		if err != nil {
+			return false
+		}
+		tr, err := e.Machine.RunIdeal(e.Cycles)
+		if err != nil {
+			return false
+		}
+		got, err := e.Distance(tr)
+		if err != nil {
+			return false
+		}
+		return got == e.Golden()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEditDistanceValidation(t *testing.T) {
+	if _, err := NewEditDistance("", "abc"); err == nil {
+		t.Error("empty string accepted")
+	}
+	if _, err := NewEditDistance("abc", ""); err == nil {
+		t.Error("empty string accepted")
+	}
+}
+
+func TestEditDistanceClockedAndHybrid(t *testing.T) {
+	e, err := NewEditDistance("flaw", "lawn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := e.Golden() // 2
+	off := array.Offsets{Cell: make([]float64, e.Machine.NumCells()), Host: 0.1, HostRead: 0.1}
+	rng := stats.NewRNG(8)
+	for i := range off.Cell {
+		off.Cell[i] = rng.Uniform(0, 0.3)
+	}
+	clocked, err := e.Machine.RunClocked(e.Cycles, array.Timing{Period: 4, CellDelay: 2, HoldDelay: 0.5}, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := e.Distance(clocked); err != nil || got != want {
+		t.Errorf("clocked distance = %d (%v), want %d", got, err, want)
+	}
+	sys, err := hybrid.New(e.Machine.Graph(), hybrid.Config{
+		ElementSize: 2, Handshake: 0.5, LocalDistribution: 0.3, CellDelay: 2, HoldDelay: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyb, err := sys.Run(e.Machine, e.Cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := e.Distance(hyb); err != nil || got != want {
+		t.Errorf("hybrid distance = %d (%v), want %d", got, err, want)
+	}
+}
+
+func TestEditDistanceShortTrace(t *testing.T) {
+	e, err := NewEditDistance("ab", "cd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := e.Machine.RunIdeal(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Distance(short); err == nil {
+		t.Error("short trace accepted")
+	}
+}

@@ -1,0 +1,109 @@
+package systolic
+
+import (
+	"fmt"
+
+	"repro/internal/array"
+	"repro/internal/comm"
+)
+
+// Jacobi is a relaxation stencil on an R×C mesh: every cycle each cell
+// replaces its value with the average of its four neighbors' previous
+// values (Dirichlet data on the west and row-0 boundaries comes from host
+// streams; the east and top boundaries are held at zero). The state lives
+// entirely on the wires — the cell itself is memoryless — so the array is
+// a pure systolic relaxation engine. Jacobi exercises the full
+// bidirectional mesh wiring that matrix multiplication leaves idle.
+type Jacobi struct {
+	Machine    *array.Machine
+	Rows, Cols int
+	// West[r] and South[c] are the fixed boundary values fed by the host
+	// on the west boundary of row r and into column c of row 0.
+	West, South []float64
+}
+
+// jacobiCell averages its four inputs; missing boundary inputs read as 0.
+type jacobiCell struct{}
+
+// Step implements array.Logic.
+func (jacobiCell) Step(in map[string]array.Value) map[string]array.Value {
+	u := (in["e"] + in["w"] + in["n"] + in["s"]) / 4
+	return map[string]array.Value{"e": u, "w": u, "n": u, "s": u}
+}
+
+// NewJacobi builds the relaxation array with the given fixed boundary
+// values.
+func NewJacobi(rows, cols int, west, south []float64) (*Jacobi, error) {
+	if len(west) != rows || len(south) != cols {
+		return nil, fmt.Errorf("systolic: Jacobi boundary sizes %d,%d for %d×%d mesh",
+			len(west), len(south), rows, cols)
+	}
+	g, err := comm.MeshWithBoundaryIO(rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	inputs := make(map[array.HostIn]array.Stream, rows+cols)
+	for r := 0; r < rows; r++ {
+		v := west[r]
+		inputs[array.HostIn{To: comm.CellID(r * cols), Label: "e"}] = func(int) array.Value { return v }
+	}
+	for c := 0; c < cols; c++ {
+		v := south[c]
+		inputs[array.HostIn{To: comm.CellID(c), Label: "n"}] = func(int) array.Value { return v }
+	}
+	m, err := array.New(g, func(comm.CellID) array.Logic { return jacobiCell{} }, inputs)
+	if err != nil {
+		return nil, err
+	}
+	return &Jacobi{
+		Machine: m, Rows: rows, Cols: cols,
+		West:  append([]float64(nil), west...),
+		South: append([]float64(nil), south...),
+	}, nil
+}
+
+// Golden iterates the same relaxation directly for the given number of
+// cycles and returns the expected host trace.
+func (j *Jacobi) Golden(cycles int) *array.Trace {
+	rows, cols := j.Rows, j.Cols
+	u := make([][]float64, rows)
+	next := make([][]float64, rows)
+	for r := range u {
+		u[r] = make([]float64, cols)
+		next[r] = make([]float64, cols)
+	}
+	trace := &array.Trace{Cycles: cycles, Out: map[array.HostOut][]array.Value{}}
+	eastKey := func(r int) array.HostOut {
+		return array.HostOut{From: comm.CellID(r*cols + cols - 1), Label: "e"}
+	}
+	northKey := func(c int) array.HostOut {
+		return array.HostOut{From: comm.CellID((rows-1)*cols + c), Label: "n"}
+	}
+	at := func(grid [][]float64, r, c int) float64 {
+		switch {
+		case c < 0:
+			return j.West[r]
+		case r < 0:
+			return j.South[c]
+		case c >= cols, r >= rows:
+			return 0 // east and top boundaries are held at zero
+		default:
+			return grid[r][c]
+		}
+	}
+	for k := 0; k < cycles; k++ {
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				next[r][c] = (at(u, r, c-1) + at(u, r, c+1) + at(u, r-1, c) + at(u, r+1, c)) / 4
+			}
+		}
+		u, next = next, u
+		for r := 0; r < rows; r++ {
+			trace.Out[eastKey(r)] = append(trace.Out[eastKey(r)], u[r][cols-1])
+		}
+		for c := 0; c < cols; c++ {
+			trace.Out[northKey(c)] = append(trace.Out[northKey(c)], u[rows-1][c])
+		}
+	}
+	return trace
+}

@@ -1,0 +1,168 @@
+package systolic
+
+import (
+	"fmt"
+
+	"repro/internal/array"
+	"repro/internal/comm"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) Matrix {
+	return Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (r, c).
+func (m Matrix) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r, c).
+func (m Matrix) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Mul returns the golden (direct triple-loop) product a·b.
+func (a Matrix) Mul(b Matrix) (Matrix, error) {
+	if a.Cols != b.Rows {
+		return Matrix{}, fmt.Errorf("systolic: dims %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	c := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var sum float64
+			for k := 0; k < a.Cols; k++ {
+				sum += a.At(i, k) * b.At(k, j)
+			}
+			c.Set(i, j, sum)
+		}
+	}
+	return c, nil
+}
+
+// MatMul is a systolic matrix multiplier on an R×C mesh: A's row i streams
+// east into row i (skewed by i cycles), B's column j streams along
+// increasing rows into column j (skewed by j cycles), and cell (i,j)
+// accumulates C_ij in place. After the compute phase each column acts as a
+// shift register pushing the accumulated results off the high-row
+// boundary to the host (the unload phase).
+type MatMul struct {
+	Machine *array.Machine
+	A, B    Matrix
+	// UnloadAt is the cycle at which cells switch from accumulate to
+	// shift-out mode.
+	UnloadAt int
+	// Cycles is the total run length covering compute and unload.
+	Cycles int
+}
+
+// matmulCell accumulates c += a·b during the compute phase, then becomes
+// a stage of its column's output shift register.
+type matmulCell struct {
+	c        float64
+	cycle    int
+	unloadAt int
+}
+
+// Step implements array.Logic.
+func (m *matmulCell) Step(in map[string]array.Value) map[string]array.Value {
+	defer func() { m.cycle++ }()
+	if m.cycle < m.unloadAt {
+		a, b := in["e"], in["n"]
+		m.c += a * b
+		return map[string]array.Value{"e": a, "n": b}
+	}
+	if m.cycle == m.unloadAt {
+		// First unload cycle: emit the accumulated result.
+		return map[string]array.Value{"n": m.c}
+	}
+	// Then forward the column values arriving from lower rows.
+	return map[string]array.Value{"n": in["n"]}
+}
+
+// NewMatMul builds the systolic multiplier for a·b. a is R×K, b is K×C;
+// the mesh is R×C.
+func NewMatMul(a, b Matrix) (*MatMul, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("systolic: dims %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	rows, cols, k := a.Rows, b.Cols, a.Cols
+	g, err := comm.MeshWithBoundaryIO(rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	// a[i][t−i] enters row i at cycle t; it reaches column j at cycle
+	// i+t'+j where t' is the k index. The last product at cell
+	// (rows−1, cols−1) involves k−1 arriving at (k−1)+(rows−1)+(cols−1);
+	// that cell consumes it on the following Step, so unload after that.
+	unloadAt := k + rows + cols - 1
+	cycles := unloadAt + rows + 2
+	inputs := make(map[array.HostIn]array.Stream, 2*(rows+cols))
+	for i := 0; i < rows; i++ {
+		i := i
+		inputs[array.HostIn{To: comm.CellID(i * cols), Label: "e"}] = func(c int) array.Value {
+			t := c - i
+			if t < 0 || t >= k {
+				return 0
+			}
+			return a.At(i, t)
+		}
+	}
+	for j := 0; j < cols; j++ {
+		j := j
+		inputs[array.HostIn{To: comm.CellID(j), Label: "n"}] = func(c int) array.Value {
+			t := c - j
+			if t < 0 || t >= k {
+				return 0
+			}
+			return b.At(t, j)
+		}
+	}
+	m, err := array.New(g,
+		func(comm.CellID) array.Logic { return &matmulCell{unloadAt: unloadAt} },
+		inputs)
+	if err != nil {
+		return nil, err
+	}
+	return &MatMul{Machine: m, A: a, B: b, UnloadAt: unloadAt, Cycles: cycles}, nil
+}
+
+// Extract recovers the product matrix from a host trace: column j's
+// results leave cell (rows−1, j) on its "n" host edge, bottom row first at
+// the unload cycle... highest row index first, so trace entry UnloadAt+d
+// of that edge is C[rows−1−d][j].
+func (mm *MatMul) Extract(tr *array.Trace) (Matrix, error) {
+	rows, cols := mm.A.Rows, mm.B.Cols
+	c := NewMatrix(rows, cols)
+	for j := 0; j < cols; j++ {
+		from := comm.CellID((rows-1)*cols + j)
+		raw, ok := tr.Out[array.HostOut{From: from, Label: "n"}]
+		if !ok {
+			return Matrix{}, fmt.Errorf("systolic: trace missing column %d output", j)
+		}
+		for d := 0; d < rows; d++ {
+			idx := mm.UnloadAt + d
+			if idx >= len(raw) {
+				return Matrix{}, fmt.Errorf("systolic: trace too short (%d) for unload cycle %d", len(raw), idx)
+			}
+			c.Set(rows-1-d, j, raw[idx])
+		}
+	}
+	return c, nil
+}
+
+// Equal reports whether two matrices agree within tol.
+func (m Matrix) Equal(o Matrix, tol float64) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		d := v - o.Data[i]
+		if d < -tol || d > tol {
+			return false
+		}
+	}
+	return true
+}

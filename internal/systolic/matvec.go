@@ -1,0 +1,100 @@
+package systolic
+
+import (
+	"fmt"
+
+	"repro/internal/array"
+	"repro/internal/comm"
+)
+
+// MatVec is a dense matrix–vector multiplier on a one-dimensional array
+// with a stationary vector: cell j holds x[j], matrix entries stream
+// through the array on the half-speed channel, and partial sums ride the
+// full-speed channel — structurally the FIR array with time-varying
+// "signal" (the matrix rows, suitably skewed and padded). With K cells
+// and a single input port, one result emerges every K cycles, which is
+// optimal: all K² matrix entries must pass through one port.
+type MatVec struct {
+	Machine *array.Machine
+	A       Matrix
+	X       []float64
+	// Cycles covers streaming all rows plus pipeline drain.
+	Cycles int
+}
+
+// NewMatVec builds the multiplier for y = A·x. A must be square-width
+// with len(x) columns.
+func NewMatVec(a Matrix, x []float64) (*MatVec, error) {
+	if a.Cols != len(x) {
+		return nil, fmt.Errorf("systolic: MatVec dims %dx%d · %d", a.Rows, a.Cols, len(x))
+	}
+	if a.Cols == 0 {
+		return nil, fmt.Errorf("systolic: MatVec needs at least one column")
+	}
+	k := a.Cols
+	g, err := comm.LinearDual(k)
+	if err != nil {
+		return nil, err
+	}
+	// Row i's entries occupy stream slots t = (i+1)·K − j for
+	// j = 0..K−1 (so consecutive rows' windows are disjoint and row 0's
+	// window stays at positive cycles); everything else is 0.
+	stream := func(t int) array.Value {
+		if t < 1 {
+			return 0
+		}
+		i := (t+k-1)/k - 1 // the row whose window covers t
+		j := (i+1)*k - t
+		if i >= 0 && i < a.Rows && j >= 0 && j < k {
+			return a.At(i, j)
+		}
+		return 0
+	}
+	m, err := array.New(g,
+		func(id comm.CellID) array.Logic { return &firCell{w: x[id]} },
+		map[array.HostIn]array.Stream{
+			{To: 0, Label: "x"}: stream,
+			{To: 0, Label: "y"}: array.ZeroStream,
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &MatVec{
+		Machine: m,
+		A:       a,
+		X:       append([]float64(nil), x...),
+		Cycles:  (a.Rows+1)*k + 2*k + 2,
+	}, nil
+}
+
+// Results extracts y = A·x from a trace: y[i] appears on the last cell's
+// sum channel at cycle (i+1)·K + (K−1).
+func (mv *MatVec) Results(tr *array.Trace) ([]float64, error) {
+	k := mv.A.Cols
+	raw, ok := tr.Out[array.HostOut{From: comm.CellID(k - 1), Label: "y"}]
+	if !ok {
+		return nil, fmt.Errorf("systolic: trace missing sum channel")
+	}
+	out := make([]float64, mv.A.Rows)
+	for i := range out {
+		idx := (i+1)*k + k - 1
+		if idx >= len(raw) {
+			return nil, fmt.Errorf("systolic: trace too short (%d) for row %d at cycle %d", len(raw), i, idx)
+		}
+		out[i] = raw[idx]
+	}
+	return out, nil
+}
+
+// Golden computes A·x directly.
+func (mv *MatVec) Golden() []float64 {
+	out := make([]float64, mv.A.Rows)
+	for i := range out {
+		var sum float64
+		for j := 0; j < mv.A.Cols; j++ {
+			sum += mv.A.At(i, j) * mv.X[j]
+		}
+		out[i] = sum
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package systolic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/array"
+	"repro/internal/comm"
+)
+
+// PQ is a systolic priority queue on a bidirectional linear array (in the
+// style of Leiserson's systolic priority queue): the host issues one
+// operation every two cycles at the left end and the array answers
+// extract-min in constant time regardless of occupancy.
+//
+//   - INSERT(v) ripples rightward: each cell keeps the smaller of its
+//     held value and the incoming one and passes the larger on, so the
+//     array stays sorted with the minimum always at cell 0.
+//   - EXTRACT-MIN emits cell 0's value to the host immediately; an
+//     extract token then travels rightward, shifting every value one
+//     cell leftward behind it (each cell hands its value to its left
+//     neighbor and refills from its right neighbor two cycles later).
+//
+// Capacity is the cell count: values displaced past the right end are
+// dropped (the host is expected to size the array for its working set).
+// Wire encoding on the rightward channel: +Inf = idle, −Inf = extract
+// token, finite = insert ripple. The leftward channel carries refill
+// values, consumed only by the cell whose countdown says the value is
+// for it, so idle +Inf traffic is harmless.
+type PQ struct {
+	Machine *array.Machine
+	Ops     []PQOp
+	// Cycles is the run length: two cycles per op plus drain.
+	Cycles int
+}
+
+// PQOpKind selects a priority-queue operation.
+type PQOpKind int
+
+// Priority queue operations.
+const (
+	PQInsert PQOpKind = iota
+	PQExtractMin
+)
+
+// PQOp is one host-issued operation.
+type PQOp struct {
+	Kind  PQOpKind
+	Value float64 // for PQInsert; must be finite
+}
+
+// pqCell is one queue cell.
+type pqCell struct {
+	held     float64
+	refillIn int // cycles until the leftward input is our refill (0 = none pending)
+	started  bool
+}
+
+// Step implements array.Logic.
+func (c *pqCell) Step(in map[string]array.Value) map[string]array.Value {
+	xin, yin := in["x"], in["y"]
+	out := map[string]array.Value{"x": math.Inf(1), "y": math.Inf(1)}
+	if !c.started {
+		// Wires power up at 0, which would read as a spurious insert of
+		// 0; emit idle for one cycle so every wire carries a real value
+		// before any cell interprets its inputs.
+		c.started = true
+		return out
+	}
+	// Pending refill from a previously forwarded extract token.
+	if c.refillIn > 0 {
+		c.refillIn--
+		if c.refillIn == 0 {
+			c.held = yin
+		}
+	}
+	switch {
+	case math.IsInf(xin, -1):
+		// Extract token: surrender the held value leftward, forward the
+		// token, and expect the refill two cycles from now.
+		out["y"] = c.held
+		out["x"] = xin
+		c.held = math.Inf(1)
+		c.refillIn = 2
+	case !math.IsInf(xin, 1):
+		// Insert ripple: keep the smaller value, pass the larger.
+		if xin < c.held {
+			out["x"] = c.held
+			c.held = xin
+		} else {
+			out["x"] = xin
+		}
+	}
+	return out
+}
+
+// NewPQ builds a priority queue of the given capacity processing the
+// given operation sequence.
+func NewPQ(capacity int, ops []PQOp) (*PQ, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("systolic: PQ needs capacity ≥ 1")
+	}
+	for i, op := range ops {
+		if op.Kind == PQInsert && (math.IsInf(op.Value, 0) || math.IsNaN(op.Value)) {
+			return nil, fmt.Errorf("systolic: op %d inserts non-finite value", i)
+		}
+	}
+	g, err := comm.Bidirectional(capacity)
+	if err != nil {
+		return nil, err
+	}
+	// Op k is consumed by cell 0 at cycle 2k+2 (the first cycle is the
+	// power-up idle).
+	cmd := func(t int) array.Value {
+		if t < 2 || t%2 != 0 || (t-2)/2 >= len(ops) {
+			return math.Inf(1) // idle
+		}
+		op := ops[(t-2)/2]
+		if op.Kind == PQExtractMin {
+			return math.Inf(-1)
+		}
+		return op.Value
+	}
+	idle := func(int) array.Value { return math.Inf(1) }
+	m, err := array.New(g,
+		func(comm.CellID) array.Logic { return &pqCell{held: math.Inf(1)} },
+		map[array.HostIn]array.Stream{
+			{To: 0, Label: "x"}:                         cmd,
+			{To: comm.CellID(capacity - 1), Label: "y"}: idle,
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &PQ{
+		Machine: m,
+		Ops:     append([]PQOp(nil), ops...),
+		Cycles:  2*len(ops) + 6,
+	}, nil
+}
+
+// Results extracts the answer to every PQExtractMin op, in op order.
+// An extract on an empty queue answers +Inf.
+func (pq *PQ) Results(tr *array.Trace) ([]float64, error) {
+	raw, ok := tr.Out[array.HostOut{From: 0, Label: "y"}]
+	if !ok {
+		return nil, fmt.Errorf("systolic: trace missing queue output")
+	}
+	var out []float64
+	for k, op := range pq.Ops {
+		if op.Kind != PQExtractMin {
+			continue
+		}
+		// Op k is consumed by cell 0 at cycle 2k+2; the answer is emitted
+		// the same cycle.
+		idx := 2*k + 2
+		if idx >= len(raw) {
+			return nil, fmt.Errorf("systolic: trace too short (%d) for op %d", len(raw), k)
+		}
+		out = append(out, raw[idx])
+	}
+	return out, nil
+}
+
+// Golden answers the same operation sequence with a sorted-slice queue.
+func (pq *PQ) Golden() []float64 {
+	var heap []float64
+	var out []float64
+	for _, op := range pq.Ops {
+		switch op.Kind {
+		case PQInsert:
+			at := sort.SearchFloat64s(heap, op.Value)
+			heap = append(heap, 0)
+			copy(heap[at+1:], heap[at:])
+			heap[at] = op.Value
+		case PQExtractMin:
+			if len(heap) == 0 {
+				out = append(out, math.Inf(1))
+				continue
+			}
+			out = append(out, heap[0])
+			heap = heap[1:]
+		}
+	}
+	return out
+}

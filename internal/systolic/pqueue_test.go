@@ -1,0 +1,167 @@
+package systolic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/array"
+	"repro/internal/stats"
+)
+
+func runPQ(t *testing.T, capacity int, ops []PQOp) []float64 {
+	t.Helper()
+	pq, err := NewPQ(capacity, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := pq.Machine.RunIdeal(pq.Cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pq.Results(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pq.Golden()
+	if len(got) != len(want) {
+		t.Fatalf("got %d answers, want %d", len(got), len(want))
+	}
+	for i := range want {
+		same := got[i] == want[i] || (math.IsInf(got[i], 1) && math.IsInf(want[i], 1))
+		if !same {
+			t.Fatalf("answer %d = %g, want %g (ops %+v)", i, got[i], want[i], ops)
+		}
+	}
+	return got
+}
+
+func TestPQBasicSequence(t *testing.T) {
+	runPQ(t, 8, []PQOp{
+		{PQInsert, 5}, {PQInsert, 3}, {PQInsert, 7},
+		{PQExtractMin, 0}, // 3
+		{PQInsert, 1},
+		{PQExtractMin, 0}, // 1
+		{PQExtractMin, 0}, // 5
+		{PQExtractMin, 0}, // 7
+		{PQExtractMin, 0}, // empty: +Inf
+	})
+}
+
+func TestPQInterleavedTight(t *testing.T) {
+	runPQ(t, 6, []PQOp{
+		{PQInsert, 4}, {PQExtractMin, 0}, {PQInsert, 2}, {PQExtractMin, 0},
+		{PQInsert, 9}, {PQInsert, 1}, {PQExtractMin, 0}, {PQExtractMin, 0},
+	})
+}
+
+func TestPQDescendingInserts(t *testing.T) {
+	// Every insert displaces the whole prefix — maximum ripple traffic.
+	ops := []PQOp{
+		{PQInsert, 9}, {PQInsert, 8}, {PQInsert, 7}, {PQInsert, 6},
+		{PQInsert, 5}, {PQExtractMin, 0}, {PQExtractMin, 0}, {PQExtractMin, 0},
+		{PQExtractMin, 0}, {PQExtractMin, 0},
+	}
+	runPQ(t, 8, ops)
+}
+
+func TestPQExtractEmpty(t *testing.T) {
+	got := runPQ(t, 4, []PQOp{{PQExtractMin, 0}, {PQInsert, 2}, {PQExtractMin, 0}})
+	if !math.IsInf(got[0], 1) {
+		t.Errorf("empty extract = %g, want +Inf", got[0])
+	}
+	if got[1] != 2 {
+		t.Errorf("second extract = %g, want 2", got[1])
+	}
+}
+
+func TestPQRandomizedProperty(t *testing.T) {
+	f := func(seed int64, nn uint8) bool {
+		rng := stats.NewRNG(seed)
+		capacity := 10
+		nOps := int(nn%20) + 2
+		var ops []PQOp
+		live := 0
+		for i := 0; i < nOps; i++ {
+			// Stay within capacity so no values fall off the right end.
+			if live < capacity && (live == 0 || rng.Bernoulli(0.6)) {
+				ops = append(ops, PQOp{PQInsert, float64(rng.Intn(50))})
+				live++
+			} else {
+				ops = append(ops, PQOp{PQExtractMin, 0})
+				if live > 0 {
+					live--
+				}
+			}
+		}
+		pq, err := NewPQ(capacity, ops)
+		if err != nil {
+			return false
+		}
+		tr, err := pq.Machine.RunIdeal(pq.Cycles)
+		if err != nil {
+			return false
+		}
+		got, err := pq.Results(tr)
+		if err != nil {
+			return false
+		}
+		want := pq.Golden()
+		for i := range want {
+			same := got[i] == want[i] || (math.IsInf(got[i], 1) && math.IsInf(want[i], 1))
+			if !same {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPQValidation(t *testing.T) {
+	if _, err := NewPQ(0, nil); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	if _, err := NewPQ(4, []PQOp{{PQInsert, math.Inf(1)}}); err == nil {
+		t.Error("infinite insert accepted")
+	}
+	if _, err := NewPQ(4, []PQOp{{PQInsert, math.NaN()}}); err == nil {
+		t.Error("NaN insert accepted")
+	}
+}
+
+func TestPQClockedWithSkew(t *testing.T) {
+	ops := []PQOp{
+		{PQInsert, 6}, {PQInsert, 2}, {PQExtractMin, 0}, {PQInsert, 4},
+		{PQExtractMin, 0}, {PQExtractMin, 0},
+	}
+	pq, err := NewPQ(5, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(3)
+	off := array.Offsets{Cell: make([]float64, pq.Machine.NumCells()), Host: 0.1, HostRead: 0.1}
+	for i := range off.Cell {
+		off.Cell[i] = rng.Uniform(0, 0.3)
+	}
+	tr, err := pq.Machine.RunClocked(pq.Cycles, array.Timing{Period: 4, CellDelay: 2, HoldDelay: 0.5}, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pq.Results(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pq.Golden()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("clocked answer %d = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPQCapacityOneCell(t *testing.T) {
+	runPQ(t, 1, []PQOp{{PQInsert, 3}, {PQExtractMin, 0}, {PQExtractMin, 0}})
+}

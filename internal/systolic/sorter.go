@@ -1,0 +1,121 @@
+package systolic
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/array"
+	"repro/internal/comm"
+)
+
+// Sorter is an odd-even transposition sorter on a bidirectional linear
+// array: each of n cells is preloaded with one key and broadcasts it to
+// both neighbors every cycle; on round r the (even, odd)-aligned pairs
+// compare-exchange, so after n rounds the keys are sorted in place.
+// A shift-out phase then streams the result to the host from the right
+// end, largest key first.
+type Sorter struct {
+	Machine *array.Machine
+	Keys    []float64
+	// UnloadAt is the cycle at which cells switch to shift-out mode.
+	UnloadAt int
+	// Cycles is the total run length covering sorting and unloading.
+	Cycles int
+}
+
+// sorterCell holds one key and tracks its cell index and the round
+// schedule. Cycle 0 only broadcasts (neighbors' values are not yet on
+// the wires); rounds run on cycles 1..n; unloading starts at UnloadAt.
+type sorterCell struct {
+	index, n, unloadAt int
+	value              float64
+	cycle              int
+}
+
+// Step implements array.Logic.
+func (c *sorterCell) Step(in map[string]array.Value) map[string]array.Value {
+	defer func() { c.cycle++ }()
+	switch {
+	case c.cycle == 0:
+		// Broadcast only; no neighbor data on the wires yet.
+	case c.cycle <= c.n:
+		round := c.cycle - 1
+		leftPartner := c.index%2 == round%2 && c.index+1 < c.n
+		rightPartner := c.index%2 != round%2 && c.index > 0
+		switch {
+		case leftPartner:
+			if rv := in["y"]; rv < c.value {
+				c.value = rv
+			}
+		case rightPartner:
+			if lv := in["x"]; lv > c.value {
+				c.value = lv
+			}
+		}
+	case c.cycle == c.unloadAt:
+		// First unload cycle: emit own key rightward; the broadcast
+		// value doubles as the shifted stream.
+	default:
+		// Subsequent unload cycles: forward the stream from the left.
+		c.value = in["x"]
+	}
+	return map[string]array.Value{"x": c.value, "y": c.value}
+}
+
+// NewSorter builds the sorter preloaded with keys.
+func NewSorter(keys []float64) (*Sorter, error) {
+	n := len(keys)
+	if n < 1 {
+		return nil, fmt.Errorf("systolic: Sorter needs at least one key")
+	}
+	g, err := comm.Bidirectional(n)
+	if err != nil {
+		return nil, err
+	}
+	unloadAt := n + 1
+	s := &Sorter{
+		Machine:  nil,
+		Keys:     append([]float64(nil), keys...),
+		UnloadAt: unloadAt,
+		Cycles:   unloadAt + n + 1,
+	}
+	m, err := array.New(g,
+		func(id comm.CellID) array.Logic {
+			return &sorterCell{index: int(id), n: n, unloadAt: unloadAt, value: keys[id]}
+		},
+		map[array.HostIn]array.Stream{
+			{To: 0, Label: "x"}:                  array.ZeroStream,
+			{To: comm.CellID(n - 1), Label: "y"}: array.ZeroStream,
+		})
+	if err != nil {
+		return nil, err
+	}
+	s.Machine = m
+	return s, nil
+}
+
+// Sorted extracts the sorted keys from a host trace (ascending).
+func (s *Sorter) Sorted(tr *array.Trace) ([]float64, error) {
+	n := len(s.Keys)
+	raw, ok := tr.Out[array.HostOut{From: comm.CellID(n - 1), Label: "x"}]
+	if !ok {
+		return nil, fmt.Errorf("systolic: trace missing sorter output")
+	}
+	if len(raw) < s.UnloadAt+n {
+		return nil, fmt.Errorf("systolic: trace too short (%d) for unload at %d", len(raw), s.UnloadAt)
+	}
+	out := make([]float64, n)
+	for d := 0; d < n; d++ {
+		// Unload emits cell n−1's key first, then n−2's, etc. — largest
+		// first, so fill from the back.
+		out[n-1-d] = raw[s.UnloadAt+d]
+	}
+	return out, nil
+}
+
+// Golden returns the keys sorted ascending (the reference result).
+func (s *Sorter) Golden() []float64 {
+	out := append([]float64(nil), s.Keys...)
+	sort.Float64s(out)
+	return out
+}

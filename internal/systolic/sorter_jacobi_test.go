@@ -1,0 +1,295 @@
+package systolic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/array"
+	"repro/internal/hybrid"
+	"repro/internal/stats"
+)
+
+func TestSorterSortsFixed(t *testing.T) {
+	keys := []float64{5, 1, 4, 2, 8, 0, 3, 7}
+	s, err := NewSorter(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := s.Machine.RunIdeal(s.Cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Sorted(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s.Golden()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sorted = %v, want %v", got, want)
+		}
+	}
+	// Original keys untouched.
+	if keys[0] != 5 {
+		t.Error("NewSorter mutated its input")
+	}
+}
+
+func TestSorterSingleAndPair(t *testing.T) {
+	for _, keys := range [][]float64{{3}, {2, 1}, {1, 2}} {
+		s, err := NewSorter(keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := s.Machine.RunIdeal(s.Cycles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Sorted(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := s.Golden()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("keys %v: sorted = %v, want %v", keys, got, want)
+			}
+		}
+	}
+}
+
+func TestSorterRandomizedProperty(t *testing.T) {
+	f := func(seed int64, nn uint8) bool {
+		n := int(nn%12) + 1
+		rng := stats.NewRNG(seed)
+		keys := make([]float64, n)
+		for i := range keys {
+			keys[i] = float64(rng.Intn(40))
+		}
+		s, err := NewSorter(keys)
+		if err != nil {
+			return false
+		}
+		tr, err := s.Machine.RunIdeal(s.Cycles)
+		if err != nil {
+			return false
+		}
+		got, err := s.Sorted(tr)
+		if err != nil {
+			return false
+		}
+		want := s.Golden()
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSorterRejectsEmpty(t *testing.T) {
+	if _, err := NewSorter(nil); err == nil {
+		t.Error("empty keys accepted")
+	}
+}
+
+func TestSorterErrorsOnShortTrace(t *testing.T) {
+	s, err := NewSorter([]float64{3, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := s.Machine.RunIdeal(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Sorted(short); err == nil {
+		t.Error("short trace accepted")
+	}
+}
+
+func TestSorterClockedWithSkew(t *testing.T) {
+	s, err := NewSorter([]float64{9, 3, 7, 1, 5, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := array.Offsets{Cell: []float64{0, 0.2, 0.1, 0.3, 0.05, 0.25}, Host: 0.1, HostRead: 0.15}
+	tr, err := s.Machine.RunClocked(s.Cycles, array.Timing{Period: 5, CellDelay: 2, HoldDelay: 1}, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Sorted(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s.Golden()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("clocked sorted = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestJacobiMatchesGolden(t *testing.T) {
+	west := []float64{1, 2, 3}
+	south := []float64{4, 5, 6, 7}
+	j, err := NewJacobi(3, 4, west, south)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cycles = 25
+	tr, err := j.Machine.RunIdeal(cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Equal(j.Golden(cycles), 1e-12) {
+		t.Error("Jacobi trace diverges from direct iteration")
+	}
+}
+
+func TestJacobiConvergesTowardHarmonic(t *testing.T) {
+	// With constant boundaries, the iteration approaches the discrete
+	// harmonic solution; successive outputs should stabilize.
+	j, err := NewJacobi(4, 4, []float64{1, 1, 1, 1}, []float64{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cycles = 120
+	tr, err := j.Machine.RunIdeal(cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tr.Out[array.HostOut{From: 15, Label: "e"}]
+	if len(out) != cycles {
+		t.Fatalf("trace length %d", len(out))
+	}
+	if diff := math.Abs(out[cycles-1] - out[cycles-2]); diff > 1e-6 {
+		t.Errorf("not converging: last delta %g", diff)
+	}
+	if out[cycles-1] <= 0 || out[cycles-1] >= 1 {
+		t.Errorf("steady value %g outside (0,1)", out[cycles-1])
+	}
+}
+
+func TestJacobiValidation(t *testing.T) {
+	if _, err := NewJacobi(2, 2, []float64{1}, []float64{1, 2}); err == nil {
+		t.Error("bad west length accepted")
+	}
+	if _, err := NewJacobi(2, 2, []float64{1, 2}, []float64{1}); err == nil {
+		t.Error("bad south length accepted")
+	}
+}
+
+func TestJacobiUnderHybridSync(t *testing.T) {
+	j, err := NewJacobi(4, 4, []float64{1, 0, 0, 1}, []float64{0, 1, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := hybrid.New(j.Machine.Graph(), hybrid.Config{
+		ElementSize: 2, Handshake: 0.5, LocalDistribution: 0.3,
+		CellDelay: 2, HoldDelay: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cycles = 30
+	tr, err := sys.Run(j.Machine, cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Equal(j.Golden(cycles), 1e-12) {
+		t.Error("hybrid Jacobi diverges from direct iteration")
+	}
+}
+
+func TestMatVecMatchesGolden(t *testing.T) {
+	a := Matrix{Rows: 3, Cols: 4, Data: []float64{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		-1, 0, 2, 1,
+	}}
+	x := []float64{1, -1, 2, 0.5}
+	mv, err := NewMatVec(a, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := mv.Machine.RunIdeal(mv.Cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := mv.Results(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mv.Golden() // {7, 17, 3.5}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("y[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMatVecRandomizedProperty(t *testing.T) {
+	f := func(seed int64, rr, cc uint8) bool {
+		rng := stats.NewRNG(seed)
+		rows := int(rr%5) + 1
+		cols := int(cc%5) + 1
+		a := NewMatrix(rows, cols)
+		x := make([]float64, cols)
+		for i := range a.Data {
+			a.Data[i] = rng.Uniform(-2, 2)
+		}
+		for i := range x {
+			x[i] = rng.Uniform(-2, 2)
+		}
+		mv, err := NewMatVec(a, x)
+		if err != nil {
+			return false
+		}
+		tr, err := mv.Machine.RunIdeal(mv.Cycles)
+		if err != nil {
+			return false
+		}
+		got, err := mv.Results(tr)
+		if err != nil {
+			return false
+		}
+		want := mv.Golden()
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatVecValidation(t *testing.T) {
+	if _, err := NewMatVec(NewMatrix(2, 3), []float64{1, 2}); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+	if _, err := NewMatVec(NewMatrix(0, 0), nil); err == nil {
+		t.Error("empty matrix accepted")
+	}
+}
+
+func TestMatVecShortTrace(t *testing.T) {
+	mv, err := NewMatVec(NewMatrix(2, 2), []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := mv.Machine.RunIdeal(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mv.Results(short); err == nil {
+		t.Error("short trace accepted")
+	}
+}

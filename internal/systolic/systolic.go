@@ -1,0 +1,194 @@
+// Package systolic provides concrete systolic array algorithms — the
+// workloads the paper's arrays exist to run — each as an array.Machine
+// plus a golden (direct, non-systolic) reference implementation:
+//
+//   - FIR convolution on a one-dimensional dual-stream array (the classic
+//     design from Kung's "Why systolic architectures?", reference [4]);
+//   - polynomial evaluation by Horner's rule on the same array shape;
+//   - matrix multiplication on a two-dimensional mesh with boundary I/O
+//     and a built-in unload phase;
+//   - Jacobi relaxation on a mesh with fixed boundary streams.
+//
+// Each constructor returns the machine and enough metadata to locate the
+// algorithm's results inside a host trace, so the same workloads can be
+// run ideally, clocked with skew, self-timed, or hybrid-synchronized and
+// compared exactly.
+package systolic
+
+import (
+	"fmt"
+
+	"repro/internal/array"
+	"repro/internal/comm"
+)
+
+// FIR is a systolic finite-impulse-response filter: cell i holds weight
+// w[i]; the signal stream x moves right at half speed (one extra register
+// per cell) while partial sums y move right at full speed, so output
+// y_t = Σ_j w[j]·x[t−j] emerges from the last cell.
+type FIR struct {
+	Machine *array.Machine
+	Weights []float64
+	Xs      []float64
+	// Cycles is the number of cycles needed for every output to emerge.
+	Cycles int
+}
+
+// firCell is one FIR cell: stateful logic holding the weight and the
+// extra x register.
+type firCell struct {
+	w     float64
+	xPrev float64
+}
+
+// Step implements array.Logic.
+func (c *firCell) Step(in map[string]array.Value) map[string]array.Value {
+	x, y := in["x"], in["y"]
+	out := map[string]array.Value{
+		"x": c.xPrev,
+		"y": y + c.w*x,
+	}
+	c.xPrev = x
+	return out
+}
+
+// NewFIR builds a FIR machine with the given weights filtering the given
+// input signal.
+func NewFIR(weights, xs []float64) (*FIR, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("systolic: FIR needs at least one weight")
+	}
+	g, err := comm.LinearDual(len(weights))
+	if err != nil {
+		return nil, err
+	}
+	m, err := array.New(g,
+		func(id comm.CellID) array.Logic { return &firCell{w: weights[id]} },
+		map[array.HostIn]array.Stream{
+			{To: 0, Label: "x"}: array.SliceStream(xs, 0),
+			{To: 0, Label: "y"}: array.ZeroStream,
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &FIR{
+		Machine: m,
+		Weights: append([]float64(nil), weights...),
+		Xs:      append([]float64(nil), xs...),
+		Cycles:  len(xs) + 2*len(weights) + 2,
+	}, nil
+}
+
+// Golden returns the expected host trace for a run of the given length,
+// computed by direct convolution: the value emitted by the last cell at
+// cycle c is Σ_j w[j]·x[c−(K−1)−j].
+func (f *FIR) Golden(cycles int) *array.Trace {
+	k := len(f.Weights)
+	last := comm.CellID(k - 1)
+	x := func(t int) float64 {
+		if t < 0 || t >= len(f.Xs) {
+			return 0
+		}
+		return f.Xs[t]
+	}
+	ys := make([]array.Value, cycles)
+	xouts := make([]array.Value, cycles)
+	for c := 0; c < cycles; c++ {
+		var y float64
+		for j := 0; j < k; j++ {
+			y += f.Weights[j] * x(c-(k-1)-j)
+		}
+		ys[c] = y
+		// The x stream leaves the last cell delayed by 2 cycles per cell.
+		xouts[c] = x(c - (2*k - 1))
+	}
+	return &array.Trace{
+		Cycles: cycles,
+		Out: map[array.HostOut][]array.Value{
+			{From: last, Label: "y"}: ys,
+			{From: last, Label: "x"}: xouts,
+		},
+	}
+}
+
+// Outputs extracts the filtered signal from a trace: entry t is
+// y_t = Σ_j w[j]·x[t−j], for t in [0, len(xs)).
+func (f *FIR) Outputs(tr *array.Trace) []float64 {
+	k := len(f.Weights)
+	raw := tr.Out[array.HostOut{From: comm.CellID(k - 1), Label: "y"}]
+	out := make([]float64, 0, len(f.Xs))
+	for t := 0; t < len(f.Xs) && t+k-1 < len(raw); t++ {
+		out = append(out, raw[t+k-1])
+	}
+	return out
+}
+
+// Poly is a systolic Horner evaluator: cell i holds coefficient c[i]; an
+// evaluation point x and its running result p travel together one cell
+// per cycle, with p ← p·x + c[i] at each cell, so the last cell emits
+// c[0]·x^(K−1) + c[1]·x^(K−2) + … + c[K−1].
+type Poly struct {
+	Machine *array.Machine
+	Coeffs  []float64
+	Points  []float64
+	Cycles  int
+}
+
+type polyCell struct{ c float64 }
+
+// Step implements array.Logic.
+func (p *polyCell) Step(in map[string]array.Value) map[string]array.Value {
+	x, acc := in["x"], in["y"]
+	return map[string]array.Value{
+		"x": x,
+		"y": acc*x + p.c,
+	}
+}
+
+// NewPoly builds a Horner evaluator for the polynomial with the given
+// coefficients (highest degree first), evaluated at the given points.
+func NewPoly(coeffs, points []float64) (*Poly, error) {
+	if len(coeffs) == 0 {
+		return nil, fmt.Errorf("systolic: Poly needs at least one coefficient")
+	}
+	g, err := comm.LinearDual(len(coeffs))
+	if err != nil {
+		return nil, err
+	}
+	m, err := array.New(g,
+		func(id comm.CellID) array.Logic { return &polyCell{c: coeffs[id]} },
+		map[array.HostIn]array.Stream{
+			{To: 0, Label: "x"}: array.SliceStream(points, 0),
+			{To: 0, Label: "y"}: array.ZeroStream,
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &Poly{
+		Machine: m,
+		Coeffs:  append([]float64(nil), coeffs...),
+		Points:  append([]float64(nil), points...),
+		Cycles:  len(points) + len(coeffs) + 2,
+	}, nil
+}
+
+// Eval evaluates the polynomial directly (the golden reference).
+func (p *Poly) Eval(x float64) float64 {
+	var acc float64
+	for _, c := range p.Coeffs {
+		acc = acc*x + c
+	}
+	return acc
+}
+
+// Results extracts the evaluated points from a trace: entry t is
+// Eval(points[t]).
+func (p *Poly) Results(tr *array.Trace) []float64 {
+	k := len(p.Coeffs)
+	raw := tr.Out[array.HostOut{From: comm.CellID(k - 1), Label: "y"}]
+	out := make([]float64, 0, len(p.Points))
+	for t := 0; t < len(p.Points) && t+k-1 < len(raw); t++ {
+		out = append(out, raw[t+k-1])
+	}
+	return out
+}

@@ -1,0 +1,272 @@
+package systolic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/array"
+	"repro/internal/stats"
+)
+
+func TestFIRMatchesGolden(t *testing.T) {
+	weights := []float64{0.5, -1, 2}
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	f, err := NewFIR(weights, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := f.Machine.RunIdeal(f.Cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Equal(f.Golden(f.Cycles), 1e-12) {
+		t.Errorf("FIR trace diverges from golden:\ngot    %v\ngolden %v", tr.Out, f.Golden(f.Cycles).Out)
+	}
+}
+
+func TestFIROutputsAreConvolution(t *testing.T) {
+	weights := []float64{1, 2, 3}
+	xs := []float64{4, 5, 6, 7}
+	f, err := NewFIR(weights, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := f.Machine.RunIdeal(f.Cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := f.Outputs(tr)
+	// y_t = Σ w_j x_{t−j}: y_0 = 1·4 = 4; y_1 = 1·5+2·4 = 13;
+	// y_2 = 6+10+12 = 28; y_3 = 7+12+15 = 34.
+	want := []float64{4, 13, 28, 34}
+	if len(got) != len(want) {
+		t.Fatalf("got %d outputs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("y[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFIRRandomizedProperty(t *testing.T) {
+	f := func(seed int64, kw, kx uint8) bool {
+		rng := stats.NewRNG(seed)
+		k := int(kw%6) + 1
+		n := int(kx%10) + 1
+		weights := make([]float64, k)
+		xs := make([]float64, n)
+		for i := range weights {
+			weights[i] = rng.Uniform(-2, 2)
+		}
+		for i := range xs {
+			xs[i] = rng.Uniform(-2, 2)
+		}
+		fir, err := NewFIR(weights, xs)
+		if err != nil {
+			return false
+		}
+		tr, err := fir.Machine.RunIdeal(fir.Cycles)
+		if err != nil {
+			return false
+		}
+		return tr.Equal(fir.Golden(fir.Cycles), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFIRNeedsWeights(t *testing.T) {
+	if _, err := NewFIR(nil, []float64{1}); err == nil {
+		t.Error("empty weights accepted")
+	}
+}
+
+func TestPolyMatchesDirectEvaluation(t *testing.T) {
+	coeffs := []float64{2, -3, 1, 5} // 2x³ − 3x² + x + 5
+	points := []float64{0, 1, -1, 2, 0.5}
+	p, err := NewPoly(coeffs, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := p.Machine.RunIdeal(p.Cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := p.Results(tr)
+	if len(got) != len(points) {
+		t.Fatalf("got %d results, want %d", len(got), len(points))
+	}
+	for i, x := range points {
+		if want := p.Eval(x); math.Abs(got[i]-want) > 1e-9 {
+			t.Errorf("poly(%g) = %g, want %g", x, got[i], want)
+		}
+	}
+}
+
+func TestPolyEvalHorner(t *testing.T) {
+	p := Poly{Coeffs: []float64{1, 0, -2}} // x² − 2
+	if got := p.Eval(3); got != 7 {
+		t.Errorf("Eval(3) = %g, want 7", got)
+	}
+	if _, err := NewPoly(nil, nil); err == nil {
+		t.Error("empty coeffs accepted")
+	}
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 || m.At(0, 0) != 0 {
+		t.Error("At/Set wrong")
+	}
+	a := Matrix{Rows: 2, Cols: 2, Data: []float64{1, 2, 3, 4}}
+	b := Matrix{Rows: 2, Cols: 2, Data: []float64{5, 6, 7, 8}}
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Matrix{Rows: 2, Cols: 2, Data: []float64{19, 22, 43, 50}}
+	if !c.Equal(want, 1e-12) {
+		t.Errorf("Mul = %v", c.Data)
+	}
+	if _, err := a.Mul(NewMatrix(3, 2)); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+	if a.Equal(NewMatrix(2, 3), 1) {
+		t.Error("shape mismatch equal")
+	}
+}
+
+func TestMatMulSquare(t *testing.T) {
+	a := Matrix{Rows: 3, Cols: 3, Data: []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}}
+	b := Matrix{Rows: 3, Cols: 3, Data: []float64{9, 8, 7, 6, 5, 4, 3, 2, 1}}
+	mm, err := NewMatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := mm.Machine.RunIdeal(mm.Cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := mm.Extract(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := a.Mul(b)
+	if !got.Equal(want, 1e-9) {
+		t.Errorf("systolic C = %v, want %v", got.Data, want.Data)
+	}
+}
+
+func TestMatMulRectangular(t *testing.T) {
+	// 2×4 · 4×3 on a 2×3 mesh.
+	a := Matrix{Rows: 2, Cols: 4, Data: []float64{1, 2, 3, 4, 5, 6, 7, 8}}
+	b := Matrix{Rows: 4, Cols: 3, Data: []float64{
+		1, 0, 2,
+		0, 1, 1,
+		3, 1, 0,
+		2, 2, 1,
+	}}
+	mm, err := NewMatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := mm.Machine.RunIdeal(mm.Cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := mm.Extract(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := a.Mul(b)
+	if !got.Equal(want, 1e-9) {
+		t.Errorf("systolic C = %v, want %v", got.Data, want.Data)
+	}
+}
+
+func TestMatMulRandomizedProperty(t *testing.T) {
+	f := func(seed int64, rr, kk, cc uint8) bool {
+		rng := stats.NewRNG(seed)
+		r := int(rr%4) + 1
+		k := int(kk%4) + 1
+		c := int(cc%4) + 1
+		a := NewMatrix(r, k)
+		b := NewMatrix(k, c)
+		for i := range a.Data {
+			a.Data[i] = rng.Uniform(-3, 3)
+		}
+		for i := range b.Data {
+			b.Data[i] = rng.Uniform(-3, 3)
+		}
+		mm, err := NewMatMul(a, b)
+		if err != nil {
+			return false
+		}
+		tr, err := mm.Machine.RunIdeal(mm.Cycles)
+		if err != nil {
+			return false
+		}
+		got, err := mm.Extract(tr)
+		if err != nil {
+			return false
+		}
+		want, _ := a.Mul(b)
+		return got.Equal(want, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatMulDimValidation(t *testing.T) {
+	if _, err := NewMatMul(NewMatrix(2, 3), NewMatrix(2, 2)); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+}
+
+func TestMatMulClockedWithSkewStillCorrect(t *testing.T) {
+	// Run the full systolic multiplier as a clocked machine with non-zero
+	// but tolerable skew and verify the product still extracts correctly.
+	a := Matrix{Rows: 2, Cols: 2, Data: []float64{1, 2, 3, 4}}
+	b := Matrix{Rows: 2, Cols: 2, Data: []float64{5, 6, 7, 8}}
+	mm, err := NewMatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := array.Offsets{Cell: []float64{0, 0.2, 0.1, 0.3}, Host: 0.15}
+	tr, err := mm.Machine.RunClocked(mm.Cycles, array.Timing{Period: 5, CellDelay: 2, HoldDelay: 1}, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := mm.Extract(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := a.Mul(b)
+	if !got.Equal(want, 1e-9) {
+		t.Errorf("clocked systolic C = %v, want %v", got.Data, want.Data)
+	}
+}
+
+func TestExtractErrors(t *testing.T) {
+	a := Matrix{Rows: 2, Cols: 2, Data: []float64{1, 2, 3, 4}}
+	mm, err := NewMatMul(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := &array.Trace{Out: map[array.HostOut][]array.Value{}}
+	if _, err := mm.Extract(empty); err == nil {
+		t.Error("missing outputs accepted")
+	}
+	short, err := mm.Machine.RunIdeal(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mm.Extract(short); err == nil {
+		t.Error("short trace accepted")
+	}
+}

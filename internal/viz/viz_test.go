@@ -1,0 +1,122 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/clocktree"
+	"repro/internal/comm"
+	"repro/internal/hybrid"
+)
+
+func TestRenderGraphWithClock(t *testing.T) {
+	g, err := comm.Mesh(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := clocktree.HTree(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := RenderGraphWithClock(&b, g, tree, "Fig. 3(b): H-tree over a 4x4 mesh"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"<svg", "</svg>", "<rect", "<polyline", "Fig. 3(b)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// 16 cells ⇒ at least 16 rects (plus background).
+	if n := strings.Count(out, "<rect"); n < 17 {
+		t.Errorf("rect count = %d, want ≥ 17", n)
+	}
+}
+
+func TestRenderBufferedTreeShowsBuffers(t *testing.T) {
+	g, err := comm.Linear(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := clocktree.Spine(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buffered, err := clocktree.Buffered(tree, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := RenderGraphWithClock(&b, g, buffered, ""); err != nil {
+		t.Fatal(err)
+	}
+	// Buffer dots render as small circles (plus one root marker).
+	if n := strings.Count(b.String(), "<circle"); n < buffered.BufferCount() {
+		t.Errorf("circle count %d < buffer count %d", n, buffered.BufferCount())
+	}
+}
+
+func TestRenderWithoutTree(t *testing.T) {
+	g, err := comm.Hex(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := RenderGraphWithClock(&b, g, nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "<svg") {
+		t.Error("no SVG emitted")
+	}
+}
+
+func TestRenderHybrid(t *testing.T) {
+	g, err := comm.Mesh(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := hybrid.New(g, hybrid.Config{
+		ElementSize: 4, Handshake: 0.5, LocalDistribution: 0.3,
+		CellDelay: 2, HoldDelay: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := RenderHybrid(&b, g, sys, "Fig. 8: hybrid synchronization"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "stroke-dasharray") {
+		t.Error("handshake links missing")
+	}
+	// One black box per element.
+	if n := strings.Count(out, `fill="#2b2b2b"`); n != sys.NumElements() {
+		t.Errorf("element boxes = %d, want %d", n, sys.NumElements())
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	g, _ := comm.Linear(2)
+	var b strings.Builder
+	if err := RenderGraphWithClock(&b, g, nil, "a < b & c > d"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "a &lt; b &amp; c &gt; d") {
+		t.Error("label not escaped")
+	}
+}
+
+func TestDefaultStyleFallback(t *testing.T) {
+	g, _ := comm.Linear(3)
+	d := NewDrawing(g.Bounds(), Style{}) // zero Scale → defaults
+	d.Graph(g)
+	var b strings.Builder
+	if err := d.WriteSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "<svg") {
+		t.Error("no SVG emitted with default style")
+	}
+}

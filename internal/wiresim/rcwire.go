@@ -1,0 +1,78 @@
+package wiresim
+
+import (
+	"fmt"
+	"math"
+)
+
+// RCWire models an unbuffered distributed-RC wire — the reason buffered
+// (pipelined) distribution exists at all. A wire of length L with
+// resistance R' and capacitance C' per unit length settles in time
+// proportional to R'·C'·L²/2 (the Elmore delay of a distributed RC line),
+// so unbuffered clock lines slow down *quadratically* with length, far
+// worse than A6's linear speed-of-light bound. Breaking the line into
+// segments of length s driven by buffers (delay B each) makes the total
+// delay
+//
+//	(L/s) · (B + R'·C'·s²/2),
+//
+// linear in L, with the optimal segment length s* = √(2B/(R'·C')) — the
+// "good candidate" spacing of Section II, where per-segment wire delay
+// matches the buffer's own delay.
+type RCWire struct {
+	// RPerUnit and CPerUnit are resistance and capacitance per unit of
+	// wire length.
+	RPerUnit, CPerUnit float64
+	// BufferDelay is the propagation delay of one restoring buffer.
+	BufferDelay float64
+}
+
+func (w RCWire) validate() error {
+	if w.RPerUnit <= 0 || w.CPerUnit <= 0 || w.BufferDelay <= 0 {
+		return fmt.Errorf("wiresim: RCWire parameters must be positive, got %+v", w)
+	}
+	return nil
+}
+
+// UnbufferedSettle returns the settle time of an unbuffered wire of the
+// given length: R'·C'·L²/2. Quadratic in L.
+func (w RCWire) UnbufferedSettle(length float64) (float64, error) {
+	if err := w.validate(); err != nil {
+		return 0, err
+	}
+	if length < 0 {
+		return 0, fmt.Errorf("wiresim: negative wire length %g", length)
+	}
+	return w.RPerUnit * w.CPerUnit * length * length / 2, nil
+}
+
+// BufferedDelay returns the end-to-end delay of the wire when broken
+// into segments of the given spacing, each driven by a buffer:
+// ⌈L/s⌉ · (B + R'·C'·s²/2). Linear in L for fixed spacing.
+func (w RCWire) BufferedDelay(length, spacing float64) (float64, error) {
+	if err := w.validate(); err != nil {
+		return 0, err
+	}
+	if length < 0 {
+		return 0, fmt.Errorf("wiresim: negative wire length %g", length)
+	}
+	if spacing <= 0 {
+		return 0, fmt.Errorf("wiresim: spacing must be positive, got %g", spacing)
+	}
+	segments := math.Ceil(length / spacing)
+	if segments == 0 {
+		return 0, nil
+	}
+	segLen := length / segments
+	return segments * (w.BufferDelay + w.RPerUnit*w.CPerUnit*segLen*segLen/2), nil
+}
+
+// OptimalSpacing returns the buffer spacing minimizing BufferedDelay for
+// long wires: s* = √(2B/(R'·C')), the spacing at which a segment's wire
+// delay equals the buffer delay — Section II's "good candidate".
+func (w RCWire) OptimalSpacing() (float64, error) {
+	if err := w.validate(); err != nil {
+		return 0, err
+	}
+	return math.Sqrt(2 * w.BufferDelay / (w.RPerUnit * w.CPerUnit)), nil
+}

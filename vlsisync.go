@@ -1,0 +1,208 @@
+// Package vlsisync is a library for synchronizing large VLSI processor
+// arrays, reproducing Fisher and Kung's ISCA 1983 paper of the same name.
+// It provides:
+//
+//   - communication-graph topologies with planar layouts (linear, ring,
+//     mesh, hexagonal, torus, tree) and layout transforms (folding,
+//     combs);
+//   - clock-tree constructions (H-tree, spine, ladder, serpentine,
+//     random) with buffering, equalization, and distance queries;
+//   - the paper's two clock-skew models (difference and summation), exact
+//     worst-case analysis, Monte-Carlo simulation, and the mechanized
+//     Section V-B Ω(n) lower bound;
+//   - execution machinery: ideal lock-step, clocked-with-skew (faithful
+//     setup/hold corruption), self-timed, and hybrid synchronization;
+//   - systolic workloads (FIR, Horner, matrix multiplication) with golden
+//     references;
+//   - the Section VII pipelined-clocking inverter-string experiment; and
+//   - a planner (Plan) that selects the paper's prescribed scheme from
+//     physical assumptions.
+//
+// The experiment suite (RunExperiment, RunAllExperiments) regenerates
+// every quantitative claim in the paper; see EXPERIMENTS.md.
+package vlsisync
+
+import (
+	"repro/internal/array"
+	"repro/internal/clocksim"
+	"repro/internal/clocktree"
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/hybrid"
+	"repro/internal/report"
+	"repro/internal/skew"
+	"repro/internal/stats"
+	"repro/internal/systolic"
+	"repro/internal/treemachine"
+	"repro/internal/viz"
+	"repro/internal/wiresim"
+)
+
+// Core model types, re-exported for users of the public API.
+type (
+	// Array is a processor array's communication graph (COMM, A1) laid
+	// out in the plane.
+	Array = comm.Graph
+	// CellID identifies a cell of an Array.
+	CellID = comm.CellID
+	// ClockTree is a rooted binary clock distribution tree (CLK, A4).
+	ClockTree = clocktree.Tree
+	// SkewModel bounds clock skew from clock-tree distances (Section III).
+	SkewModel = skew.Model
+	// SkewAnalysis is a worst-case skew evaluation over an array.
+	SkewAnalysis = skew.Analysis
+	// Machine is an executable processor array.
+	Machine = array.Machine
+	// Trace is a host-visible run record.
+	Trace = array.Trace
+	// Plan is the planner's synchronization prescription.
+	Plan = core.Plan
+	// Assumptions are the planner's physical inputs.
+	Assumptions = core.Assumptions
+	// HybridSystem is a Section VI element partition.
+	HybridSystem = hybrid.System
+	// InverterString is the Section VII pipelined-clocking substrate.
+	InverterString = wiresim.InverterString
+	// TreeMachine is the Section VIII pipelined tree machine.
+	TreeMachine = treemachine.Machine
+	// Table is a renderable result table.
+	Table = report.Table
+	// RNG is the deterministic random source used everywhere.
+	RNG = stats.RNG
+)
+
+// Skew model constructors.
+type (
+	// DifferenceModel is assumption A9's skew model.
+	DifferenceModel = skew.Difference
+	// SummationModel is assumptions A10/A11's skew model.
+	SummationModel = skew.Summation
+	// LinearModel is the physically derived σ = M·d + Eps·s model.
+	LinearModel = skew.Linear
+)
+
+// Planner model kinds.
+const (
+	ModelDifference   = core.DifferenceModel
+	ModelSummation    = core.SummationModel
+	ModelNoPipelining = core.NoPipelining
+)
+
+// Topology constructors.
+var (
+	// LinearArray returns an n-cell one-dimensional array (Fig. 4(a)).
+	LinearArray = comm.Linear
+	// RingArray returns an n-cell ring in a hairpin layout.
+	RingArray = comm.Ring
+	// MeshArray returns an r×c mesh (Fig. 3(b)).
+	MeshArray = comm.Mesh
+	// HexArray returns a hexagonal array (Fig. 3(c)).
+	HexArray = comm.Hex
+	// TorusArray returns an r×c torus.
+	TorusArray = comm.Torus
+	// TreeArray returns a complete binary tree in an H-tree layout.
+	TreeArray = comm.CompleteBinaryTree
+	// FoldLinear re-lays a linear array as Fig. 5's folded layout.
+	FoldLinear = comm.FoldLinear
+	// CombLinear re-lays a linear array as Fig. 6's comb layout.
+	CombLinear = comm.CombLinear
+)
+
+// Clock tree constructors.
+var (
+	// HTreeClock builds the Fig. 3 H-tree over any layout.
+	HTreeClock = clocktree.HTree
+	// SpineClock runs the clock along a one-dimensional array (Fig. 4).
+	SpineClock = clocktree.Spine
+	// LadderClock clocks hairpin ring layouts with constant skew.
+	LadderClock = clocktree.Ladder
+	// SerpentineClock chains a 2D grid in boustrophedon order.
+	SerpentineClock = clocktree.Serpentine
+	// BufferedClock inserts A7 buffers every spacing units of wire.
+	BufferedClock = clocktree.Buffered
+)
+
+// AnalyzeSkew evaluates a skew model over every communicating pair.
+func AnalyzeSkew(g *Array, tree *ClockTree, model SkewModel) (SkewAnalysis, error) {
+	return skew.Analyze(g, tree, model)
+}
+
+// PlanSynchronization selects the paper's prescribed scheme for g.
+func PlanSynchronization(g *Array, a Assumptions) (*Plan, error) {
+	return core.NewPlan(g, a)
+}
+
+// NewRNG returns a deterministic random source.
+func NewRNG(seed int64) *RNG { return stats.NewRNG(seed) }
+
+// NewFIR builds the systolic FIR filter workload.
+var NewFIR = systolic.NewFIR
+
+// NewPoly builds the systolic Horner evaluator workload.
+var NewPoly = systolic.NewPoly
+
+// NewMatMul builds the systolic matrix multiplier workload.
+var NewMatMul = systolic.NewMatMul
+
+// NewSorter builds the odd-even transposition sorter workload.
+var NewSorter = systolic.NewSorter
+
+// NewJacobi builds the mesh relaxation workload.
+var NewJacobi = systolic.NewJacobi
+
+// NewMatVec builds the stationary-vector matrix–vector workload.
+var NewMatVec = systolic.NewMatVec
+
+// NewEditDistance builds the systolic dynamic-programming workload
+// (Levenshtein distance with relayed diagonal dependencies).
+var NewEditDistance = systolic.NewEditDistance
+
+// NewBandMatMul builds the hexagonal-array band matrix multiplier — the
+// workload Fig. 3(c)'s hexagonal arrays were designed for.
+var NewBandMatMul = systolic.NewBandMatMul
+
+// NewBandMatrix builds a band matrix for NewBandMatMul.
+var NewBandMatrix = systolic.NewBandMatrix
+
+// NewPQ builds the systolic priority queue workload (one operation per
+// two cycles, constant-time extract-min).
+var NewPQ = systolic.NewPQ
+
+// NewInverterString builds a Section VII inverter string.
+var NewInverterString = wiresim.NewString
+
+// SectionVIIChip returns the configuration calibrated to the paper's
+// 2048-inverter test chip.
+var SectionVIIChip = wiresim.SectionVIIConfig
+
+// NewTreeMachine builds a Section VIII pipelined tree machine.
+var NewTreeMachine = treemachine.New
+
+// NewHybrid partitions an array into Section VI elements.
+var NewHybrid = hybrid.New
+
+// Clock propagation simulation (internal/clocksim re-exports): simulate
+// clock event arrival times through a tree and convert them into array
+// clock offsets.
+type (
+	// ClockParams are the electrical parameters of clock distribution.
+	ClockParams = clocksim.Params
+	// ClockArrivals are simulated per-node clock arrival times.
+	ClockArrivals = clocksim.Arrivals
+)
+
+// Clock propagation regimes.
+var (
+	// NominalClock propagates with exact per-unit delay M.
+	NominalClock = clocksim.Nominal
+	// RandomClock propagates with per-edge delays in U[M−Eps, M+Eps].
+	RandomClock = clocksim.Random
+	// AdversarialClock realizes A11's ε·s lower bound for a chosen pair.
+	AdversarialClock = clocksim.Adversarial
+)
+
+// RenderLayout writes an SVG of a graph and (optionally) its clock tree.
+var RenderLayout = viz.RenderGraphWithClock
+
+// RenderHybridLayout writes an SVG of a hybrid element partition.
+var RenderHybridLayout = viz.RenderHybrid

@@ -1,0 +1,110 @@
+package vlsisync
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeTopologiesAndClocks(t *testing.T) {
+	g, err := LinearArray(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := SpineClock(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := AnalyzeSkew(g, tree, SummationModel{Beta: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MaxSkew > 1+1e-9 {
+		t.Errorf("spine skew = %g", a.MaxSkew)
+	}
+}
+
+func TestFacadePlanner(t *testing.T) {
+	g, err := MeshArray(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := PlanSynchronization(g, Assumptions{
+		Model: ModelSummation, M: 1, Eps: 0.1, Delta: 2, BufferSpacing: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Scheme != "hybrid" {
+		t.Errorf("scheme = %s", p.Scheme)
+	}
+}
+
+func TestFacadeWorkloads(t *testing.T) {
+	f, err := NewFIR([]float64{1, 2}, []float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := f.Machine.RunIdeal(f.Cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Equal(f.Golden(f.Cycles), 1e-9) {
+		t.Error("facade FIR diverges")
+	}
+}
+
+func TestExperimentIDsComplete(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 15 {
+		t.Fatalf("experiment count = %d, want 15", len(ids))
+	}
+	if ids[0] != "E1" || ids[14] != "E15" {
+		t.Errorf("ids = %v", ids)
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	if _, err := RunExperiment("E99", true); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+// Each experiment must run in quick mode, produce a table, and pass its
+// own shape check — this is the repository's end-to-end reproduction
+// gate.
+func TestAllExperimentsPassQuick(t *testing.T) {
+	results, err := RunAllExperiments(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 15 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		if r.Table == nil || r.Table.NumRows() == 0 {
+			t.Errorf("%s: empty table", r.ID)
+		}
+		if r.PaperClaim == "" || r.Finding == "" {
+			t.Errorf("%s: missing claim or finding", r.ID)
+		}
+		if !r.Pass {
+			var b strings.Builder
+			_ = r.Table.Render(&b)
+			t.Errorf("%s (%s) FAILED:\n%s", r.ID, r.Title, b.String())
+		}
+	}
+}
+
+func TestExperimentTableRenders(t *testing.T) {
+	r, err := RunExperiment("E1", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := r.Table.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "topology") {
+		t.Errorf("table missing header:\n%s", b.String())
+	}
+}
