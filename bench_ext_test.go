@@ -4,6 +4,8 @@ package vlsisync
 // systolic workloads.
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"repro/internal/array"
@@ -286,6 +288,32 @@ func BenchmarkWorkload_PriorityQueue(b *testing.B) {
 			if got[j] != want[j] {
 				b.Fatalf("answer %d: %g != %g", j, got[j], want[j])
 			}
+		}
+	}
+}
+
+// BenchmarkSuiteSequential runs the full quick suite on one worker —
+// the baseline for the parallel runner's speedup.
+func BenchmarkSuiteSequential(b *testing.B) {
+	benchmarkSuite(b, 1)
+}
+
+// BenchmarkSuiteParallel runs the full quick suite on one worker per
+// CPU. Output is byte-identical to the sequential run (asserted in
+// TestParallelMatchesSequential); the benchmark measures the wall-time
+// win of fanning out experiments and their inner sweeps.
+func BenchmarkSuiteParallel(b *testing.B) {
+	benchmarkSuite(b, runtime.GOMAXPROCS(0))
+}
+
+func benchmarkSuite(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		results, _, err := RunExperiments(context.Background(), RunOptions{Quick: true, Parallel: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != len(ExperimentIDs()) {
+			b.Fatalf("completed %d of %d", len(results), len(ExperimentIDs()))
 		}
 	}
 }

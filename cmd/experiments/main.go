@@ -2,15 +2,25 @@
 // suite (DESIGN.md §4) and prints each experiment's table, claim, and
 // measured finding.
 //
+// Experiments run concurrently on a bounded worker pool (-parallel, one
+// worker per CPU by default). Every generator is seeded per task, so
+// the tables are byte-identical at any parallelism — only wall time
+// changes; a per-experiment timing summary goes to stderr (-metrics).
+// A failing experiment costs only its own slot: everything that
+// completed is still printed before the command exits non-zero.
+//
 // Usage:
 //
 //	experiments [-quick] [-format text|markdown|csv] [-run E4]
+//	            [-parallel N] [-timeout 5m] [-metrics=false]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	vlsisync "repro"
 )
@@ -21,6 +31,11 @@ func main() {
 	run := flag.String("run", "", "run a single experiment by ID (e.g. E4); default all")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	out := flag.String("out", "", "write output to a file instead of stdout")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"max concurrent experiments and inner sweep fan-out (1 = sequential; output is identical either way)")
+	timeout := flag.Duration("timeout", 0,
+		"overall deadline for the run, e.g. 5m (0 = none); unfinished experiments are reported as errors")
+	metrics := flag.Bool("metrics", true, "print per-experiment wall-time metrics to stderr")
 	flag.Parse()
 
 	if *list {
@@ -44,6 +59,7 @@ func main() {
 	}
 
 	var results []*vlsisync.ExperimentResult
+	var runErr error
 	if *run != "" {
 		r, err := vlsisync.RunExperiment(*run, *quick)
 		if err != nil {
@@ -51,10 +67,19 @@ func main() {
 		}
 		results = append(results, r)
 	} else {
-		var err error
-		results, err = vlsisync.RunAllExperiments(*quick)
-		if err != nil {
-			fail(err)
+		var ms []vlsisync.RunMetric
+		results, ms, runErr = vlsisync.RunExperiments(context.Background(), vlsisync.RunOptions{
+			Quick:    *quick,
+			Parallel: *parallel,
+			Timeout:  *timeout,
+		})
+		// Metrics carry measured wall times, so they go to stderr: the
+		// deterministic experiment tables on stdout (or -out) stay
+		// byte-identical across runs and parallelism settings.
+		if *metrics {
+			if err := vlsisync.MetricsTable(ms).Render(os.Stderr); err != nil {
+				fail(err)
+			}
 		}
 	}
 
@@ -89,6 +114,11 @@ func main() {
 		default:
 			fail(fmt.Errorf("unknown format %q", *format))
 		}
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %d of %d completed; failures:\n%v\n",
+			len(results), len(vlsisync.ExperimentIDs()), runErr)
+		os.Exit(1)
 	}
 	if failures > 0 {
 		fail(fmt.Errorf("%d experiment(s) failed", failures))

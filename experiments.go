@@ -1,8 +1,11 @@
 package vlsisync
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/array"
 	"repro/internal/clocktree"
@@ -10,6 +13,7 @@ import (
 	"repro/internal/embed"
 	"repro/internal/hybrid"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/selftimed"
 	"repro/internal/skew"
 	"repro/internal/stats"
@@ -29,10 +33,21 @@ type ExperimentResult struct {
 	Table      *report.Table
 }
 
+// runCtx carries one run's settings into the experiment runners. Every
+// runner derives its randomness from fixed per-task seeds, so results
+// are identical at any worker count — the suite's reproducibility bar.
+type runCtx struct {
+	ctx   context.Context
+	quick bool
+	// workers bounds the fan-out of an experiment's *inner* sweeps
+	// (e.g. E7's per-chip Monte Carlo); 1 keeps them sequential.
+	workers int
+}
+
 // experiment binds an ID to its runner.
 type experiment struct {
 	id, title string
-	run       func(quick bool) (*ExperimentResult, error)
+	run       func(rc *runCtx) (*ExperimentResult, error)
 }
 
 // experiments lists the full suite in DESIGN.md order.
@@ -62,25 +77,79 @@ func ExperimentIDs() []string {
 // RunExperiment reproduces one claim. With quick set, sweeps are reduced
 // for test and benchmark use; the shapes tested are the same.
 func RunExperiment(id string, quick bool) (*ExperimentResult, error) {
+	rc := &runCtx{ctx: context.Background(), quick: quick, workers: 1}
 	for _, e := range experiments {
 		if e.id == id {
-			return e.run(quick)
+			return e.run(rc)
 		}
 	}
 	return nil, fmt.Errorf("vlsisync: unknown experiment %q (have %v)", id, ExperimentIDs())
 }
 
-// RunAllExperiments reproduces the whole suite in order.
-func RunAllExperiments(quick bool) ([]*ExperimentResult, error) {
-	var out []*ExperimentResult
-	for _, e := range experiments {
-		r, err := e.run(quick)
-		if err != nil {
-			return nil, fmt.Errorf("vlsisync: %s: %w", e.id, err)
-		}
-		out = append(out, r)
+// RunOptions configures a suite run.
+type RunOptions struct {
+	// Quick reduces sweep sizes for test and benchmark use.
+	Quick bool
+	// Parallel bounds how many experiments run concurrently and how far
+	// an experiment may fan out its inner sweeps. Values <= 1 run the
+	// suite strictly sequentially. The rendered tables are identical at
+	// every setting; only wall time changes.
+	Parallel int
+	// Timeout, when positive, bounds the whole run. Experiments not
+	// finished at the deadline are reported as errors; completed ones
+	// keep their results.
+	Timeout time.Duration
+}
+
+// RunExperiments reproduces the suite under opts. It returns the results
+// of every experiment that completed (in suite order), one RunMetric per
+// experiment (wall time, sweep rows, pass/fail/error, also in suite
+// order), and the aggregated error of all failures, nil if none.
+//
+// Failure handling is collect-all: one flaky experiment costs only its
+// own slot, never the others' results.
+func RunExperiments(ctx context.Context, opts RunOptions) ([]*ExperimentResult, []report.RunMetric, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	return out, nil
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
+	workers := opts.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	rs := runner.Map(ctx, workers, len(experiments),
+		func(ctx context.Context, i int) (*ExperimentResult, error) {
+			rc := &runCtx{ctx: ctx, quick: opts.Quick, workers: workers}
+			return experiments[i].run(rc)
+		})
+	results := make([]*ExperimentResult, 0, len(rs))
+	metrics := make([]report.RunMetric, len(rs))
+	var errs []error
+	for i, r := range rs {
+		m := report.RunMetric{ID: experiments[i].id, Wall: r.Wall, Err: r.Err}
+		if r.Err == nil {
+			m.Pass = r.Value.Pass
+			m.Rows = r.Value.Table.NumRows()
+			results = append(results, r.Value)
+		} else {
+			errs = append(errs, fmt.Errorf("vlsisync: %s: %w", experiments[i].id, r.Err))
+		}
+		metrics[i] = m
+	}
+	return results, metrics, errors.Join(errs...)
+}
+
+// RunAllExperiments reproduces the whole suite in order. Unlike earlier
+// revisions it does not abort on the first failure: it returns every
+// completed experiment's result alongside the aggregated error of the
+// ones that failed.
+func RunAllExperiments(quick bool) ([]*ExperimentResult, error) {
+	results, _, err := RunExperiments(context.Background(), RunOptions{Quick: quick, Parallel: 1})
+	return results, err
 }
 
 func sizes(quick bool, full, reduced []int) []int {
@@ -93,7 +162,7 @@ func sizes(quick bool, full, reduced []int) []int {
 // runE1: equalized H-trees give zero difference-model skew on linear,
 // square, and hexagonal arrays, with constant-factor wire area (Lemma 1,
 // Theorem 2).
-func runE1(quick bool) (*ExperimentResult, error) {
+func runE1(rc *runCtx) (*ExperimentResult, error) {
 	tbl := report.NewTable("E1: H-tree, difference model f(d)=d",
 		"topology", "n", "cells", "max skew", "wire/cell")
 	model := skew.Difference{}
@@ -109,7 +178,7 @@ func runE1(quick bool) (*ExperimentResult, error) {
 	}
 	firstWire := map[string]float64{}
 	for _, tp := range topos {
-		for _, n := range sizes(quick, []int{4, 8, 16, 32}, []int{4, 8, 16}) {
+		for _, n := range sizes(rc.quick, []int{4, 8, 16, 32}, []int{4, 8, 16}) {
 			g, err := tp.build(n)
 			if err != nil {
 				return nil, err
@@ -150,11 +219,11 @@ func runE1(quick bool) (*ExperimentResult, error) {
 // runE2: the same H-tree under the summation model has skew growing with
 // array size even on linear arrays (the Fig. 3(a) failure the paper uses
 // to motivate Section V).
-func runE2(quick bool) (*ExperimentResult, error) {
+func runE2(rc *runCtx) (*ExperimentResult, error) {
 	tbl := report.NewTable("E2: H-tree on linear arrays, summation model g(s)=s",
 		"n", "max skew", "worst pair s")
 	var ns, skews []float64
-	for _, n := range sizes(quick, []int{8, 16, 32, 64, 128, 256}, []int{8, 16, 32, 64}) {
+	for _, n := range sizes(rc.quick, []int{8, 16, 32, 64, 128, 256}, []int{8, 16, 32, 64}) {
 		g, err := comm.Linear(n)
 		if err != nil {
 			return nil, err
@@ -191,12 +260,12 @@ func runE2(quick bool) (*ExperimentResult, error) {
 // runE3: spine clocking keeps summation-model skew and the end-to-end
 // minimum working period constant on 1D arrays of any size, in straight,
 // folded, and comb layouts (Theorem 3, Figs. 4-6).
-func runE3(quick bool) (*ExperimentResult, error) {
+func runE3(rc *runCtx) (*ExperimentResult, error) {
 	tbl := report.NewTable("E3: spine clock on 1D arrays, summation model g(s)=s",
 		"layout", "n", "max skew", "FIR min period")
 	pass := true
 	var periods []float64
-	for _, n := range sizes(quick, []int{8, 32, 128}, []int{6, 12}) {
+	for _, n := range sizes(rc.quick, []int{8, 32, 128}, []int{6, 12}) {
 		layouts := []struct {
 			name  string
 			remap func(*comm.Graph) (*comm.Graph, error)
@@ -293,14 +362,14 @@ func firMinPeriod(n int, unitSkewPerPitch float64) (float64, error) {
 // runE4: the Section V-B lower bound — for every candidate clock tree on
 // an n×n mesh the guaranteed summation skew is Ω(n), and the mechanized
 // proof's certified bound grows linearly while staying below it.
-func runE4(quick bool) (*ExperimentResult, error) {
+func runE4(rc *runCtx) (*ExperimentResult, error) {
 	tbl := report.NewTable("E4: n×n mesh, summation model with β=1",
 		"n", "best tree", "min guaranteed skew", "certified bound")
 	model := skew.Summation{Beta: 1}
 	factories := skew.StandardFactories(3, 1234)
 	var ns, best []float64
 	pass := true
-	for _, n := range sizes(quick, []int{6, 8, 12, 16, 24, 32}, []int{6, 10, 16}) {
+	for _, n := range sizes(rc.quick, []int{6, 8, 12, 16, 24, 32}, []int{6, 10, 16}) {
 		g, err := comm.Mesh(n, n)
 		if err != nil {
 			return nil, err
@@ -338,33 +407,51 @@ func runE4(quick bool) (*ExperimentResult, error) {
 
 // runE5: Section I's self-timing analysis — rigid waves hit the worst
 // case with probability 1 − p^k, so large arrays run at worst-case speed.
-func runE5(quick bool) (*ExperimentResult, error) {
+func runE5(rc *runCtx) (*ExperimentResult, error) {
 	d := selftimed.Delays{Fast: 1, Worst: 2, PWorst: 0.1}
 	p := 1 - d.PWorst
 	waves := 4000
-	if quick {
+	if rc.quick {
 		waves = 800
 	}
 	tbl := report.NewTable("E5: self-timed 1D arrays, fast=1 worst=2 P(worst)=0.1",
 		"k cells", "1-p^k", "predicted interval", "rigid interval", "elastic interval")
 	pass := true
-	for _, k := range sizes(quick, []int{1, 2, 4, 8, 16, 32, 64, 128}, []int{1, 4, 16, 64}) {
+	// Each sweep point seeds its own generators from k, so the points
+	// fan out across workers and reassemble in order bit-for-bit.
+	ks := sizes(rc.quick, []int{1, 2, 4, 8, 16, 32, 64, 128}, []int{1, 4, 16, 64})
+	type point struct {
+		prob, predicted, rigid, elastic float64
+	}
+	rs := runner.Map(rc.ctx, rc.workers, len(ks), func(_ context.Context, i int) (point, error) {
+		k := ks[i]
 		g, err := comm.Linear(k)
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
 		rigid, err := selftimed.RunRigid(g, waves, d, stats.NewRNG(int64(k)))
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
 		elastic, err := selftimed.Run(g, waves, d, stats.NewRNG(int64(k)))
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
 		prob := selftimed.WorstCaseProb(p, k)
-		predicted := d.Fast + (d.Worst-d.Fast)*prob
-		tbl.AddRow(k, prob, predicted, rigid.MeanInterval, elastic.MeanInterval)
-		if math.Abs(rigid.MeanInterval-predicted) > 0.06 {
+		return point{
+			prob:      prob,
+			predicted: d.Fast + (d.Worst-d.Fast)*prob,
+			rigid:     rigid.MeanInterval,
+			elastic:   elastic.MeanInterval,
+		}, nil
+	})
+	if err := runner.Join(rs); err != nil {
+		return nil, err
+	}
+	for i, r := range rs {
+		v := r.Value
+		tbl.AddRow(ks[i], v.prob, v.predicted, v.rigid, v.elastic)
+		if math.Abs(v.rigid-v.predicted) > 0.06 {
 			pass = false
 		}
 	}
@@ -385,31 +472,44 @@ func runE5(quick bool) (*ExperimentResult, error) {
 // runE6: the Section VII chip — equipotential cycle grows linearly with
 // string length while the pipelined cycle stays nearly flat, giving ≈68×
 // at 2048 inverters, consistently across chips.
-func runE6(quick bool) (*ExperimentResult, error) {
+func runE6(rc *runCtx) (*ExperimentResult, error) {
 	tbl := report.NewTable("E6: inverter string (Section VII calibration, times in ns)",
 		"n", "equipotential", "pipelined", "speedup")
 	cfg := wiresim.SectionVIIConfig()
 	var speedup2048 []float64
 	pass := true
-	for _, n := range sizes(quick, []int{128, 256, 512, 1024, 2048, 4096}, []int{256, 1024, 2048}) {
+	ns := sizes(rc.quick, []int{128, 256, 512, 1024, 2048, 4096}, []int{256, 1024, 2048})
+	type point struct {
+		equi, pipe float64
+		speedups   []float64 // the five-chip replication, at n=2048 only
+	}
+	rs := runner.Map(rc.ctx, rc.workers, len(ns), func(_ context.Context, i int) (point, error) {
+		n := ns[i]
 		c := cfg
 		c.N = n
 		s, err := wiresim.NewString(c, stats.NewRNG(int64(n)))
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
-		equi := s.EquipotentialCycle() * 1e9
-		pipe := s.MinPipelinedPeriod() * 1e9
-		tbl.AddRow(n, equi, pipe, equi/pipe)
+		pt := point{equi: s.EquipotentialCycle() * 1e9, pipe: s.MinPipelinedPeriod() * 1e9}
 		if n == 2048 {
 			for seed := int64(0); seed < 5; seed++ {
 				chip, err := wiresim.NewString(c, stats.NewRNG(seed))
 				if err != nil {
-					return nil, err
+					return point{}, err
 				}
-				speedup2048 = append(speedup2048, chip.Speedup())
+				pt.speedups = append(pt.speedups, chip.Speedup())
 			}
 		}
+		return pt, nil
+	})
+	if err := runner.Join(rs); err != nil {
+		return nil, err
+	}
+	for i, r := range rs {
+		v := r.Value
+		tbl.AddRow(ns[i], v.equi, v.pipe, v.equi/v.pipe)
+		speedup2048 = append(speedup2048, v.speedups...)
 	}
 	mean := stats.Mean(speedup2048)
 	spread := (stats.Max(speedup2048) - stats.Min(speedup2048)) / mean
@@ -434,26 +534,39 @@ func runE6(quick bool) (*ExperimentResult, error) {
 // runE7: Section VII's probabilistic analysis — with zero design bias,
 // per-stage N(0,V) variation accumulates so that the cycle time accepted
 // at a fixed yield grows as √n.
-func runE7(quick bool) (*ExperimentResult, error) {
+func runE7(rc *runCtx) (*ExperimentResult, error) {
 	tbl := report.NewTable("E7: random discrepancy accumulation (noise sd 0.05/stage)",
 		"n", "mean max discrepancy", "90%-yield min period")
 	chips := 80
-	if quick {
+	if rc.quick {
 		chips = 25
 	}
 	var ns, discs []float64
-	for _, n := range sizes(quick, []int{64, 256, 1024, 4096}, []int{64, 256, 1024}) {
-		var maxDisc []float64
-		var periods []float64
-		for seed := 0; seed < chips; seed++ {
+	for _, n := range sizes(rc.quick, []int{64, 256, 1024, 4096}, []int{64, 256, 1024}) {
+		n := n
+		// The per-chip Monte Carlo is the suite's heaviest inner sweep;
+		// each simulated chip is seeded independently, so the chips fan
+		// out across workers without disturbing the statistics.
+		type chip struct {
+			disc, period float64
+		}
+		rs := runner.Map(rc.ctx, rc.workers, chips, func(_ context.Context, seed int) (chip, error) {
 			s, err := wiresim.NewString(wiresim.Config{
 				N: n, StageDelay: 1, NoiseSD: 0.05,
 			}, stats.NewRNG(int64(seed*7919+n)))
 			if err != nil {
-				return nil, err
+				return chip{}, err
 			}
-			maxDisc = append(maxDisc, s.MaxDiscrepancy())
-			periods = append(periods, s.MinPipelinedPeriod())
+			return chip{disc: s.MaxDiscrepancy(), period: s.MinPipelinedPeriod()}, nil
+		})
+		if err := runner.Join(rs); err != nil {
+			return nil, err
+		}
+		maxDisc := make([]float64, chips)
+		periods := make([]float64, chips)
+		for i, r := range rs {
+			maxDisc[i] = r.Value.disc
+			periods[i] = r.Value.period
 		}
 		mean := stats.Mean(maxDisc)
 		yield90 := stats.QuantileAtYield(periods, 0.9)
@@ -480,7 +593,7 @@ func runE7(quick bool) (*ExperimentResult, error) {
 // runE8: the Section VI hybrid scheme — constant cycle time while a
 // global summation-model clock's period grows; systolic matmul results
 // remain exactly correct under hybrid synchronization.
-func runE8(quick bool) (*ExperimentResult, error) {
+func runE8(rc *runCtx) (*ExperimentResult, error) {
 	tbl := report.NewTable("E8: hybrid vs global clock on n×n meshes (δ=2, β=0.1)",
 		"n", "hybrid cycle", "global period (A5)", "matmul correct")
 	cfg := hybrid.Config{
@@ -489,7 +602,7 @@ func runE8(quick bool) (*ExperimentResult, error) {
 	}
 	pass := true
 	var globals []float64
-	for _, n := range sizes(quick, []int{4, 8, 16, 32}, []int{4, 8, 16}) {
+	for _, n := range sizes(rc.quick, []int{4, 8, 16, 32}, []int{4, 8, 16}) {
 		g, err := comm.Mesh(n, n)
 		if err != nil {
 			return nil, err
@@ -580,11 +693,11 @@ func hybridMatMulCorrect(n int, cfg hybrid.Config) (bool, error) {
 // runE9: assumption A5 made measurable — the bisected minimum working
 // period of clocked systolic arrays equals δ plus the directed skew, and
 // A5's σ + δ bounds it from above.
-func runE9(quick bool) (*ExperimentResult, error) {
+func runE9(rc *runCtx) (*ExperimentResult, error) {
 	tbl := report.NewTable("E9: minimum working period vs A5 prediction (δ=1)",
 		"workload", "n", "σ (comm)", "measured", "exact prediction", "A5 bound")
 	pass := true
-	for _, n := range sizes(quick, []int{4, 8, 16}, []int{4, 8}) {
+	for _, n := range sizes(rc.quick, []int{4, 8, 16}, []int{4, 8}) {
 		weights := make([]float64, n)
 		for i := range weights {
 			weights[i] = float64(i + 1)
@@ -632,11 +745,11 @@ func runE9(quick bool) (*ExperimentResult, error) {
 
 // runE10: the grid-folding support for Theorem 2 — the paper's example
 // n^(2/3) × n^(1/3) grids fold to aspect ≤ 2 with no area growth.
-func runE10(quick bool) (*ExperimentResult, error) {
+func runE10(rc *runCtx) (*ExperimentResult, error) {
 	tbl := report.NewTable("E10: folding n^(2/3) x n^(1/3) grids square",
 		"N", "source", "target", "dilation", "area factor")
 	pass := true
-	for _, exp := range sizes(quick, []int{9, 12, 15, 18}, []int{9, 12}) {
+	for _, exp := range sizes(rc.quick, []int{9, 12, 15, 18}, []int{9, 12}) {
 		n := 1 << exp // N = 2^exp, source is 2^(exp/3) × 2^(2exp/3)
 		rows := 1 << (exp / 3)
 		cols := n / rows
@@ -671,12 +784,12 @@ func runE10(quick bool) (*ExperimentResult, error) {
 
 // runE11: the Section VIII tree machine — constant pipeline interval,
 // O(√N) latency, O(N) registers and area.
-func runE11(quick bool) (*ExperimentResult, error) {
+func runE11(rc *runCtx) (*ExperimentResult, error) {
 	tbl := report.NewTable("E11: pipelined tree machine (buffer spacing 1.5)",
 		"levels", "N", "latency", "interval", "registers/N", "area/N")
 	pass := true
 	var ns, lats []float64
-	for _, levels := range sizes(quick, []int{4, 6, 8, 10, 12}, []int{4, 6, 8}) {
+	for _, levels := range sizes(rc.quick, []int{4, 6, 8, 10, 12}, []int{4, 6, 8}) {
 		m, err := treemachine.New(treemachine.Config{Levels: levels, BufferSpacing: 1.5})
 		if err != nil {
 			return nil, err

@@ -34,13 +34,13 @@ func init() {
 // its own data-wire length — skew grows toward the root (Θ(√N)) but the
 // skew-to-wire ratio is a constant, so relative to communication delay
 // nothing is lost asymptotically.
-func runE12(quick bool) (*ExperimentResult, error) {
+func runE12(rc *runCtx) (*ExperimentResult, error) {
 	tbl := report.NewTable("E12: clock along the data paths of an H-tree COMM tree (β=0.1)",
 		"levels", "N", "max pair skew", "max pair wire", "skew/wire", "root edge")
 	beta := 0.1
 	pass := true
 	var ns, skews []float64
-	for _, levels := range sizes(quick, []int{4, 6, 8, 10, 12}, []int{4, 6, 8}) {
+	for _, levels := range sizes(rc.quick, []int{4, 6, 8, 10, 12}, []int{4, 6, 8}) {
 		g, err := comm.CompleteBinaryTree(levels)
 		if err != nil {
 			return nil, err
@@ -91,12 +91,12 @@ func runE12(quick bool) (*ExperimentResult, error) {
 // arrivals into array clock offsets, and run a systolic FIR against its
 // golden reference; then show the same pipeline corrupting an H-tree-
 // clocked array under the adversarial assignment unless the period grows.
-func runE13(quick bool) (*ExperimentResult, error) {
+func runE13(rc *runCtx) (*ExperimentResult, error) {
 	tbl := report.NewTable("E13: simulated clock propagation driving a systolic FIR (m=1, ε=0.2)",
 		"n", "clock", "max comm skew", "period", "correct")
 	p := clocksim.Params{M: 1, Eps: 0.2}
 	pass := true
-	for _, n := range sizes(quick, []int{8, 16, 32}, []int{6, 12}) {
+	for _, n := range sizes(rc.quick, []int{8, 16, 32}, []int{6, 12}) {
 		weights := make([]float64, n)
 		for i := range weights {
 			weights[i] = float64(i%5) - 2
@@ -212,18 +212,18 @@ func worstSummationPair(g *comm.Graph, tree *clocktree.Tree) (comm.CellID, comm.
 //
 // "We would thus expect pipelined clocking to be most applicable where
 // switches are fast and wires are slow" — this table is that statement.
-func runE15(quick bool) (*ExperimentResult, error) {
+func runE15(rc *runCtx) (*ExperimentResult, error) {
 	tbl := report.NewTable("E15: clock period vs mesh size (RC wire R'=C'=1, buffer delay 2, bias 0.01)",
 		"n", "root path P", "unbuffered RC", "buffered equipotential", "pipelined")
-	rc := wiresim.RCWire{RPerUnit: 1, CPerUnit: 1, BufferDelay: 2}
-	spacing, err := rc.OptimalSpacing()
+	wire := wiresim.RCWire{RPerUnit: 1, CPerUnit: 1, BufferDelay: 2}
+	spacing, err := wire.OptimalSpacing()
 	if err != nil {
 		return nil, err
 	}
-	params := clocksim.Params{M: 1, Eps: 0.1, BufferDelay: rc.BufferDelay,
-		MinSeparation: 2 * rc.BufferDelay, RiseFallBias: 0.01}
+	params := clocksim.Params{M: 1, Eps: 0.1, BufferDelay: wire.BufferDelay,
+		MinSeparation: 2 * wire.BufferDelay, RiseFallBias: 0.01}
 	var ns, unb, buf, pipe []float64
-	for _, n := range sizes(quick, []int{4, 8, 16, 32, 64}, []int{4, 8, 16}) {
+	for _, n := range sizes(rc.quick, []int{4, 8, 16, 32, 64}, []int{4, 8, 16}) {
 		g, err := comm.Mesh(n, n)
 		if err != nil {
 			return nil, err
@@ -237,11 +237,11 @@ func runE15(quick bool) (*ExperimentResult, error) {
 			return nil, err
 		}
 		p := tree.MaxRootDist()
-		u, err := rc.UnbufferedSettle(p)
+		u, err := wire.UnbufferedSettle(p)
 		if err != nil {
 			return nil, err
 		}
-		b, err := rc.BufferedDelay(p, spacing)
+		b, err := wire.BufferedDelay(p, spacing)
 		if err != nil {
 			return nil, err
 		}
@@ -287,17 +287,17 @@ func runE15(quick bool) (*ExperimentResult, error) {
 // runE14: metastability accounting — conventional synchronizers fail at
 // a rate proportional to the number of asynchronous boundary crossings,
 // while the hybrid scheme's subordinated clocks have no crossings at all.
-func runE14(quick bool) (*ExperimentResult, error) {
+func runE14(rc *runCtx) (*ExperimentResult, error) {
 	tbl := report.NewTable("E14: synchronizer MTBF vs asynchronous crossings (τ=1, Tw=0.01, f=100, fd=10)",
 		"crossings", "MTBF (resolve=20τ)", "resolve for MTBF 1e9", "simulated failures")
 	s := metastable.Synchronizer{Tau: 1, Window: 0.01, ClockFreq: 100, DataRate: 10}
 	cycles := 400000
-	if quick {
+	if rc.quick {
 		cycles = 100000
 	}
 	pass := true
 	var prevMTBF float64
-	for _, crossings := range sizes(quick, []int{1, 16, 64, 256, 1024}, []int{1, 64, 1024}) {
+	for _, crossings := range sizes(rc.quick, []int{1, 16, 64, 256, 1024}, []int{1, 64, 1024}) {
 		mtbf, err := s.SystemMTBF(20, crossings)
 		if err != nil {
 			return nil, err

@@ -4,6 +4,7 @@
 package report
 
 import (
+	"encoding/csv"
 	"fmt"
 	"io"
 	"strings"
@@ -40,15 +41,23 @@ func (t *Table) AddRow(values ...interface{}) {
 // NumRows returns the number of data rows.
 func (t *Table) NumRows() int { return len(t.rows) }
 
-// Render writes the table as aligned text.
+// Render writes the table as aligned text. Rows wider than the header
+// get their own columns (headers render empty there); narrower rows
+// leave trailing cells blank.
 func (t *Table) Render(w io.Writer) error {
-	widths := make([]int, len(t.Columns))
+	ncols := len(t.Columns)
+	for _, row := range t.rows {
+		if len(row) > ncols {
+			ncols = len(row)
+		}
+	}
+	widths := make([]int, ncols)
 	for i, c := range t.Columns {
 		widths[i] = len([]rune(c))
 	}
 	for _, row := range t.rows {
 		for i, cell := range row {
-			if i < len(widths) && len([]rune(cell)) > widths[i] {
+			if len([]rune(cell)) > widths[i] {
 				widths[i] = len([]rune(cell))
 			}
 		}
@@ -70,7 +79,7 @@ func (t *Table) Render(w io.Writer) error {
 		b.WriteByte('\n')
 	}
 	writeRow(t.Columns)
-	sep := make([]string, len(t.Columns))
+	sep := make([]string, ncols)
 	for i, w := range widths {
 		sep[i] = strings.Repeat("-", w)
 	}
@@ -101,14 +110,19 @@ func (t *Table) RenderMarkdown(w io.Writer) error {
 	return err
 }
 
-// RenderCSV writes the table as CSV (values must not contain commas or
-// newlines; the experiment suite's numeric output never does).
+// RenderCSV writes the table as RFC 4180 CSV. Cells containing commas,
+// quotes, or newlines are quoted by encoding/csv, so arbitrary labels
+// round-trip instead of corrupting the record structure.
 func (t *Table) RenderCSV(w io.Writer) error {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s\n", strings.Join(t.Columns, ","))
-	for _, row := range t.rows {
-		fmt.Fprintf(&b, "%s\n", strings.Join(row, ","))
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
 	}
-	_, err := io.WriteString(w, b.String())
-	return err
+	for _, row := range t.rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }

@@ -1,0 +1,125 @@
+// Package runner is the experiment suite's bounded worker pool. It fans
+// a fixed set of independent tasks out over a limited number of
+// goroutines, returns every task's outcome in input order, and never
+// lets one failure discard the others' results — the concurrency analog
+// of the paper's point that independent cells should not wait on a
+// global serialization point.
+//
+// Determinism contract: tasks receive only their input index, so a task
+// that derives all of its randomness from that index (e.g. via
+// stats.NewRNG/Fork) produces the same Result at any worker count,
+// including workers == 1, which runs every task inline on the calling
+// goroutine.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Result is one task's outcome.
+type Result[T any] struct {
+	Value T
+	Err   error
+	// Wall is how long the task ran. Zero for tasks never started
+	// (cancelled before dispatch).
+	Wall time.Duration
+}
+
+// Map runs fn(ctx, i) for every i in [0, n) with at most workers
+// concurrent goroutines and returns the n results in input order.
+//
+// Failure handling is collect-all: every task is attempted even when
+// earlier ones fail, and each task's error is recorded in its own slot.
+// A panic inside fn is recovered into that task's Err rather than
+// crashing the pool. Once ctx is cancelled, tasks not yet started are
+// not run; their Err is ctx's error.
+//
+// workers <= 1 (or n == 1) runs the tasks sequentially on the calling
+// goroutine, with no pool overhead.
+func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) []Result[T] {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]Result[T], n)
+	if n == 0 {
+		return out
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				out[i] = Result[T]{Err: err}
+				continue
+			}
+			out[i] = run(ctx, i, fn)
+		}
+		return out
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = run(ctx, i, fn)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			out[i] = Result[T]{Err: err}
+			continue
+		}
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			out[i] = Result[T]{Err: ctx.Err()}
+		}
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// run executes one task, converting a panic into an error.
+func run[T any](ctx context.Context, i int, fn func(ctx context.Context, i int) (T, error)) (res Result[T]) {
+	start := time.Now()
+	defer func() {
+		res.Wall = time.Since(start)
+		if p := recover(); p != nil {
+			res.Err = fmt.Errorf("runner: task %d panicked: %v", i, p)
+		}
+	}()
+	res.Value, res.Err = fn(ctx, i)
+	return res
+}
+
+// Join aggregates the errors of rs (in order) into one error, or nil if
+// every task succeeded.
+func Join[T any](rs []Result[T]) error {
+	var errs []error
+	for _, r := range rs {
+		if r.Err != nil {
+			errs = append(errs, r.Err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Values extracts the task values of rs in order, skipping failed tasks.
+func Values[T any](rs []Result[T]) []T {
+	vs := make([]T, 0, len(rs))
+	for _, r := range rs {
+		if r.Err == nil {
+			vs = append(vs, r.Value)
+		}
+	}
+	return vs
+}

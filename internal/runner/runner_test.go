@@ -1,0 +1,190 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrderAndValues(t *testing.T) {
+	rs := Map(context.Background(), 4, 20, func(_ context.Context, i int) (int, error) {
+		return i * i, nil
+	})
+	if len(rs) != 20 {
+		t.Fatalf("results = %d", len(rs))
+	}
+	for i, r := range rs {
+		if r.Err != nil {
+			t.Fatalf("task %d: %v", i, r.Err)
+		}
+		if r.Value != i*i {
+			t.Errorf("task %d = %d, want %d", i, r.Value, i*i)
+		}
+	}
+	if err := Join(rs); err != nil {
+		t.Errorf("Join = %v", err)
+	}
+	vs := Values(rs)
+	if len(vs) != 20 || vs[3] != 9 {
+		t.Errorf("Values = %v", vs)
+	}
+}
+
+func TestMapSequentialMatchesParallel(t *testing.T) {
+	f := func(_ context.Context, i int) (string, error) {
+		return fmt.Sprintf("task-%d", i), nil
+	}
+	seq := Map(context.Background(), 1, 16, f)
+	par := Map(context.Background(), 8, 16, f)
+	for i := range seq {
+		if seq[i].Value != par[i].Value {
+			t.Errorf("task %d: sequential %q vs parallel %q", i, seq[i].Value, par[i].Value)
+		}
+	}
+}
+
+func TestMapCollectsAllErrors(t *testing.T) {
+	boom := errors.New("boom")
+	rs := Map(context.Background(), 3, 10, func(_ context.Context, i int) (int, error) {
+		if i%2 == 1 {
+			return 0, fmt.Errorf("task %d: %w", i, boom)
+		}
+		return i, nil
+	})
+	var failed int
+	for i, r := range rs {
+		if i%2 == 1 {
+			if !errors.Is(r.Err, boom) {
+				t.Errorf("task %d: err = %v", i, r.Err)
+			}
+			failed++
+		} else if r.Err != nil || r.Value != i {
+			t.Errorf("task %d: value %d err %v", i, r.Value, r.Err)
+		}
+	}
+	if failed != 5 {
+		t.Errorf("failed = %d, want 5", failed)
+	}
+	err := Join(rs)
+	if !errors.Is(err, boom) {
+		t.Fatalf("Join = %v", err)
+	}
+	if got := len(Values(rs)); got != 5 {
+		t.Errorf("Values kept %d, want 5", got)
+	}
+}
+
+func TestMapBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int32
+	rs := Map(context.Background(), workers, 24, func(_ context.Context, _ int) (int, error) {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return 0, nil
+	})
+	if err := Join(rs); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+}
+
+func TestMapPanicBecomesError(t *testing.T) {
+	rs := Map(context.Background(), 2, 4, func(_ context.Context, i int) (int, error) {
+		if i == 2 {
+			panic("kaboom")
+		}
+		return i, nil
+	})
+	if rs[2].Err == nil || !strings.Contains(rs[2].Err.Error(), "kaboom") {
+		t.Errorf("panic not converted: %v", rs[2].Err)
+	}
+	for _, i := range []int{0, 1, 3} {
+		if rs[i].Err != nil {
+			t.Errorf("task %d poisoned by sibling panic: %v", i, rs[i].Err)
+		}
+	}
+}
+
+func TestMapCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 64)
+	rs := Map(ctx, 2, 64, func(ctx context.Context, i int) (int, error) {
+		started <- struct{}{}
+		if i == 0 {
+			cancel()
+		}
+		<-ctx.Done()
+		return i, ctx.Err()
+	})
+	var cancelled, ran int
+	for _, r := range rs {
+		if errors.Is(r.Err, context.Canceled) {
+			cancelled++
+		}
+		if r.Wall > 0 {
+			ran++
+		}
+	}
+	if cancelled != 64 {
+		t.Errorf("cancelled = %d, want 64", cancelled)
+	}
+	if ran >= 64 {
+		t.Errorf("every task started despite cancellation")
+	}
+	if len(started) >= 64 {
+		t.Errorf("dispatch did not stop after cancel")
+	}
+}
+
+func TestMapSequentialHonorsCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	rs := Map(ctx, 1, 5, func(_ context.Context, i int) (int, error) {
+		calls++
+		return i, nil
+	})
+	if calls != 0 {
+		t.Errorf("ran %d tasks under a dead context", calls)
+	}
+	for _, r := range rs {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("err = %v", r.Err)
+		}
+	}
+}
+
+func TestMapZeroTasks(t *testing.T) {
+	rs := Map[int](context.Background(), 4, 0, nil)
+	if len(rs) != 0 {
+		t.Errorf("results = %d", len(rs))
+	}
+	if err := Join(rs); err != nil {
+		t.Errorf("Join = %v", err)
+	}
+}
+
+func TestMapNilContext(t *testing.T) {
+	rs := Map(nil, 2, 3, func(ctx context.Context, i int) (int, error) { //nolint:staticcheck
+		if ctx == nil {
+			return 0, errors.New("nil ctx leaked to task")
+		}
+		return i, nil
+	})
+	if err := Join(rs); err != nil {
+		t.Fatal(err)
+	}
+}

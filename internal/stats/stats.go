@@ -13,22 +13,85 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 )
 
 // RNG is the repository's random number generator. It wraps math/rand with
 // an explicit seed so experiments are deterministic.
+//
+// An RNG is single-goroutine: sampling methods detect overlapping calls
+// from multiple goroutines and panic instead of silently racing on the
+// underlying math/rand state (which would destroy reproducibility).
+// Concurrent code must give each goroutine its own generator, derived
+// with Fork so results stay deterministic at any parallelism.
 type RNG struct {
-	*rand.Rand
+	rand *rand.Rand
 	seed int64
+	// busy guards rand: set while a sampling method is running, so a
+	// second goroutine entering concurrently is caught deterministically.
+	busy atomic.Bool
 }
 
 // NewRNG returns a deterministic generator for the given seed.
 func NewRNG(seed int64) *RNG {
-	return &RNG{Rand: rand.New(rand.NewSource(seed)), seed: seed}
+	return &RNG{rand: rand.New(rand.NewSource(seed)), seed: seed}
 }
 
 // Seed returns the seed the generator was created with.
 func (r *RNG) Seed() int64 { return r.seed }
+
+// enter marks the generator busy; it panics if another goroutine is
+// mid-call, turning a data race into a deterministic error.
+func (r *RNG) enter() {
+	if !r.busy.CompareAndSwap(false, true) {
+		panic("stats: RNG used concurrently from multiple goroutines; give each goroutine its own generator via Fork")
+	}
+}
+
+// exit marks the generator free again.
+func (r *RNG) exit() { r.busy.Store(false) }
+
+// Float64 returns a sample from U[0, 1).
+func (r *RNG) Float64() float64 {
+	r.enter()
+	defer r.exit()
+	return r.rand.Float64()
+}
+
+// NormFloat64 returns a sample from the standard normal distribution.
+func (r *RNG) NormFloat64() float64 {
+	r.enter()
+	defer r.exit()
+	return r.rand.NormFloat64()
+}
+
+// Intn returns a uniform sample from [0, n); it panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	r.enter()
+	defer r.exit()
+	return r.rand.Intn(n)
+}
+
+// Int63 returns a uniform non-negative 63-bit integer.
+func (r *RNG) Int63() int64 {
+	r.enter()
+	defer r.exit()
+	return r.rand.Int63()
+}
+
+// Perm returns a uniform random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	r.enter()
+	defer r.exit()
+	return r.rand.Perm(n)
+}
+
+// Shuffle randomizes the order of n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	r.enter()
+	defer r.exit()
+	r.rand.Shuffle(n, swap)
+}
 
 // Fork derives an independent generator from r, keyed by id. Forked
 // generators let concurrent or per-entity streams stay reproducible
@@ -47,16 +110,24 @@ func mix64(z uint64) int64 {
 
 // Uniform returns a sample from U[lo, hi).
 func (r *RNG) Uniform(lo, hi float64) float64 {
-	return lo + (hi-lo)*r.Float64()
+	r.enter()
+	defer r.exit()
+	return lo + (hi-lo)*r.rand.Float64()
 }
 
 // Normal returns a sample from N(mean, sd²).
 func (r *RNG) Normal(mean, sd float64) float64 {
-	return mean + sd*r.NormFloat64()
+	r.enter()
+	defer r.exit()
+	return mean + sd*r.rand.NormFloat64()
 }
 
 // Bernoulli returns true with probability p.
-func (r *RNG) Bernoulli(p float64) bool { return r.Float64() < p }
+func (r *RNG) Bernoulli(p float64) bool {
+	r.enter()
+	defer r.exit()
+	return r.rand.Float64() < p
+}
 
 // Mean returns the arithmetic mean of xs, or 0 for an empty slice.
 func Mean(xs []float64) float64 {
@@ -110,11 +181,18 @@ func Max(xs []float64) float64 {
 	return m
 }
 
-// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
-// interpolation between order statistics. It panics on an empty slice.
+// Percentile returns the p-th percentile of xs using linear interpolation
+// between order statistics. p below 0 or above 100 clamps to the minimum
+// and maximum. Any NaN in xs propagates: the result is NaN, since NaN has
+// no place in a sorted order. It panics on an empty slice.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		panic("stats: Percentile of empty slice")
+	}
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			return math.NaN()
+		}
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)

@@ -67,9 +67,15 @@ type (
 	TreeMachine = treemachine.Machine
 	// Table is a renderable result table.
 	Table = report.Table
+	// RunMetric is one experiment's wall-time/sweep/pass record from a
+	// parallel suite run.
+	RunMetric = report.RunMetric
 	// RNG is the deterministic random source used everywhere.
 	RNG = stats.RNG
 )
+
+// MetricsTable renders per-experiment run metrics as a table.
+var MetricsTable = report.MetricsTable
 
 // Skew model constructors.
 type (

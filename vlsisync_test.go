@@ -1,8 +1,11 @@
 package vlsisync
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestFacadeTopologiesAndClocks(t *testing.T) {
@@ -91,6 +94,149 @@ func TestAllExperimentsPassQuick(t *testing.T) {
 			var b strings.Builder
 			_ = r.Table.Render(&b)
 			t.Errorf("%s (%s) FAILED:\n%s", r.ID, r.Title, b.String())
+		}
+	}
+}
+
+// renderSuite flattens a result list into one deterministic string:
+// every table plus claim and finding, in order.
+func renderSuite(t *testing.T, results []*ExperimentResult) string {
+	t.Helper()
+	var b strings.Builder
+	for _, r := range results {
+		b.WriteString(r.ID + "|" + r.Title + "|" + r.PaperClaim + "|" + r.Finding + "\n")
+		if err := r.Table.Render(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.String()
+}
+
+// TestParallelMatchesSequential is the reproducibility bar for the
+// worker pool: the suite rendered from a parallel run must be
+// byte-identical to a sequential run.
+func TestParallelMatchesSequential(t *testing.T) {
+	seq, seqMetrics, err := RunExperiments(context.Background(), RunOptions{Quick: true, Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, parMetrics, err := RunExperiments(context.Background(), RunOptions{Quick: true, Parallel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(experiments) || len(par) != len(seq) {
+		t.Fatalf("result counts: sequential %d, parallel %d, want %d", len(seq), len(par), len(experiments))
+	}
+	a, b := renderSuite(t, seq), renderSuite(t, par)
+	if a != b {
+		t.Errorf("parallel output diverges from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+	for i := range seqMetrics {
+		sm, pm := seqMetrics[i], parMetrics[i]
+		if sm.ID != pm.ID || sm.Rows != pm.Rows || sm.Pass != pm.Pass {
+			t.Errorf("metric %d differs: sequential %+v, parallel %+v", i, sm, pm)
+		}
+		if sm.Wall <= 0 {
+			t.Errorf("metric %s: no wall time recorded", sm.ID)
+		}
+	}
+}
+
+// TestPartialFailureCollectsResults checks collect-all semantics: an
+// erroring (or panicking) experiment loses only its own slot, and the
+// aggregated error names every failure.
+func TestPartialFailureCollectsResults(t *testing.T) {
+	saved := experiments
+	defer func() { experiments = saved }()
+	boom := errors.New("boom")
+	experiments = []experiment{
+		saved[0],
+		{"EERR", "always errors", func(*runCtx) (*ExperimentResult, error) { return nil, boom }},
+		saved[1],
+		{"EPANIC", "always panics", func(*runCtx) (*ExperimentResult, error) { panic("kaboom") }},
+	}
+	for _, parallel := range []int{1, 4} {
+		results, metrics, err := RunExperiments(context.Background(), RunOptions{Quick: true, Parallel: parallel})
+		if len(results) != 2 {
+			t.Fatalf("parallel=%d: completed %d, want the 2 healthy experiments", parallel, len(results))
+		}
+		if results[0].ID != "E1" || results[1].ID != "E2" {
+			t.Errorf("parallel=%d: results out of suite order: %s, %s", parallel, results[0].ID, results[1].ID)
+		}
+		if !errors.Is(err, boom) {
+			t.Errorf("parallel=%d: aggregated error lost the cause: %v", parallel, err)
+		}
+		if err == nil || !strings.Contains(err.Error(), "kaboom") {
+			t.Errorf("parallel=%d: aggregated error lost the panic: %v", parallel, err)
+		}
+		if len(metrics) != 4 {
+			t.Fatalf("parallel=%d: metrics = %d, want one per experiment", parallel, len(metrics))
+		}
+		if metrics[1].Err == nil || metrics[1].Status() != "ERROR" {
+			t.Errorf("parallel=%d: error metric = %+v", parallel, metrics[1])
+		}
+		if metrics[3].Err == nil {
+			t.Errorf("parallel=%d: panic metric = %+v", parallel, metrics[3])
+		}
+		// The legacy entry point now returns partial results too.
+		partial, allErr := RunAllExperiments(true)
+		if len(partial) != 2 || allErr == nil {
+			t.Errorf("RunAllExperiments: %d results, err=%v; want 2 and non-nil", len(partial), allErr)
+		}
+	}
+}
+
+// TestRunExperimentsTimeout: a deadline that expires mid-suite reports
+// the unfinished experiments as errors instead of hanging or aborting
+// the finished ones.
+func TestRunExperimentsTimeout(t *testing.T) {
+	saved := experiments
+	defer func() { experiments = saved }()
+	slow := func(rc *runCtx) (*ExperimentResult, error) {
+		select {
+		case <-rc.ctx.Done():
+			return nil, rc.ctx.Err()
+		case <-time.After(10 * time.Second):
+			return nil, errors.New("timeout never fired")
+		}
+	}
+	experiments = []experiment{
+		saved[0],
+		{"ESLOW1", "hangs until cancelled", slow},
+		{"ESLOW2", "hangs until cancelled", slow},
+	}
+	start := time.Now()
+	results, metrics, err := RunExperiments(context.Background(),
+		RunOptions{Quick: true, Parallel: 4, Timeout: 150 * time.Millisecond})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout did not bound the run (took %v)", elapsed)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want deadline exceeded", err)
+	}
+	if len(results) != 1 || results[0].ID != "E1" {
+		t.Errorf("finished results = %v, want just E1", len(results))
+	}
+	if len(metrics) != 3 {
+		t.Errorf("metrics = %d", len(metrics))
+	}
+}
+
+// TestCancelledContextRunsNothing: a dead context returns immediately
+// with every experiment marked cancelled.
+func TestCancelledContextRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, metrics, err := RunExperiments(ctx, RunOptions{Quick: true, Parallel: 2})
+	if len(results) != 0 {
+		t.Errorf("results = %d, want 0", len(results))
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v", err)
+	}
+	for _, m := range metrics {
+		if !errors.Is(m.Err, context.Canceled) {
+			t.Errorf("metric %s err = %v", m.ID, m.Err)
 		}
 	}
 }
