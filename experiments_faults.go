@@ -1,0 +1,184 @@
+package vlsisync
+
+// Fault-sweep experiment (E16): the Section VI robustness story made
+// quantitative. The paper argues the hybrid scheme degrades gracefully —
+// a slow or failed handshake only postpones firings — and the self-timed
+// network similarly absorbs transfer faults as elastic stalls. E16
+// injects dropped, delayed, and metastability-stalled handshake messages
+// at increasing rates and checks that both execution disciplines stay
+// inside their analytical stall envelopes while computing correct
+// results.
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/faults"
+	"repro/internal/hybrid"
+	"repro/internal/report"
+	"repro/internal/selftimed"
+	"repro/internal/stats"
+	"repro/internal/systolic"
+)
+
+func init() {
+	experiments = append(experiments,
+		experiment{"E16", "Section VI robustness: fault-injected handshakes stay bounded", runE16},
+	)
+}
+
+// lastWaveMakespan returns the latest firing time of the final wave.
+func lastWaveMakespan(times [][]float64) float64 {
+	var mx float64
+	for _, t := range times[len(times)-1] {
+		if t > mx {
+			mx = t
+		}
+	}
+	return mx
+}
+
+// runE16 sweeps a per-message fault rate p over a mesh: every handshake
+// message independently risks being dropped (delivered a retransmit
+// timeout late), delayed, or stalled by a metastable controller. At each
+// rate the hybrid makespan may exceed the clean run's by at most
+// waves·WorstMessageExtra, the self-timed makespan by at most the total
+// injected delay, and a fault-injected hybrid matrix multiplication must
+// still reproduce the ideal product trace.
+func runE16(rc *runCtx) (*ExperimentResult, error) {
+	n, waves := 8, 60
+	if rc.quick {
+		n, waves = 4, 24
+	}
+	tbl := report.NewTable(
+		fmt.Sprintf("E16: message-fault sweep on a %d×%d mesh (%d waves; drop=delay=p, metastable=p/4)", n, n, waves),
+		"p", "faults", "hybrid stall", "stall bound", "selftimed stall", "elastic bound", "matmul trace")
+	g, err := comm.Mesh(n, n)
+	if err != nil {
+		return nil, err
+	}
+	hcfg := hybrid.Config{ElementSize: 2, Handshake: 0.5, LocalDistribution: 0.25, CellDelay: 1, HoldDelay: 0.5}
+	sys, err := hybrid.New(g, hcfg)
+	if err != nil {
+		return nil, err
+	}
+	cleanTimes, err := sys.SimulateHandshake(waves)
+	if err != nil {
+		return nil, err
+	}
+	cleanT := lastWaveMakespan(cleanTimes)
+	d := selftimed.Delays{Fast: 1, Worst: 3, PWorst: 0.3, Handshake: 0.2}
+	cleanST, err := selftimed.RunElastic(g, waves, d, 1, stats.NewRNG(7))
+	if err != nil {
+		return nil, err
+	}
+	mm, err := systolic.NewMatMul(randomMatrix(4, 4, 11), randomMatrix(4, 4, 12))
+	if err != nil {
+		return nil, err
+	}
+	ideal, err := mm.Machine.RunIdeal(mm.Cycles)
+	if err != nil {
+		return nil, err
+	}
+	mmSys, err := hybrid.New(mm.Machine.Graph(), hcfg)
+	if err != nil {
+		return nil, err
+	}
+	pass := true
+	for i, p := range []float64{0, 0.05, 0.1, 0.2, 0.4} {
+		fc := faults.Config{
+			DropProb: p, RetransmitTimeout: 2,
+			DelayProb: p, MaxDelay: 1,
+			MetastableProb: p / 4, MetastableStall: 0.5,
+		}
+		// Each consumer gets a fresh injector (same config, distinct
+		// fixed seed) so fault counts stay per-run and rows reproduce at
+		// any worker count.
+		mkInj := func(seed int64) (*faults.Injector, error) {
+			if p == 0 {
+				return nil, nil
+			}
+			return faults.New(fc, seed)
+		}
+		hInj, err := mkInj(101 + int64(i))
+		if err != nil {
+			return nil, err
+		}
+		times, err := sys.SimulateHandshakeFaulty(waves, hInj)
+		if err != nil {
+			return nil, err
+		}
+		stall := lastWaveMakespan(times) - cleanT
+		bound := float64(waves) * fc.WorstMessageExtra()
+		sInj, err := mkInj(202 + int64(i))
+		if err != nil {
+			return nil, err
+		}
+		st, err := selftimed.RunElasticFaulty(g, waves, d, 1, stats.NewRNG(7), sInj)
+		if err != nil {
+			return nil, err
+		}
+		stStall := st.Makespan - cleanST.Makespan
+		elasticBound := sInj.TotalExtra()
+		mInj, err := mkInj(303 + int64(i))
+		if err != nil {
+			return nil, err
+		}
+		tr, err := mmSys.RunFaulty(mm.Machine, mm.Cycles, mInj)
+		if err != nil {
+			return nil, err
+		}
+		traceOK := tr.Equal(ideal, 1e-9)
+		totalFaults := hInj.Counts().Faults() + sInj.Counts().Faults() + mInj.Counts().Faults()
+		verdict := "ok"
+		if !traceOK {
+			verdict = "CORRUPT"
+		}
+		tbl.AddRow(p, totalFaults, stall, bound, stStall, elasticBound, verdict)
+		if stall < -1e-9 || stall > bound+1e-9 {
+			pass = false
+		}
+		if stStall < -1e-9 || stStall > elasticBound+1e-9 {
+			pass = false
+		}
+		if !traceOK {
+			pass = false
+		}
+		if p == 0 && (stall != 0 || stStall != 0 || totalFaults != 0) {
+			pass = false
+		}
+		if p > 0 && totalFaults == 0 {
+			pass = false // the sweep must actually exercise fault paths
+		}
+	}
+	return &ExperimentResult{
+		ID:    "E16",
+		Title: "Section VI robustness: fault-injected handshakes stay bounded",
+		PaperClaim: "The hybrid scheme has no synchronization failure to " +
+			"fear from slow elements: an element that is not ready simply " +
+			"withholds its done signal, postponing — never corrupting — the " +
+			"next wave; the self-timed network likewise absorbs transfer " +
+			"faults elastically.",
+		Finding: "Across drop/delay/metastability rates up to 0.4 per " +
+			"message, the hybrid makespan stays within waves·worst-extra of " +
+			"the clean run, the self-timed makespan within the total " +
+			"injected delay, and fault-injected matrix multiplication still " +
+			"reproduces the ideal trace — faults cost time, never " +
+			"correctness.",
+		Pass:  pass,
+		Table: tbl,
+	}, nil
+}
+
+// randomMatrix builds a deterministic pseudo-random matrix for the
+// correctness probe.
+func randomMatrix(rows, cols int, seed int64) systolic.Matrix {
+	rng := stats.NewRNG(seed)
+	m := systolic.NewMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, rng.Uniform(-2, 2))
+		}
+	}
+	return m
+}

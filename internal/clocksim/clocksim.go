@@ -29,6 +29,7 @@ import (
 	"repro/internal/array"
 	"repro/internal/clocktree"
 	"repro/internal/comm"
+	"repro/internal/faults"
 	"repro/internal/stats"
 )
 
@@ -124,8 +125,9 @@ func (a *Arrivals) Offsets(g *comm.Graph) (array.Offsets, error) {
 	return off, nil
 }
 
-// propagate computes arrival times with a per-edge unit-delay function.
-func propagate(tree *clocktree.Tree, p Params, unitDelay func(child clocktree.NodeID) float64) *Arrivals {
+// propagate computes arrival times with a per-edge unit-delay function
+// and an optional flat per-edge extra delay (nil means none).
+func propagate(tree *clocktree.Tree, p Params, unitDelay func(child clocktree.NodeID) float64, extra func(child clocktree.NodeID) float64) *Arrivals {
 	at := make([]float64, tree.NumNodes())
 	stack := []clocktree.NodeID{tree.Root()}
 	for len(stack) > 0 {
@@ -137,6 +139,9 @@ func propagate(tree *clocktree.Tree, p Params, unitDelay func(child clocktree.No
 				buf = p.BufferDelay
 			}
 			at[c] = at[v] + tree.EdgeLen(c)*unitDelay(c) + buf
+			if extra != nil {
+				at[c] += extra(c)
+			}
 			stack = append(stack, c)
 		}
 	}
@@ -148,7 +153,7 @@ func Nominal(tree *clocktree.Tree, p Params) (*Arrivals, error) {
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
-	return propagate(tree, p, func(clocktree.NodeID) float64 { return p.M }), nil
+	return propagate(tree, p, func(clocktree.NodeID) float64 { return p.M }, nil), nil
 }
 
 // Random simulates distribution with independent per-edge unit delays in
@@ -162,6 +167,27 @@ func Random(tree *clocktree.Tree, p Params, rng *stats.RNG) (*Arrivals, error) {
 	}
 	return propagate(tree, p, func(clocktree.NodeID) float64 {
 		return rng.Uniform(p.M-p.Eps, p.M+p.Eps)
+	}, nil), nil
+}
+
+// Jittered simulates distribution with independent per-edge unit delays
+// in U[M−Eps, M+Eps] plus injected per-edge excess beyond the band: each
+// edge additionally suffers the injector's EdgeJitter, keyed by its child
+// node ID. This models a tree whose fabrication-variation assumption
+// (Section III's A9–A11) is violated on a random subset of wires; the
+// resulting skews can exceed every model's prediction, which is exactly
+// what the fault-sweep experiment measures. A nil injector is Random.
+func Jittered(tree *clocktree.Tree, p Params, rng *stats.RNG, inj *faults.Injector) (*Arrivals, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("clocksim: Jittered needs an RNG")
+	}
+	return propagate(tree, p, func(clocktree.NodeID) float64 {
+		return rng.Uniform(p.M-p.Eps, p.M+p.Eps)
+	}, func(c clocktree.NodeID) float64 {
+		return inj.EdgeJitter(uint64(c))
 	}), nil
 }
 
@@ -194,7 +220,7 @@ func Adversarial(tree *clocktree.Tree, p Params, a, b comm.CellID) (*Arrivals, e
 		default:
 			return p.M
 		}
-	}), nil
+	}, nil), nil
 }
 
 // pathEdgeSet marks the child endpoints of the edges on the path from

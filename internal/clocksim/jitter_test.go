@@ -1,0 +1,68 @@
+package clocksim
+
+import (
+	"testing"
+
+	"repro/internal/clocktree"
+	"repro/internal/faults"
+	"repro/internal/stats"
+)
+
+func TestJitteredNilInjectorMatchesRandom(t *testing.T) {
+	_, tr := htreeOn(t, 6)
+	p := params()
+	a, err := Random(tr, p, stats.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Jittered(tr, p, stats.NewRNG(7), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < tr.NumNodes(); v++ {
+		if a.at[v] != b.at[v] {
+			t.Fatalf("node %d: nil-injector Jittered %g != Random %g", v, b.at[v], a.at[v])
+		}
+	}
+}
+
+// Injected jitter is purely additive excess: every arrival is at least its
+// un-jittered counterpart and at most MaxJitter per root-path edge later.
+func TestJitteredBoundedExcess(t *testing.T) {
+	_, tr := htreeOn(t, 6)
+	p := params()
+	cfg := faults.Config{JitterProb: 0.4, MaxJitter: 0.7}
+	inj, err := faults.New(cfg, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jit, err := Jittered(tr, p, stats.NewRNG(7), inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.Counts().Jittered == 0 {
+		t.Fatal("no jitter injected — excess check is vacuous")
+	}
+	clean, err := Random(tr, p, stats.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < tr.NumNodes(); v++ {
+		excess := jit.at[v] - clean.at[v]
+		// Root path length in edges bounds the accumulated excess.
+		edges := 0
+		for u := clocktree.NodeID(v); tr.Parent(u) >= 0; u = tr.Parent(u) {
+			edges++
+		}
+		if excess < -1e-12 || excess > float64(edges)*cfg.MaxJitter+1e-9 {
+			t.Errorf("node %d: excess %g outside [0, %d·%g]", v, excess, edges, cfg.MaxJitter)
+		}
+	}
+}
+
+func TestJitteredNeedsRNG(t *testing.T) {
+	_, tr := htreeOn(t, 4)
+	if _, err := Jittered(tr, params(), nil, nil); err == nil {
+		t.Error("Jittered without RNG accepted")
+	}
+}

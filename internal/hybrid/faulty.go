@@ -1,0 +1,167 @@
+package hybrid
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/array"
+	"repro/internal/comm"
+	"repro/internal/des"
+	"repro/internal/faults"
+)
+
+// SimulateHandshakeFaulty is SimulateHandshake with fault injection on
+// the inter-controller done-messages: the injector may drop a message
+// (the sender's timeout retransmits it, so it arrives RetransmitTimeout
+// late), delay it by up to MaxDelay, or stall the receiving controller's
+// synchronizer by MetastableStall. A controller's req/ack turnaround with
+// itself is internal and never faulted.
+//
+// Because a controller still releases wave k+1 only after collecting
+// done(k) from itself and every neighbor, injected faults can only
+// postpone firings, never reorder the waves a cell observes: the firing
+// times remain a valid hybrid schedule (ScheduleFrom runs a machine on
+// them without corruption), elementwise at least the clean times, and at
+// most the clean times plus (wave+1)·Config.WorstMessageExtra — the
+// bounded-stall guarantee the propcheck suite verifies. A nil injector
+// reproduces SimulateHandshake exactly.
+func (s *System) SimulateHandshakeFaulty(waves int, inj *faults.Injector) ([][]float64, error) {
+	if waves < 1 {
+		return nil, fmt.Errorf("hybrid: waves must be ≥ 1, got %d", waves)
+	}
+	ne := len(s.elements)
+	total := ne + 1 // +1: host controller
+	// Neighbor lists over the full handshake network.
+	neighbors := make([][]int, total)
+	for e := 0; e < ne; e++ {
+		neighbors[e] = append(neighbors[e], s.adj[e]...)
+	}
+	for _, h := range s.hostAdj {
+		neighbors[h] = append(neighbors[h], ne)
+		neighbors[ne] = append(neighbors[ne], h)
+	}
+
+	workTime := s.cfg.LocalDistribution + s.cfg.CellDelay
+	out := make([][]float64, waves)
+	for k := range out {
+		out[k] = make([]float64, total)
+	}
+	// pending[v][k] counts done(k) messages still missing before v can
+	// release wave k+1 (its own plus one per neighbor).
+	pending := make([]map[int]int, total)
+	for v := range pending {
+		pending[v] = make(map[int]int)
+	}
+	need := func(v int) int { return len(neighbors[v]) + 1 }
+	// msgKey identifies the done(wave) message from v to o, so injected
+	// fault patterns depend only on (seed, wave, sender, receiver).
+	msgKey := func(wave, v, o int) uint64 {
+		return (uint64(wave)*uint64(total)+uint64(v))*uint64(total) + uint64(o)
+	}
+
+	var sim des.Sim
+	var finish func(v, wave int)
+	arrive := func(v, wave int) {
+		if _, ok := pending[v][wave]; !ok {
+			pending[v][wave] = need(v)
+		}
+		pending[v][wave]--
+		if pending[v][wave] == 0 {
+			delete(pending[v], wave)
+			if wave+1 < waves {
+				// Release wave+1: distribute the clock and compute.
+				sim.After(workTime, func() { finish(v, wave+1) })
+			}
+		}
+	}
+	finish = func(v, wave int) {
+		out[wave][v] = sim.Now()
+		// done(wave) to self and neighbors, one handshake time away; the
+		// neighbor messages may be dropped (retransmitted), delayed, or
+		// stalled in the receiver's synchronizer.
+		sim.After(s.cfg.Handshake, func() { arrive(v, wave) })
+		for _, o := range neighbors[v] {
+			o := o
+			sim.After(s.cfg.Handshake+inj.MessageExtra(msgKey(wave, v, o)), func() { arrive(o, wave) })
+		}
+	}
+	// Wave 0 needs no permissions beyond the reset handshake: every
+	// controller performs one req/ack turnaround and releases.
+	for v := 0; v < total; v++ {
+		v := v
+		sim.After(s.cfg.Handshake+workTime, func() { finish(v, 0) })
+	}
+	sim.Run(int64(waves+2) * int64(total+2) * int64(8+total))
+	return out, nil
+}
+
+// ScheduleFrom derives an array.Schedule from externally supplied firing
+// times — the recurrence's (FiringTimes), the simulated protocol's
+// (SimulateHandshake), or a fault-injected run's — with the same latch
+// conventions as Schedule. times must have one row per cycle to be run.
+func (s *System) ScheduleFrom(times [][]float64) array.Schedule {
+	cfg := s.cfg
+	tick := func(c comm.CellID, k int) float64 {
+		base := 0.0
+		if k > 0 {
+			base = times[k-1][s.elementOf[c]]
+		}
+		// The startup shift of one CellDelay gives the host room to make
+		// the very first inputs stable before the first latch.
+		return base + cfg.Handshake + cfg.LocalDistribution + cfg.CellDelay
+	}
+	return array.Schedule{
+		CellTick: tick,
+		HostWrite: func(to comm.CellID, k int) float64 {
+			if k == 0 {
+				return 0
+			}
+			return tick(to, k-1)
+		},
+		HostRead: func(from comm.CellID, k int) float64 {
+			return tick(from, k) + cfg.CellDelay + cfg.Handshake/2
+		},
+	}
+}
+
+// RunFaulty executes machine m (whose graph must be s's graph) for the
+// given number of cycles under hybrid synchronization with the given
+// fault injector: the element firing times come from the fault-injected
+// handshake simulation rather than the clean recurrence.
+//
+// In the physical scheme, data crossing an element boundary travels with
+// the handshake and sits in the boundary latch until the consumer fires,
+// so inter-element time drift cannot corrupt values. array.Machine models
+// bare latches with no such buffering, so this executable check releases
+// each wave machine-wide only once every element has completed the
+// previous one — a hazard-free schedule that still carries every injected
+// stall (the makespan is the faulty protocol's makespan). The trace must
+// therefore match the ideal lock-step run exactly: the array stalls, it
+// does not corrupt. Per-element drift is observable directly through
+// SimulateHandshakeFaulty.
+func (s *System) RunFaulty(m *array.Machine, cycles int, inj *faults.Injector) (*array.Trace, error) {
+	if m.Graph() != s.g {
+		return nil, fmt.Errorf("hybrid: machine graph %q is not the partitioned graph %q",
+			m.Graph().Name, s.g.Name)
+	}
+	times, err := s.SimulateHandshakeFaulty(cycles, inj)
+	if err != nil {
+		return nil, err
+	}
+	for k, row := range times {
+		var mx float64
+		for _, t := range row {
+			if math.IsNaN(t) || math.IsInf(t, 0) {
+				return nil, fmt.Errorf("hybrid: fault simulation produced non-finite firing time %g", t)
+			}
+			if t > mx {
+				mx = t
+			}
+		}
+		for e := range row {
+			times[k][e] = mx
+		}
+	}
+	timing := array.Timing{Period: 1, CellDelay: s.cfg.CellDelay, HoldDelay: s.cfg.HoldDelay}
+	return m.RunScheduled(cycles, timing, s.ScheduleFrom(times))
+}

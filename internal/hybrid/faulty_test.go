@@ -1,0 +1,130 @@
+package hybrid
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/systolic"
+)
+
+func dropDelayConfig() faults.Config {
+	return faults.Config{
+		DropProb: 0.15, RetransmitTimeout: 2,
+		DelayProb: 0.25, MaxDelay: 1,
+		MetastableProb: 0.05, MetastableStall: 0.5,
+	}
+}
+
+func TestFaultyNilInjectorMatchesClean(t *testing.T) {
+	s := meshSystem(t, 8, defaultConfig())
+	clean, err := s.SimulateHandshake(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := s.SimulateHandshakeFaulty(12, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range clean {
+		for e := range clean[k] {
+			if clean[k][e] != faulty[k][e] {
+				t.Fatalf("wave %d element %d: nil-injector %g != clean %g", k, e, faulty[k][e], clean[k][e])
+			}
+		}
+	}
+}
+
+// The bounded-stall guarantee: injected faults only postpone firings,
+// and by no more than one worst-case message extra per completed wave.
+func TestFaultyBoundedStall(t *testing.T) {
+	s := meshSystem(t, 8, defaultConfig())
+	const waves = 15
+	clean, err := s.SimulateHandshake(waves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := dropDelayConfig()
+	inj, err := faults.New(cfg, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := s.SimulateHandshakeFaulty(waves, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.Counts().Faults() == 0 {
+		t.Fatal("no faults injected — bound check is vacuous")
+	}
+	worst := cfg.WorstMessageExtra()
+	for k := range clean {
+		for e := range clean[k] {
+			lo, hi := clean[k][e], clean[k][e]+float64(k+1)*worst
+			if f := faulty[k][e]; f < lo-1e-9 || f > hi+1e-9 {
+				t.Fatalf("wave %d element %d: faulty %g outside [%g, %g]", k, e, f, lo, hi)
+			}
+		}
+	}
+}
+
+func TestFaultySameSeedReproduces(t *testing.T) {
+	s := meshSystem(t, 6, defaultConfig())
+	run := func() [][]float64 {
+		inj, err := faults.New(dropDelayConfig(), 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := s.SimulateHandshakeFaulty(10, inj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for k := range a {
+		for e := range a[k] {
+			if a[k][e] != b[k][e] {
+				t.Fatalf("wave %d element %d: same seed gave %g then %g", k, e, a[k][e], b[k][e])
+			}
+		}
+	}
+}
+
+// The no-corruption guarantee: a matmul run on fault-injected firing
+// times still produces exactly the ideal lock-step trace — the array
+// stalls, the values never change.
+func TestRunFaultyTraceMatchesIdeal(t *testing.T) {
+	a := systolic.Matrix{Rows: 4, Cols: 4, Data: []float64{
+		1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16,
+	}}
+	b := systolic.Matrix{Rows: 4, Cols: 4, Data: []float64{
+		2, 0, 1, 3, 1, 1, 0, 2, 0, 3, 2, 1, 4, 1, 1, 0,
+	}}
+	mm, err := systolic.NewMatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := defaultConfig()
+	cfg.ElementSize = 2
+	s, err := New(mm.Machine.Graph(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := faults.New(dropDelayConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := s.RunFaulty(mm.Machine, mm.Cycles, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.Counts().Faults() == 0 {
+		t.Fatal("no faults injected — corruption check is vacuous")
+	}
+	ideal, err := mm.Machine.RunIdeal(mm.Cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Equal(ideal, 1e-9) {
+		t.Fatal("fault-injected hybrid trace diverges from ideal lock-step")
+	}
+}

@@ -284,29 +284,7 @@ func (s *System) CycleTime(waves int) float64 {
 //     is stable one wave before it is needed;
 //   - host outputs are latched a half-handshake after they stabilize.
 func (s *System) Schedule(waves int) array.Schedule {
-	times := s.FiringTimes(waves)
-	cfg := s.cfg
-	tick := func(c comm.CellID, k int) float64 {
-		base := 0.0
-		if k > 0 {
-			base = times[k-1][s.elementOf[c]]
-		}
-		// The startup shift of one CellDelay gives the host room to make
-		// the very first inputs stable before the first latch.
-		return base + cfg.Handshake + cfg.LocalDistribution + cfg.CellDelay
-	}
-	return array.Schedule{
-		CellTick: tick,
-		HostWrite: func(to comm.CellID, k int) float64 {
-			if k == 0 {
-				return 0
-			}
-			return tick(to, k-1)
-		},
-		HostRead: func(from comm.CellID, k int) float64 {
-			return tick(from, k) + cfg.CellDelay + cfg.Handshake/2
-		},
-	}
+	return s.ScheduleFrom(s.FiringTimes(waves))
 }
 
 // Run executes machine m (whose graph must be s's graph) for the given

@@ -1,11 +1,5 @@
 package hybrid
 
-import (
-	"fmt"
-
-	"repro/internal/des"
-)
-
 // SimulateHandshake runs the element controllers' req/ack protocol as an
 // actual message-passing simulation on a discrete-event core, rather than
 // the closed-form recurrence of FiringTimes:
@@ -24,65 +18,8 @@ import (
 // truth behind the recurrence: the hybrid scheme is nothing more than
 // this local message protocol, which is why its cycle time cannot depend
 // on array size.
+//
+// SimulateHandshake is the zero-fault case of SimulateHandshakeFaulty.
 func (s *System) SimulateHandshake(waves int) ([][]float64, error) {
-	if waves < 1 {
-		return nil, fmt.Errorf("hybrid: waves must be ≥ 1, got %d", waves)
-	}
-	ne := len(s.elements)
-	total := ne + 1 // +1: host controller
-	// Neighbor lists over the full handshake network.
-	neighbors := make([][]int, total)
-	for e := 0; e < ne; e++ {
-		neighbors[e] = append(neighbors[e], s.adj[e]...)
-	}
-	for _, h := range s.hostAdj {
-		neighbors[h] = append(neighbors[h], ne)
-		neighbors[ne] = append(neighbors[ne], h)
-	}
-
-	workTime := s.cfg.LocalDistribution + s.cfg.CellDelay
-	out := make([][]float64, waves)
-	for k := range out {
-		out[k] = make([]float64, total)
-	}
-	// pending[v][k] counts done(k) messages still missing before v can
-	// release wave k+1 (its own plus one per neighbor).
-	pending := make([]map[int]int, total)
-	for v := range pending {
-		pending[v] = make(map[int]int)
-	}
-	need := func(v int) int { return len(neighbors[v]) + 1 }
-
-	var sim des.Sim
-	var finish func(v, wave int)
-	arrive := func(v, wave int) {
-		if _, ok := pending[v][wave]; !ok {
-			pending[v][wave] = need(v)
-		}
-		pending[v][wave]--
-		if pending[v][wave] == 0 {
-			delete(pending[v], wave)
-			if wave+1 < waves {
-				// Release wave+1: distribute the clock and compute.
-				sim.After(workTime, func() { finish(v, wave+1) })
-			}
-		}
-	}
-	finish = func(v, wave int) {
-		out[wave][v] = sim.Now()
-		// done(wave) to self and neighbors, one handshake time away.
-		sim.After(s.cfg.Handshake, func() { arrive(v, wave) })
-		for _, o := range neighbors[v] {
-			o := o
-			sim.After(s.cfg.Handshake, func() { arrive(o, wave) })
-		}
-	}
-	// Wave 0 needs no permissions beyond the reset handshake: every
-	// controller performs one req/ack turnaround and releases.
-	for v := 0; v < total; v++ {
-		v := v
-		sim.After(s.cfg.Handshake+workTime, func() { finish(v, 0) })
-	}
-	sim.Run(int64(waves+2) * int64(total+2) * int64(8+total))
-	return out, nil
+	return s.SimulateHandshakeFaulty(waves, nil)
 }

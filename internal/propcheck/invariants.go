@@ -1,0 +1,608 @@
+package propcheck
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/clocksim"
+	"repro/internal/clocktree"
+	"repro/internal/comm"
+	"repro/internal/faults"
+	"repro/internal/hybrid"
+	"repro/internal/selftimed"
+	"repro/internal/skew"
+	"repro/internal/stats"
+)
+
+// registry is the ordered list of mechanized paper invariants. Each entry
+// cites the theorem or assumption it checks; DESIGN.md carries the prose
+// mapping.
+var registry = []Invariant{
+	{
+		Name:  "analysis-bounds-montecarlo",
+		Ref:   "Section III (A9–A11)",
+		Doc:   "worst-case skew analysis upper-bounds Monte-Carlo sampled skew",
+		Check: checkAnalysisBoundsMonteCarlo,
+	},
+	{
+		Name:  "adversarial-achieves-linear-lowerbound",
+		Ref:   "Section III (A11)",
+		Doc:   "an adversarial-but-consistent delay assignment realizes an arrival gap of exactly M·d + Eps·s",
+		Check: checkAdversarialAchievesLowerBound,
+	},
+	{
+		Name:  "htree-difference-period-size-independent",
+		Ref:   "Theorem 2",
+		Doc:   "equalized H-tree clocking has zero difference-model skew at every mesh size",
+		Check: checkHTreeDifferenceSizeIndependent,
+	},
+	{
+		Name:  "equalize-zeroes-difference-skew",
+		Ref:   "Theorem 2 / Section VII (tuning)",
+		Doc:   "equalizing any clock tree zeroes every difference-model skew bound",
+		Check: checkEqualizeZeroesDifferenceSkew,
+	},
+	{
+		Name:  "spine-adjacent-tree-distance-constant",
+		Ref:   "Theorem 3",
+		Doc:   "spine clocking keeps communicating-pair tree distance constant as 1D arrays grow",
+		Check: checkSpineTreeDistanceConstant,
+	},
+	{
+		Name:  "mesh-summation-lowerbound-grows",
+		Ref:   "Theorem 6 / Section V-B",
+		Doc:   "the certified summation-model skew lower bound grows when the mesh side doubles",
+		Check: checkMeshLowerBoundGrows,
+	},
+	{
+		Name:  "fold-comb-preserve-comm-graph",
+		Ref:   "Section IV (Figs. 5–6)",
+		Doc:   "folding and comb layouts reposition cells but preserve the communication graph",
+		Check: checkFoldCombPreserveGraph,
+	},
+	{
+		Name:  "hybrid-firing-times-monotone",
+		Ref:   "Section VI",
+		Doc:   "hybrid firing times increase every wave, neighbor drift stays within hop distance, cycle time is size-independent",
+		Check: checkFiringTimesMonotone,
+	},
+	{
+		Name:  "handshake-matches-recurrence",
+		Ref:   "Section VI",
+		Doc:   "the simulated req/ack protocol reproduces the firing-time recurrence",
+		Check: checkHandshakeMatchesRecurrence,
+	},
+	{
+		Name:  "faulty-handshake-bounded-stall",
+		Ref:   "Section VI (robustness)",
+		Doc:   "injected message faults only postpone firings, by at most one worst-case extra per wave",
+		Check: checkFaultyHandshakeBoundedStall,
+	},
+	{
+		Name:  "faulty-hybrid-no-corruption",
+		Ref:   "Section VI (robustness)",
+		Doc:   "a hybrid run under injected faults still produces the ideal lock-step trace",
+		Check: checkFaultyHybridNoCorruption,
+	},
+	{
+		Name:  "selftimed-faults-bounded-stall",
+		Ref:   "Sections I and VI (robustness)",
+		Doc:   "self-timed token transfers under faults stall by at most the total injected delay",
+		Check: checkSelfTimedFaultsBounded,
+	},
+	{
+		Name:  "jittered-arrivals-bounded-excess",
+		Ref:   "Section III (A9 violation)",
+		Doc:   "clock jitter beyond the delay band only adds, bounded per root-path edge",
+		Check: checkJitteredArrivalsBounded,
+	},
+}
+
+func checkAnalysisBoundsMonteCarlo(rng *stats.RNG) error {
+	g, err := AnyGraph(rng)
+	if err != nil {
+		return err
+	}
+	tree, err := TreeFor(rng, g)
+	if err != nil {
+		return err
+	}
+	m := LinearModel(rng)
+	an, err := skew.Analyze(g, tree, m)
+	if err != nil {
+		return err
+	}
+	mc, err := skew.MonteCarlo(g, tree, m, 15, rng.Fork(1))
+	if err != nil {
+		return err
+	}
+	if mc > an.MaxSkew+1e-9 {
+		return fmt.Errorf("%s on %s: Monte-Carlo skew %g exceeds analysis bound %g",
+			g.Name, tree.Name, mc, an.MaxSkew)
+	}
+	return nil
+}
+
+func checkAdversarialAchievesLowerBound(rng *stats.RNG) error {
+	g, err := AnyGraph(rng)
+	if err != nil {
+		return err
+	}
+	tree, err := TreeFor(rng, g)
+	if err != nil {
+		return err
+	}
+	pairs := g.CommunicatingPairs()
+	if len(pairs) == 0 {
+		return fmt.Errorf("%s has no communicating pairs", g.Name)
+	}
+	pair := pairs[rng.Intn(len(pairs))]
+	m := LinearModel(rng)
+	arr, err := clocksim.Adversarial(tree, clocksim.Params{M: m.M, Eps: m.Eps}, pair[0], pair[1])
+	if err != nil {
+		return err
+	}
+	ta, err := arr.CellArrival(pair[0])
+	if err != nil {
+		return err
+	}
+	tb, err := arr.CellArrival(pair[1])
+	if err != nil {
+		return err
+	}
+	// Slow wires toward a, fast toward b: the arrival gap is exactly
+	// M·(da−db) + Eps·(da+db) = M·d_signed + Eps·s, which for equidistant
+	// cells (the Theorem 2 regime) is A11's Eps·s.
+	na, _ := tree.CellNode(pair[0])
+	nb, _ := tree.CellNode(pair[1])
+	got := ta - tb
+	want := m.M*(tree.RootDist(na)-tree.RootDist(nb)) + m.Eps*tree.CellPathLen(pair[0], pair[1])
+	if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+		return fmt.Errorf("%s on %s pair (%d,%d): adversarial arrival gap %g, want M·d+Eps·s = %g",
+			g.Name, tree.Name, pair[0], pair[1], got, want)
+	}
+	an, err := skew.Analyze(g, tree, m)
+	if err != nil {
+		return err
+	}
+	worst, err := arr.MaxCommSkew(g)
+	if err != nil {
+		return err
+	}
+	if worst > an.MaxSkew+1e-9 {
+		return fmt.Errorf("%s on %s: adversarial comm skew %g exceeds analysis bound %g",
+			g.Name, tree.Name, worst, an.MaxSkew)
+	}
+	return nil
+}
+
+// equalizedHTreeDifferenceSkew builds an equalized H-tree over an n×n
+// mesh and returns its difference-model worst-case skew.
+func equalizedHTreeDifferenceSkew(n int) (float64, error) {
+	g, err := comm.Mesh(n, n)
+	if err != nil {
+		return 0, err
+	}
+	tree, err := clocktree.HTree(g)
+	if err != nil {
+		return 0, err
+	}
+	tree.Equalize()
+	an, err := skew.Analyze(g, tree, skew.Difference{})
+	if err != nil {
+		return 0, err
+	}
+	return an.MaxSkew, nil
+}
+
+func checkHTreeDifferenceSizeIndependent(rng *stats.RNG) error {
+	n1 := intIn(rng, 2, 6)
+	n2 := n1 + intIn(rng, 1, 6)
+	s1, err := equalizedHTreeDifferenceSkew(n1)
+	if err != nil {
+		return err
+	}
+	s2, err := equalizedHTreeDifferenceSkew(n2)
+	if err != nil {
+		return err
+	}
+	// Theorem 2: zero difference-model skew at every size, so the clock
+	// period (cell delay + skew budget) cannot depend on array size.
+	if s1 > 1e-9 || s2 > 1e-9 {
+		return fmt.Errorf("equalized H-tree difference skew nonzero: n=%d gives %g, n=%d gives %g",
+			n1, s1, n2, s2)
+	}
+	return nil
+}
+
+func checkEqualizeZeroesDifferenceSkew(rng *stats.RNG) error {
+	g, err := AnyGraph(rng)
+	if err != nil {
+		return err
+	}
+	tree, err := LeafTreeFor(rng, g)
+	if err != nil {
+		return err
+	}
+	added := tree.Equalize()
+	if added < 0 {
+		return fmt.Errorf("Equalize removed wire: %g", added)
+	}
+	if err := tree.Validate(); err != nil {
+		return fmt.Errorf("equalized tree invalid: %w", err)
+	}
+	an, err := skew.Analyze(g, tree, skew.Difference{})
+	if err != nil {
+		return err
+	}
+	if an.MaxSkew > 1e-9 {
+		return fmt.Errorf("%s on equalized %s: difference skew %g, want 0", g.Name, tree.Name, an.MaxSkew)
+	}
+	return nil
+}
+
+// spineMaxTreeDistance returns the largest communicating-pair tree-path
+// length of a spine-clocked n-cell linear array.
+func spineMaxTreeDistance(n int) (float64, error) {
+	g, err := comm.Linear(n)
+	if err != nil {
+		return 0, err
+	}
+	tree, err := clocktree.Spine(g)
+	if err != nil {
+		return 0, err
+	}
+	// Eps-only linear model makes MaxSkew = Eps · max tree-path length.
+	an, err := skew.Analyze(g, tree, skew.Linear{M: 0, Eps: 1})
+	if err != nil {
+		return 0, err
+	}
+	return an.MaxSkew, nil
+}
+
+func checkSpineTreeDistanceConstant(rng *stats.RNG) error {
+	n1 := intIn(rng, 3, 12)
+	n2 := n1 + intIn(rng, 1, 20)
+	s1, err := spineMaxTreeDistance(n1)
+	if err != nil {
+		return err
+	}
+	s2, err := spineMaxTreeDistance(n2)
+	if err != nil {
+		return err
+	}
+	// Theorem 3: adjacent cells are adjacent on the spine, so their tree
+	// distance — and with it the summation-model skew — does not grow
+	// with array length.
+	if math.Abs(s1-s2) > 1e-9 {
+		return fmt.Errorf("spine max tree distance grew with size: n=%d gives %g, n=%d gives %g",
+			n1, s1, n2, s2)
+	}
+	return nil
+}
+
+// certifiedMeshBound returns the Section V-B certified lower bound for an
+// H-tree-clocked n×n mesh.
+func certifiedMeshBound(n int, beta float64) (float64, error) {
+	g, err := comm.Mesh(n, n)
+	if err != nil {
+		return 0, err
+	}
+	tree, err := clocktree.HTree(g)
+	if err != nil {
+		return 0, err
+	}
+	cert, err := skew.MeshCertifiedLowerBound(g, tree, beta)
+	if err != nil {
+		return 0, err
+	}
+	// Soundness: a certified lower bound may never exceed the model's
+	// guaranteed skew for the tree it certifies.
+	if guaranteed := skew.GuaranteedMinSkew(g, tree, skew.Summation{Beta: beta}); cert.Bound > guaranteed+1e-6 {
+		return 0, fmt.Errorf("n=%d: certified bound %g exceeds guaranteed skew %g", n, cert.Bound, guaranteed)
+	}
+	return cert.Bound, nil
+}
+
+func checkMeshLowerBoundGrows(rng *stats.RNG) error {
+	n := intIn(rng, 8, 11)
+	beta := rng.Uniform(0.2, 1)
+	b1, err := certifiedMeshBound(n, beta)
+	if err != nil {
+		return err
+	}
+	b2, err := certifiedMeshBound(2*n, beta)
+	if err != nil {
+		return err
+	}
+	if b1 <= 0 {
+		return fmt.Errorf("n=%d beta=%g: certified bound %g, want positive", n, beta, b1)
+	}
+	// Theorem 6: σ = Ω(n), so doubling the side must raise the bound.
+	if b2 <= b1 {
+		return fmt.Errorf("beta=%g: certified bound fell from %g (n=%d) to %g (n=%d)",
+			beta, b1, n, b2, 2*n)
+	}
+	return nil
+}
+
+func checkFoldCombPreserveGraph(rng *stats.RNG) error {
+	g, err := comm.Linear(intIn(rng, 3, 16))
+	if err != nil {
+		return err
+	}
+	folded, err := comm.FoldLinear(g)
+	if err != nil {
+		return err
+	}
+	comb, err := comm.CombLinear(g, intIn(rng, 2, 5))
+	if err != nil {
+		return err
+	}
+	for _, tc := range []struct {
+		layout  *comm.Graph
+		maxStep float64
+	}{{folded, math.Sqrt2}, {comb, 2}} {
+		if err := sameCommGraph(g, tc.layout); err != nil {
+			return err
+		}
+		if err := tc.layout.Validate(); err != nil {
+			return fmt.Errorf("%s: %w", tc.layout.Name, err)
+		}
+		// The layouts' point: successive cells stay within a constant
+		// pitch, so Theorem 3 spine clocking still applies.
+		for i := 1; i < len(tc.layout.Cells); i++ {
+			d := tc.layout.Cells[i].Pos.Dist(tc.layout.Cells[i-1].Pos)
+			if d > tc.maxStep+1e-9 {
+				return fmt.Errorf("%s: cells %d,%d at distance %g > %g",
+					tc.layout.Name, i-1, i, d, tc.maxStep)
+			}
+		}
+	}
+	return nil
+}
+
+// sameCommGraph verifies b has exactly a's cells and edges (layout
+// transforms may only move positions — communication is untouched).
+func sameCommGraph(a, b *comm.Graph) error {
+	if len(a.Cells) != len(b.Cells) || len(a.Edges) != len(b.Edges) {
+		return fmt.Errorf("%s vs %s: %d/%d cells, %d/%d edges",
+			a.Name, b.Name, len(a.Cells), len(b.Cells), len(a.Edges), len(b.Edges))
+	}
+	for i, c := range a.Cells {
+		if b.Cells[i].ID != c.ID {
+			return fmt.Errorf("%s: cell %d renumbered to %d", b.Name, c.ID, b.Cells[i].ID)
+		}
+	}
+	for i, e := range a.Edges {
+		o := b.Edges[i]
+		if o.From != e.From || o.To != e.To || o.Label != e.Label {
+			return fmt.Errorf("%s: edge %d changed from %+v to %+v", b.Name, i, e, o)
+		}
+	}
+	return nil
+}
+
+// randomSystem builds a random hybrid system over a random topology.
+func randomSystem(rng *stats.RNG) (*hybrid.System, hybrid.Config, error) {
+	g, err := AnyGraph(rng)
+	if err != nil {
+		return nil, hybrid.Config{}, err
+	}
+	cfg := HybridConfig(rng)
+	s, err := hybrid.New(g, cfg)
+	return s, cfg, err
+}
+
+func checkFiringTimesMonotone(rng *stats.RNG) error {
+	s, cfg, err := randomSystem(rng)
+	if err != nil {
+		return err
+	}
+	waves := intIn(rng, 3, 8)
+	times := s.FiringTimes(waves)
+	cost := cfg.WaveCost()
+	for k := 1; k < len(times); k++ {
+		for e := range times[k] {
+			if times[k][e] <= times[k-1][e] {
+				return fmt.Errorf("element %d wave %d at %g not after wave %d at %g",
+					e, k, times[k][e], k-1, times[k-1][e])
+			}
+		}
+	}
+	// Two elements h hops apart can drift at most h wave costs.
+	hops := s.ElementHops(0)
+	last := times[len(times)-1]
+	for e, h := range hops {
+		if h < 0 {
+			continue
+		}
+		if drift := math.Abs(last[e] - last[0]); drift > float64(h)*cost+1e-9 {
+			return fmt.Errorf("element %d (%d hops) drifted %g > %g from element 0",
+				e, h, drift, float64(h)*cost)
+		}
+	}
+	// The Section VI headline: effective cycle time equals the wave cost
+	// regardless of array size.
+	if ct := s.CycleTime(waves); math.Abs(ct-cost) > 1e-9 {
+		return fmt.Errorf("cycle time %g != wave cost %g", ct, cost)
+	}
+	return nil
+}
+
+func checkHandshakeMatchesRecurrence(rng *stats.RNG) error {
+	s, _, err := randomSystem(rng)
+	if err != nil {
+		return err
+	}
+	waves := intIn(rng, 2, 8)
+	analytic := s.FiringTimes(waves)
+	simulated, err := s.SimulateHandshake(waves)
+	if err != nil {
+		return err
+	}
+	for k := range analytic {
+		for v := range analytic[k] {
+			if math.Abs(analytic[k][v]-simulated[k][v]) > 1e-9 {
+				return fmt.Errorf("wave %d node %d: recurrence %g vs protocol %g",
+					k, v, analytic[k][v], simulated[k][v])
+			}
+		}
+	}
+	return nil
+}
+
+func checkFaultyHandshakeBoundedStall(rng *stats.RNG) error {
+	s, _, err := randomSystem(rng)
+	if err != nil {
+		return err
+	}
+	waves := intIn(rng, 2, 8)
+	clean, err := s.SimulateHandshake(waves)
+	if err != nil {
+		return err
+	}
+	cfg := MessageFaults(rng)
+	inj, err := faults.New(cfg, rng.Int63())
+	if err != nil {
+		return err
+	}
+	faulty, err := s.SimulateHandshakeFaulty(waves, inj)
+	if err != nil {
+		return err
+	}
+	worst := cfg.WorstMessageExtra()
+	for k := range clean {
+		for v := range clean[k] {
+			f := faulty[k][v]
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				return fmt.Errorf("wave %d node %d: non-finite firing time %g", k, v, f)
+			}
+			if f < clean[k][v]-1e-9 {
+				return fmt.Errorf("wave %d node %d: faults sped firing up, %g < %g", k, v, f, clean[k][v])
+			}
+			if limit := clean[k][v] + float64(k+1)*worst; f > limit+1e-9 {
+				return fmt.Errorf("wave %d node %d: faulty %g exceeds clean+%d·worst = %g",
+					k, v, f, k+1, limit)
+			}
+		}
+	}
+	return nil
+}
+
+func checkFaultyHybridNoCorruption(rng *stats.RNG) error {
+	// Machines need labeled-port graphs; the 1D families provide them.
+	var g *comm.Graph
+	var err error
+	switch rng.Intn(3) {
+	case 0:
+		g, err = comm.Linear(intIn(rng, 3, 10))
+	case 1:
+		g, err = comm.Bidirectional(intIn(rng, 3, 8))
+	default:
+		g, err = comm.LinearDual(intIn(rng, 3, 8))
+	}
+	if err != nil {
+		return err
+	}
+	m, err := AffineMachine(rng, g)
+	if err != nil {
+		return err
+	}
+	s, err := hybrid.New(g, HybridConfig(rng))
+	if err != nil {
+		return err
+	}
+	inj, err := faults.New(MessageFaults(rng), rng.Int63())
+	if err != nil {
+		return err
+	}
+	cycles := intIn(rng, 4, 10)
+	got, err := s.RunFaulty(m, cycles, inj)
+	if err != nil {
+		return err
+	}
+	ideal, err := m.RunIdeal(cycles)
+	if err != nil {
+		return err
+	}
+	if !got.Equal(ideal, 1e-9) {
+		return fmt.Errorf("%s: fault-injected hybrid trace diverges from ideal (%d faults injected)",
+			g.Name, inj.Counts().Faults())
+	}
+	return nil
+}
+
+func checkSelfTimedFaultsBounded(rng *stats.RNG) error {
+	g, err := AnyGraph(rng)
+	if err != nil {
+		return err
+	}
+	d := SelfTimedDelays(rng)
+	depth := intIn(rng, 1, 3)
+	waves := intIn(rng, 5, 20)
+	delaySeed := rng.Int63()
+	clean, err := selftimed.RunElastic(g, waves, d, depth, stats.NewRNG(delaySeed))
+	if err != nil {
+		return err
+	}
+	inj, err := faults.New(MessageFaults(rng), rng.Int63())
+	if err != nil {
+		return err
+	}
+	faulty, err := selftimed.RunElasticFaulty(g, waves, d, depth, stats.NewRNG(delaySeed), inj)
+	if err != nil {
+		return err
+	}
+	if faulty.Makespan < clean.Makespan-1e-9 {
+		return fmt.Errorf("%s: faults shortened makespan %g → %g", g.Name, clean.Makespan, faulty.Makespan)
+	}
+	if limit := clean.Makespan + inj.TotalExtra(); faulty.Makespan > limit+1e-9 {
+		return fmt.Errorf("%s: faulty makespan %g exceeds clean+TotalExtra = %g", g.Name, faulty.Makespan, limit)
+	}
+	if faulty.WorstFraction != clean.WorstFraction {
+		return fmt.Errorf("%s: fault injection perturbed delay draws (%g vs %g)",
+			g.Name, faulty.WorstFraction, clean.WorstFraction)
+	}
+	return nil
+}
+
+func checkJitteredArrivalsBounded(rng *stats.RNG) error {
+	g, err := AnyGraph(rng)
+	if err != nil {
+		return err
+	}
+	tree, err := TreeFor(rng, g)
+	if err != nil {
+		return err
+	}
+	m := LinearModel(rng)
+	p := clocksim.Params{M: m.M, Eps: m.Eps}
+	cfg := JitterFaults(rng)
+	inj, err := faults.New(cfg, rng.Int63())
+	if err != nil {
+		return err
+	}
+	delaySeed := rng.Int63()
+	clean, err := clocksim.Random(tree, p, stats.NewRNG(delaySeed))
+	if err != nil {
+		return err
+	}
+	jit, err := clocksim.Jittered(tree, p, stats.NewRNG(delaySeed), inj)
+	if err != nil {
+		return err
+	}
+	for v := 0; v < tree.NumNodes(); v++ {
+		id := clocktree.NodeID(v)
+		excess := jit.At(id) - clean.At(id)
+		edges := 0
+		for u := id; tree.Parent(u) >= 0; u = tree.Parent(u) {
+			edges++
+		}
+		if excess < -1e-12 || excess > float64(edges)*cfg.MaxJitter+1e-9 {
+			return fmt.Errorf("%s node %d: jitter excess %g outside [0, %d·%g]",
+				tree.Name, v, excess, edges, cfg.MaxJitter)
+		}
+	}
+	return nil
+}

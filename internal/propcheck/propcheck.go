@@ -1,0 +1,64 @@
+// Package propcheck is the property-based invariant harness: a registry
+// of paper-derived invariants, each checked over many seeded random
+// instances, with every failure reporting the exact seed that replays it.
+//
+// Where the unit tests pin the paper's claims at fixed example sizes,
+// propcheck searches for counterexamples: each Invariant's Check receives
+// a deterministic RNG and builds a random instance — an array, a layout,
+// a clock tree, a fault pattern — then verifies one theorem or assumption
+// from the paper on it. Instance i of a run draws from seed base+i, so a
+// reported seed replays the failing instance exactly:
+//
+//	go test ./internal/propcheck -run TestInvariants/<name> \
+//	    -propcheck.n=1 -propcheck.seed=<seed>
+//
+// The default instance counts keep `go test ./...` fast; CI runs the full
+// counts via -propcheck.n (see .github/workflows/ci.yml and DESIGN.md).
+package propcheck
+
+import (
+	"repro/internal/stats"
+)
+
+// TB is the subset of *testing.T the runner needs; taking the interface
+// keeps the package importable outside test binaries.
+type TB interface {
+	Helper()
+	Fatalf(format string, args ...any)
+}
+
+// Invariant is one paper-derived property checked over random instances.
+type Invariant struct {
+	// Name is the invariant's stable kebab-case identifier (also its
+	// subtest name).
+	Name string
+	// Ref cites the theorem, assumption, or section the invariant
+	// mechanizes.
+	Ref string
+	// Doc states the property in one sentence.
+	Doc string
+	// Check builds one random instance from rng and verifies the property
+	// on it, returning nil when it holds. It must draw all randomness
+	// from rng so a failure replays from the instance seed alone.
+	Check func(rng *stats.RNG) error
+}
+
+// Run checks inv on n instances; instance i draws from seed base+i. The
+// first violation fails the test with the instance seed and the exact
+// command that replays it.
+func Run(t TB, inv Invariant, n int, base int64) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		seed := base + int64(i)
+		if err := inv.Check(stats.NewRNG(seed)); err != nil {
+			t.Fatalf("invariant %q (%s) violated at seed %d: %v\n"+
+				"replay: go test ./internal/propcheck -run 'TestInvariants/%s' -propcheck.n=1 -propcheck.seed=%d",
+				inv.Name, inv.Ref, seed, err, inv.Name, seed)
+		}
+	}
+}
+
+// Registry returns the full invariant registry, in stable order.
+func Registry() []Invariant {
+	return append([]Invariant(nil), registry...)
+}

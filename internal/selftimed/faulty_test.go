@@ -1,0 +1,95 @@
+package selftimed
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/faults"
+	"repro/internal/stats"
+)
+
+func transferFaults() faults.Config {
+	return faults.Config{
+		DropProb: 0.1, RetransmitTimeout: 4,
+		DelayProb: 0.2, MaxDelay: 1.5,
+	}
+}
+
+func TestRunElasticFaultyNilMatchesClean(t *testing.T) {
+	g, err := comm.Mesh(6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Delays{Fast: 1, Worst: 3, PWorst: 0.3, Handshake: 0.2}
+	a, err := RunElastic(g, 40, d, 2, stats.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunElasticFaulty(g, 40, d, 2, stats.NewRNG(9), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("nil-injector result %+v != clean %+v", b, a)
+	}
+}
+
+// Faults stall the token game but never deadlock it, and the makespan
+// exceeds the clean run's by at most the total injected delay (every
+// completion time is a max over path sums of delays).
+func TestRunElasticFaultyBoundedStall(t *testing.T) {
+	g, err := comm.Mesh(6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Delays{Fast: 1, Worst: 3, PWorst: 0.3, Handshake: 0.2}
+	const waves = 40
+	clean, err := RunElastic(g, waves, d, 1, stats.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := faults.New(transferFaults(), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := RunElasticFaulty(g, waves, d, 1, stats.NewRNG(9), inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.Counts().Faults() == 0 {
+		t.Fatal("no faults injected — stall check is vacuous")
+	}
+	if faulty.Makespan < clean.Makespan {
+		t.Errorf("faults sped the run up: %g < %g", faulty.Makespan, clean.Makespan)
+	}
+	if limit := clean.Makespan + inj.TotalExtra(); faulty.Makespan > limit+1e-9 {
+		t.Errorf("faulty makespan %g exceeds clean+TotalExtra %g", faulty.Makespan, limit)
+	}
+	// Same rng seed draws the same worst-case pattern either way.
+	if faulty.WorstFraction != clean.WorstFraction {
+		t.Errorf("fault injection perturbed the delay draws: %g vs %g",
+			faulty.WorstFraction, clean.WorstFraction)
+	}
+}
+
+func TestRunElasticFaultySameSeedReproduces(t *testing.T) {
+	g, err := comm.Ring(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Delays{Fast: 1, Worst: 2, PWorst: 0.5, Handshake: 0.1}
+	run := func() Result {
+		inj, err := faults.New(transferFaults(), 33)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := RunElasticFaulty(g, 30, d, 1, stats.NewRNG(4), inj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seeds gave %+v then %+v", a, b)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"math"
 
 	"repro/internal/comm"
+	"repro/internal/faults"
 	"repro/internal/stats"
 )
 
@@ -82,6 +83,17 @@ func Run(g *comm.Graph, waves int, d Delays, rng *stats.RNG) (Result, error) {
 // more delay variance — the quantitative counterpoint to Section I's
 // rigid-wave analysis. depth must be ≥ 1.
 func RunElastic(g *comm.Graph, waves int, d Delays, depth int, rng *stats.RNG) (Result, error) {
+	return RunElasticFaulty(g, waves, d, depth, rng, nil)
+}
+
+// RunElasticFaulty is RunElastic with fault injection on the token
+// transfers: each req/ack transfer of a wave-k token across an edge may
+// be dropped (and retransmitted after the injector's timeout), delayed,
+// or stalled in the consumer's synchronizer. A consumer still waits for
+// the token, so faults postpone firings but never reorder the token game
+// — the values computed are untouched, and the makespan exceeds the
+// clean run's by at most inj.TotalExtra(). A nil injector is RunElastic.
+func RunElasticFaulty(g *comm.Graph, waves int, d Delays, depth int, rng *stats.RNG, inj *faults.Injector) (Result, error) {
 	if depth < 1 {
 		return Result{}, fmt.Errorf("selftimed: channel depth must be ≥ 1, got %d", depth)
 	}
@@ -95,14 +107,20 @@ func RunElastic(g *comm.Graph, waves int, d Delays, depth int, rng *stats.RNG) (
 		return Result{}, fmt.Errorf("selftimed: random PWorst needs an RNG")
 	}
 	n := g.NumCells()
-	// In-neighbors and out-neighbors over cell-to-cell edges.
-	ins := make([][]comm.CellID, n)
+	// In-neighbors (with the edge's index in g.Edges, which keys fault
+	// decisions per transfer) and out-neighbors over cell-to-cell edges.
+	type inEdge struct {
+		from comm.CellID
+		edge int
+	}
+	numEdges := uint64(len(g.Edges))
+	ins := make([][]inEdge, n)
 	outs := make([][]comm.CellID, n)
-	for _, e := range g.Edges {
+	for idx, e := range g.Edges {
 		if e.From == comm.Host || e.To == comm.Host {
 			continue
 		}
-		ins[e.To] = append(ins[e.To], e.From)
+		ins[e.To] = append(ins[e.To], inEdge{from: e.From, edge: idx})
 		outs[e.From] = append(outs[e.From], e.To)
 	}
 	// hist[w % (depth+1)] holds every cell's completion time of wave w
@@ -127,10 +145,12 @@ func RunElastic(g *comm.Graph, waves int, d Delays, depth int, rng *stats.RNG) (
 		cur := at(k)
 		for i := 0; i < n; i++ {
 			start := prev[i] // a cell cannot start wave k before finishing k−1
-			for _, j := range ins[i] {
+			for _, in := range ins[i] {
 				// The k-th token on edge j→i appears when j finishes
-				// wave k−1 plus handshake (initial tokens are free).
-				if t := prev[j] + d.Handshake; t > start {
+				// wave k−1 plus handshake (initial tokens are free),
+				// plus any injected transfer fault on this edge's wave.
+				t := prev[in.from] + d.Handshake + inj.MessageExtra(uint64(k)*numEdges+uint64(in.edge))
+				if t > start {
 					start = t
 				}
 			}

@@ -58,10 +58,10 @@ func TestFacadeWorkloads(t *testing.T) {
 
 func TestExperimentIDsComplete(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 15 {
-		t.Fatalf("experiment count = %d, want 15", len(ids))
+	if len(ids) != 16 {
+		t.Fatalf("experiment count = %d, want 16", len(ids))
 	}
-	if ids[0] != "E1" || ids[14] != "E15" {
+	if ids[0] != "E1" || ids[15] != "E16" {
 		t.Errorf("ids = %v", ids)
 	}
 }
@@ -80,7 +80,7 @@ func TestAllExperimentsPassQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 15 {
+	if len(results) != 16 {
 		t.Fatalf("results = %d", len(results))
 	}
 	for _, r := range results {
