@@ -4,9 +4,13 @@
 //
 // Usage:
 //
-//	planner [-topology linear|ring|mesh|hex] [-n 16]
+//	planner [-topology linear|ring|mesh|hex|torus|tree] [-n 16]
 //	        [-model difference|summation|nopipelining]
-//	        [-m 1] [-eps 0.1] [-delta 2] [-spacing 1] [-alpha 1]
+//	        [-m 1] [-eps 0.1] [-delta 2] [-spacing 1] [-alpha 1] [-json]
+//
+// With -json the plan is printed in the same encoding that syncd's
+// POST /v1/plan returns, so scripts can treat the CLI and the service
+// interchangeably.
 package main
 
 import (
@@ -17,10 +21,11 @@ import (
 	vlsisync "repro"
 	"repro/internal/comm"
 	"repro/internal/core"
+	"repro/internal/service"
 )
 
 func main() {
-	topology := flag.String("topology", "mesh", "array topology: linear, ring, mesh, hex")
+	topology := flag.String("topology", "mesh", "array topology: linear, ring, mesh, hex, torus, tree")
 	n := flag.Int("n", 16, "array size")
 	model := flag.String("model", "summation", "regime: difference, summation, nopipelining")
 	m := flag.Float64("m", 1, "wire delay per unit length")
@@ -28,6 +33,7 @@ func main() {
 	delta := flag.Float64("delta", 2, "cell compute+propagate delay δ")
 	spacing := flag.Float64("spacing", 1, "clock buffer spacing (A7)")
 	alpha := flag.Float64("alpha", 1, "equipotential time per unit path (A6)")
+	jsonOut := flag.Bool("json", false, "print the plan as JSON (the syncd /v1/plan encoding)")
 	assumptions := flag.Bool("assumptions", false, "print the paper's assumptions A1-A11 with their implementations and exit")
 	flag.Parse()
 
@@ -43,20 +49,7 @@ func main() {
 		return
 	}
 
-	var g *comm.Graph
-	var err error
-	switch *topology {
-	case "linear":
-		g, err = comm.Linear(*n)
-	case "ring":
-		g, err = comm.Ring(*n)
-	case "mesh":
-		g, err = comm.Mesh(*n, *n)
-	case "hex":
-		g, err = comm.Hex(*n)
-	default:
-		err = fmt.Errorf("unknown topology %q", *topology)
-	}
+	g, err := comm.Build(*topology, *n, 0, 0)
 	if err != nil {
 		fail(err)
 	}
@@ -72,6 +65,13 @@ func main() {
 	plan, err := vlsisync.PlanSynchronization(g, a)
 	if err != nil {
 		fail(err)
+	}
+
+	if *jsonOut {
+		if err := service.EncodePlan(os.Stdout, plan); err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	fmt.Printf("array:    %s (%d cells)\n", g.Name, g.NumCells())

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	vlsisync "repro"
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/service"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// plans the golden suite covers: one per planner regime.
+var goldenCases = []struct {
+	name     string
+	topology string
+	n        int
+	model    core.ModelKind
+	alpha    float64
+}{
+	{"linear16_summation", "linear", 16, core.SummationModel, 0},
+	{"mesh8_summation", "mesh", 8, core.SummationModel, 0},
+	{"mesh8_difference", "mesh", 8, core.DifferenceModel, 0},
+	{"ring12_nopipelining", "ring", 12, core.NoPipelining, 1},
+}
+
+// TestPlanJSONGolden pins the exact -json output. The same encoder
+// backs syncd's POST /v1/plan, so a golden drift here means the service
+// wire format changed too — bump both deliberately or not at all.
+func TestPlanJSONGolden(t *testing.T) {
+	for _, tc := range goldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := comm.Build(tc.topology, tc.n, 0, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan, err := vlsisync.PlanSynchronization(g, vlsisync.Assumptions{
+				Model: tc.model, M: 1, Eps: 0.1, Delta: 2, BufferSpacing: 1, Alpha: tc.alpha,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := service.EncodePlan(&buf, plan); err != nil {
+				t.Fatal(err)
+			}
+			if !json.Valid(buf.Bytes()) {
+				t.Fatalf("EncodePlan emitted invalid JSON:\n%s", buf.String())
+			}
+
+			golden := filepath.Join("testdata", tc.name+".golden.json")
+			if *update {
+				if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run go test ./cmd/planner -update to create)", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("plan JSON drifted from golden %s.\ngot:\n%s\nwant:\n%s", golden, buf.Bytes(), want)
+			}
+		})
+	}
+}
+
+// TestPlanJSONFieldNames guards the snake_case wire contract clients
+// depend on.
+func TestPlanJSONFieldNames(t *testing.T) {
+	g, err := comm.Build("mesh", 6, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := vlsisync.PlanSynchronization(g, vlsisync.Assumptions{
+		Model: core.SummationModel, M: 1, Eps: 0.1, Delta: 2, BufferSpacing: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := service.EncodePlan(&buf, plan); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"scheme", "sigma", "tau", "period", "size_independent", "rationale"} {
+		if _, ok := doc[field]; !ok {
+			t.Errorf("plan JSON missing field %q:\n%s", field, buf.String())
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Command syncd serves the planning, analysis, and simulation engines
+// over HTTP with content-addressed result caching, request coalescing,
+// and graceful drain.
+//
+// Usage:
+//
+//	syncd [-addr 127.0.0.1:8080] [-cache 1024] [-workers 0]
+//	      [-deadline 30s] [-max-deadline 2m] [-quiet]
+//
+// Endpoints:
+//
+//	POST /v1/plan        run the synchronization planner
+//	POST /v1/analyze     evaluate skew models over candidate clock trees
+//	POST /v1/simulate    clock-propagation or hybrid-handshake simulation
+//	GET  /v1/layout.svg  render a topology (optionally with its clock tree)
+//	GET  /healthz        liveness
+//	GET  /metrics        counters, cache stats, latency quantiles (JSON)
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections, lets
+// in-flight requests finish (bounded by -drain-timeout), and exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+	cache := flag.Int("cache", 1024, "result cache entries")
+	workers := flag.Int("workers", 0, "engine fan-out workers per request (0 = GOMAXPROCS)")
+	deadline := flag.Duration("deadline", 30*time.Second, "default per-request deadline")
+	maxDeadline := flag.Duration("max-deadline", 2*time.Minute, "cap on client-requested deadlines")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
+	quiet := flag.Bool("quiet", false, "suppress per-request log lines")
+	flag.Parse()
+
+	cfg := service.Config{
+		CacheEntries:    *cache,
+		Workers:         *workers,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+	}
+	if !*quiet {
+		cfg.LogWriter = os.Stderr
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "syncd:", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Handler: service.NewServer(cfg)}
+
+	// The announcement goes to stdout so scripts (CI smoke, syncload
+	// wrappers) can scrape the actual port when -addr ends in :0.
+	fmt.Printf("listening on http://%s\n", ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case sig := <-stop:
+		fmt.Fprintf(os.Stderr, "syncd: received %s, draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "syncd: drain:", err)
+			os.Exit(1)
+		}
+		<-serveErr // Serve has returned ErrServerClosed by now
+		fmt.Fprintln(os.Stderr, "syncd: drained cleanly")
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "syncd:", err)
+		os.Exit(1)
+	}
+}

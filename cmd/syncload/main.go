@@ -1,0 +1,306 @@
+// Command syncload drives a running syncd with an open-loop workload
+// and reports latency quantiles per endpoint.
+//
+// Open-loop means arrivals follow a fixed schedule (-qps) regardless of
+// how fast the server answers: a slow server accumulates queueing delay
+// in the reported latency instead of silently throttling the offered
+// load, which is how production traffic actually behaves. Latency is
+// measured from each request's scheduled arrival time, so coordinated
+// omission is accounted for.
+//
+// Usage:
+//
+//	syncload [-url http://127.0.0.1:8080] [-qps 50] [-duration 10s]
+//	         [-concurrency 16] [-mix plan=4,analyze=3,simulate=2,layout=1]
+//	         [-variants 8] [-seed 1] [-json]
+//
+// The request pool holds -variants distinct bodies per endpoint,
+// generated deterministically from -seed, so a fraction of requests
+// repeat and exercise the server's result cache the way real clients
+// with overlapping queries would.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+type shot struct {
+	endpoint  string
+	method    string
+	path      string // path + query for GETs
+	body      string
+	scheduled time.Time
+}
+
+type outcome struct {
+	endpoint string
+	status   int
+	cache    string // X-Cache header: hit, miss, coalesced
+	err      bool
+	latency  float64 // ms, from scheduled arrival
+}
+
+func main() {
+	baseURL := flag.String("url", "http://127.0.0.1:8080", "syncd base URL")
+	qps := flag.Float64("qps", 50, "offered load, requests per second")
+	duration := flag.Duration("duration", 10*time.Second, "how long to offer load")
+	concurrency := flag.Int("concurrency", 16, "maximum in-flight requests")
+	mix := flag.String("mix", "plan=4,analyze=3,simulate=2,layout=1", "endpoint weights")
+	variants := flag.Int("variants", 8, "distinct request bodies per endpoint")
+	seed := flag.Int64("seed", 1, "workload generation seed")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON instead of a table")
+	flag.Parse()
+
+	if *qps <= 0 || *duration <= 0 || *concurrency < 1 || *variants < 1 {
+		fail(fmt.Errorf("need qps > 0, duration > 0, concurrency ≥ 1, variants ≥ 1"))
+	}
+	weights, err := parseMix(*mix)
+	if err != nil {
+		fail(err)
+	}
+	pool := buildPool(*variants)
+	rng := stats.NewRNG(*seed)
+	total := int(float64(*duration/time.Second) * *qps)
+	if total < 1 {
+		total = 1
+	}
+	interval := time.Duration(float64(time.Second) / *qps)
+
+	// Pre-draw the whole workload so the arrival goroutine does no RNG
+	// work on the critical path.
+	endpoints := weightedSequence(weights, total, rng)
+	picks := make([]int, total)
+	for i := range picks {
+		picks[i] = rng.Intn(*variants)
+	}
+
+	client := &http.Client{Timeout: 2 * time.Minute}
+	shots := make(chan shot, *concurrency)
+	outcomes := make(chan outcome, total)
+
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for sh := range shots {
+				outcomes <- fire(client, *baseURL, sh)
+			}
+		}()
+	}
+
+	start := time.Now()
+	for i := 0; i < total; i++ {
+		scheduled := start.Add(time.Duration(i) * interval)
+		if d := time.Until(scheduled); d > 0 {
+			time.Sleep(d)
+		}
+		ep := endpoints[i]
+		v := pool[ep][picks[i]]
+		shots <- shot{endpoint: ep, method: v.method, path: v.path, body: v.body, scheduled: scheduled}
+	}
+	close(shots)
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(outcomes)
+
+	byEndpoint := map[string][]outcome{}
+	for o := range outcomes {
+		byEndpoint[o.endpoint] = append(byEndpoint[o.endpoint], o)
+	}
+	render(byEndpoint, elapsed, *qps, *jsonOut)
+}
+
+// variant is one concrete request in the pool.
+type variant struct {
+	method string
+	path   string
+	body   string
+}
+
+// buildPool returns n distinct request bodies per endpoint. Sizes and
+// seeds are derived from the variant index, so the pool is the same for
+// every run — cache hit rates depend only on the workload mix, not on
+// the wall clock.
+func buildPool(n int) map[string][]variant {
+	pool := map[string][]variant{}
+	for i := 0; i < n; i++ {
+		side := 3 + i%4 // mesh sides 3..6
+		ring := 8 + 2*(i%5)
+		pool["plan"] = append(pool["plan"], variant{
+			method: "POST", path: "/v1/plan",
+			body: fmt.Sprintf(`{"topology":{"kind":"mesh","n":%d},"eps":%g}`, side, 0.1+0.05*float64(i%3)),
+		})
+		pool["analyze"] = append(pool["analyze"], variant{
+			method: "POST", path: "/v1/analyze",
+			body: fmt.Sprintf(`{"topology":{"kind":"mesh","n":%d},"trees":["htree","spine"],"montecarlo_trials":64,"seed":%d}`, side, i+1),
+		})
+		pool["simulate"] = append(pool["simulate"], variant{
+			method: "POST", path: "/v1/simulate",
+			body: fmt.Sprintf(`{"topology":{"kind":"ring","n":%d},"tree":"spine","regime":"random","trials":16,"seed":%d,"params":{"m":1,"eps":0.2}}`, ring, i+1),
+		})
+		pool["layout"] = append(pool["layout"], variant{
+			method: "GET",
+			path:   fmt.Sprintf("/v1/layout.svg?kind=mesh&n=%d&tree=htree", side),
+		})
+	}
+	return pool
+}
+
+func parseMix(s string) (map[string]int, error) {
+	known := map[string]bool{"plan": true, "analyze": true, "simulate": true, "layout": true}
+	weights := map[string]int{}
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("mix entry %q is not name=weight", part)
+		}
+		if !known[name] {
+			return nil, fmt.Errorf("mix names unknown endpoint %q (want plan, analyze, simulate, layout)", name)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("mix weight for %s must be a non-negative integer, got %q", name, val)
+		}
+		if w > 0 {
+			weights[name] = w
+		}
+	}
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("mix %q selects no endpoints", s)
+	}
+	return weights, nil
+}
+
+// weightedSequence draws total endpoint names according to weights.
+func weightedSequence(weights map[string]int, total int, rng *stats.RNG) []string {
+	names := make([]string, 0, len(weights))
+	for n := range weights {
+		names = append(names, n)
+	}
+	sort.Strings(names) // deterministic draw order across runs
+	sum := 0
+	for _, n := range names {
+		sum += weights[n]
+	}
+	seq := make([]string, total)
+	for i := range seq {
+		r := rng.Intn(sum)
+		for _, n := range names {
+			if r -= weights[n]; r < 0 {
+				seq[i] = n
+				break
+			}
+		}
+	}
+	return seq
+}
+
+func fire(client *http.Client, base string, sh shot) outcome {
+	out := outcome{endpoint: sh.endpoint}
+	var resp *http.Response
+	var err error
+	if sh.method == "GET" {
+		resp, err = client.Get(base + sh.path)
+	} else {
+		resp, err = client.Post(base+sh.path, "application/json", strings.NewReader(sh.body))
+	}
+	out.latency = float64(time.Since(sh.scheduled).Nanoseconds()) / 1e6
+	if err != nil {
+		out.err = true
+		return out
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	out.status = resp.StatusCode
+	out.cache = resp.Header.Get("X-Cache")
+	if out.status >= 400 {
+		out.err = true
+	}
+	return out
+}
+
+func render(byEndpoint map[string][]outcome, elapsed time.Duration, offeredQPS float64, asJSON bool) {
+	names := make([]string, 0, len(byEndpoint))
+	for n := range byEndpoint {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	t := report.NewTable("syncload: open-loop latency by endpoint",
+		"endpoint", "requests", "errors", "hits", "coalesced", "p50_ms", "p95_ms", "p99_ms", "max_ms")
+	var all []float64
+	completed, errs := 0, 0
+	addRow := func(name string, os []outcome) {
+		lats := make([]float64, 0, len(os))
+		hits, coalesced, rowErrs := 0, 0, 0
+		for _, o := range os {
+			lats = append(lats, o.latency)
+			if o.err {
+				rowErrs++
+			}
+			switch o.cache {
+			case "hit":
+				hits++
+			case "coalesced":
+				coalesced++
+			}
+		}
+		t.AddRow(name, len(os), rowErrs, hits, coalesced,
+			fmt.Sprintf("%.2f", stats.Percentile(lats, 50)),
+			fmt.Sprintf("%.2f", stats.Percentile(lats, 95)),
+			fmt.Sprintf("%.2f", stats.Percentile(lats, 99)),
+			fmt.Sprintf("%.2f", stats.Max(lats)))
+	}
+	for _, n := range names {
+		addRow(n, byEndpoint[n])
+		for _, o := range byEndpoint[n] {
+			all = append(all, o.latency)
+			completed++
+			if o.err {
+				errs++
+			}
+		}
+	}
+	addRow("overall", flatten(byEndpoint, names))
+
+	achieved := float64(completed) / elapsed.Seconds()
+	if asJSON {
+		if err := t.WriteJSON(os.Stdout); err != nil {
+			fail(err)
+		}
+		fmt.Printf("{\"offered_qps\":%.2f,\"achieved_qps\":%.2f,\"completed\":%d,\"errors\":%d,\"elapsed_s\":%.2f}\n",
+			offeredQPS, achieved, completed, errs, elapsed.Seconds())
+		return
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		fail(err)
+	}
+	fmt.Printf("\noffered %.1f req/s, achieved %.1f req/s; %d completed, %d errors in %.1fs\n",
+		offeredQPS, achieved, completed, errs, elapsed.Seconds())
+}
+
+func flatten(byEndpoint map[string][]outcome, names []string) []outcome {
+	var all []outcome
+	for _, n := range names {
+		all = append(all, byEndpoint[n]...)
+	}
+	return all
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "syncload:", err)
+	os.Exit(1)
+}

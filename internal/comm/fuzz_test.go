@@ -1,0 +1,70 @@
+package comm
+
+// Native fuzz target for the graph interchange format. The service layer
+// ingests graphs posted by untrusted clients, so the contract is strict:
+// malformed input must come back as an error — never a panic — and any
+// graph that decodes must re-encode and re-decode to the same graph
+// (round-trip stability), because the serving cache keys on encoded
+// bytes. Seed corpus lives in testdata/fuzz/; CI runs the target briefly
+// as a smoke test.
+
+import (
+	"bytes"
+	"testing"
+)
+
+func FuzzGraphJSONRoundTrip(f *testing.F) {
+	// Inline seeds alongside the committed corpus: one valid graph per
+	// topology family plus characteristic malformed inputs.
+	for _, build := range []func() (*Graph, error){
+		func() (*Graph, error) { return Linear(4) },
+		func() (*Graph, error) { return Ring(6) },
+		func() (*Graph, error) { return Mesh(2, 3) },
+		func() (*Graph, error) { return Hex(2) },
+	} {
+		g, err := build()
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := g.WriteJSON(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte(`{"kind":"mesh","cells":[{"id":5}]}`))
+	f.Add([]byte(`{"kind":"linear","cells":[{"id":0,"x":1e308,"y":-1e308}],"edges":[{"from":-1,"to":0}]}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"edges":[{"from":0,"to":99}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return // malformed input must error, and it did
+		}
+		var first bytes.Buffer
+		if err := g.WriteJSON(&first); err != nil {
+			t.Fatalf("accepted graph fails to encode: %v", err)
+		}
+		g2, err := ReadJSON(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("emitted JSON does not decode: %v\n%s", err, first.String())
+		}
+		var second bytes.Buffer
+		if err := g2.WriteJSON(&second); err != nil {
+			t.Fatalf("re-encoding decoded graph: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("round trip is not stable:\nfirst:\n%s\nsecond:\n%s", first.String(), second.String())
+		}
+		// UnmarshalJSON must agree with ReadJSON on the same bytes.
+		var g3 Graph
+		if err := g3.UnmarshalJSON(data); err != nil {
+			t.Fatalf("ReadJSON accepted input that UnmarshalJSON rejects: %v", err)
+		}
+		if g3.NumCells() != g.NumCells() || len(g3.Edges) != len(g.Edges) {
+			t.Fatalf("UnmarshalJSON decoded %d cells/%d edges, ReadJSON %d/%d",
+				g3.NumCells(), len(g3.Edges), g.NumCells(), len(g.Edges))
+		}
+	})
+}

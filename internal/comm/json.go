@@ -32,11 +32,8 @@ type edgeJSON struct {
 	Label string `json:"label,omitempty"`
 }
 
-// WriteJSON serializes the graph for interchange with external tools
-// (layout viewers, other simulators). The format is stable: kind, name,
-// grid dims, cells with positions, and directed edges with -1 as the
-// host sentinel.
-func (g *Graph) WriteJSON(w io.Writer) error {
+// toJSON converts g to the interchange representation.
+func (g *Graph) toJSON() graphJSON {
 	out := graphJSON{
 		Kind: g.Kind, Name: g.Name, Rows: g.Rows, Cols: g.Cols,
 		Cells: make([]cellJSON, len(g.Cells)),
@@ -48,17 +45,12 @@ func (g *Graph) WriteJSON(w io.Writer) error {
 	for i, e := range g.Edges {
 		out.Edges[i] = edgeJSON{From: e.From, To: e.To, Label: e.Label}
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	return out
 }
 
-// ReadJSON deserializes a graph written by WriteJSON and validates it.
-func ReadJSON(r io.Reader) (*Graph, error) {
-	var in graphJSON
-	if err := json.NewDecoder(r).Decode(&in); err != nil {
-		return nil, fmt.Errorf("comm: decoding graph: %w", err)
-	}
+// fromJSON rebuilds and validates a graph from the interchange
+// representation.
+func fromJSON(in graphJSON) (*Graph, error) {
 	g := newGraph(in.Kind, in.Name, in.Rows, in.Cols)
 	for i, c := range in.Cells {
 		if int(c.ID) != i {
@@ -73,4 +65,52 @@ func ReadJSON(r io.Reader) (*Graph, error) {
 		return nil, fmt.Errorf("comm: decoded graph invalid: %w", err)
 	}
 	return g, nil
+}
+
+// WriteJSON serializes the graph for interchange with external tools
+// (layout viewers, other simulators). The format is stable: kind, name,
+// grid dims, cells with positions, and directed edges with -1 as the
+// host sentinel.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(g.toJSON())
+}
+
+// ReadJSON deserializes a graph written by WriteJSON and validates it.
+// Trailing data after the JSON value is an error (found by fuzzing: the
+// streaming decoder would otherwise accept input that UnmarshalJSON
+// rejects, splitting the two ingestion paths' notion of validity).
+func ReadJSON(r io.Reader) (*Graph, error) {
+	dec := json.NewDecoder(r)
+	var in graphJSON
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("comm: decoding graph: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, fmt.Errorf("comm: decoding graph: trailing data after JSON value")
+	}
+	return fromJSON(in)
+}
+
+// MarshalJSON encodes the graph in the WriteJSON interchange format, so
+// a *Graph embeds directly in larger JSON payloads (service requests).
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	return json.Marshal(g.toJSON())
+}
+
+// UnmarshalJSON decodes and validates a graph in the interchange format
+// — ReadJSON for embedded use. A graph that fails Validate is rejected,
+// so no malformed graph ever enters the analysis engines.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var in graphJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("comm: decoding graph: %w", err)
+	}
+	dec, err := fromJSON(in)
+	if err != nil {
+		return err
+	}
+	*g = *dec
+	return nil
 }

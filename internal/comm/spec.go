@@ -1,0 +1,34 @@
+package comm
+
+import "fmt"
+
+// Build constructs a standard topology by kind name — the shared entry
+// point behind CLI topology flags and service requests, so every front
+// end accepts the same names and sizes. For grid shapes (mesh, torus)
+// rows/cols are used when both are positive, otherwise the grid is n×n.
+// For trees, n is the number of complete levels.
+func Build(kind string, n, rows, cols int) (*Graph, error) {
+	grid := func() (int, int) {
+		if rows > 0 && cols > 0 {
+			return rows, cols
+		}
+		return n, n
+	}
+	switch Kind(kind) {
+	case KindLinear:
+		return Linear(n)
+	case KindRing:
+		return Ring(n)
+	case KindMesh:
+		r, c := grid()
+		return Mesh(r, c)
+	case KindHex:
+		return Hex(n)
+	case KindTorus:
+		r, c := grid()
+		return Torus(r, c)
+	case KindTree:
+		return CompleteBinaryTree(n)
+	}
+	return nil, fmt.Errorf("comm: unknown topology %q (want linear, ring, mesh, hex, torus, or tree)", kind)
+}

@@ -123,6 +123,66 @@ type Plan struct {
 	Rationale string
 }
 
+// TreeSummary is the serializable digest of a plan's clock tree.
+type TreeSummary struct {
+	Name            string  `json:"name"`
+	Nodes           int     `json:"nodes"`
+	Buffers         int     `json:"buffers"`
+	TotalWireLength float64 `json:"total_wire_length"`
+	MaxRootDist     float64 `json:"max_root_dist"`
+}
+
+// HybridSummary is the serializable digest of a plan's hybrid partition.
+type HybridSummary struct {
+	Elements        int `json:"elements"`
+	MaxElementCells int `json:"max_element_cells"`
+}
+
+// PlanSummary is the stable, serializable form of a Plan: everything a
+// caller needs to act on the prescription, without the live tree and
+// partition structures. It is the one encoding shared by cmd/planner
+// -json and the service's POST /v1/plan.
+type PlanSummary struct {
+	Scheme                  Scheme         `json:"scheme"`
+	Sigma                   float64        `json:"sigma"`
+	Tau                     float64        `json:"tau"`
+	Period                  float64        `json:"period"`
+	SizeIndependent         bool           `json:"size_independent"`
+	CertifiedSkewLowerBound float64        `json:"certified_skew_lower_bound,omitempty"`
+	Tree                    *TreeSummary   `json:"tree,omitempty"`
+	Hybrid                  *HybridSummary `json:"hybrid,omitempty"`
+	Rationale               string         `json:"rationale"`
+}
+
+// Summary digests the plan into its serializable form.
+func (p *Plan) Summary() PlanSummary {
+	out := PlanSummary{
+		Scheme:                  p.Scheme,
+		Sigma:                   p.Sigma,
+		Tau:                     p.Tau,
+		Period:                  p.Period,
+		SizeIndependent:         p.SizeIndependent,
+		CertifiedSkewLowerBound: p.CertifiedSkewLowerBound,
+		Rationale:               p.Rationale,
+	}
+	if p.Tree != nil {
+		out.Tree = &TreeSummary{
+			Name:            p.Tree.Name,
+			Nodes:           p.Tree.NumNodes(),
+			Buffers:         p.Tree.BufferCount(),
+			TotalWireLength: p.Tree.TotalWireLength(),
+			MaxRootDist:     p.Tree.MaxRootDist(),
+		}
+	}
+	if p.Hybrid != nil {
+		out.Hybrid = &HybridSummary{
+			Elements:        p.Hybrid.NumElements(),
+			MaxElementCells: p.Hybrid.MaxElementCells(),
+		}
+	}
+	return out
+}
+
 // oneDimensional reports whether g's communication structure is a chain
 // or ring — the shapes Theorem 3 clocks with a spine.
 func oneDimensional(g *comm.Graph) bool {

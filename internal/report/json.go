@@ -1,0 +1,42 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonDoc is the WriteJSON document shape.
+type jsonDoc struct {
+	Title   string              `json:"title,omitempty"`
+	Columns []string            `json:"columns"`
+	Rows    []map[string]string `json:"rows"`
+}
+
+// WriteJSON renders the table as one JSON document: the title, the
+// column names, and each row as an object keyed by column name (cells
+// beyond a short row are simply absent). Unlike Render, which gives
+// extra cells their own unnamed columns, a JSON row needs a key per
+// cell, so a row wider than the header is an error rather than silent
+// data loss — the same corruption class the CSV writer's quoting fix
+// closed.
+func (t *Table) WriteJSON(w io.Writer) error {
+	doc := jsonDoc{Title: t.Title, Columns: t.Columns, Rows: make([]map[string]string, 0, len(t.rows))}
+	if doc.Columns == nil {
+		doc.Columns = []string{}
+	}
+	for i, row := range t.rows {
+		if len(row) > len(t.Columns) {
+			return fmt.Errorf("report: row %d has %d cells but the header names only %d columns; JSON rows need a column name per cell",
+				i, len(row), len(t.Columns))
+		}
+		obj := make(map[string]string, len(row))
+		for j, cell := range row {
+			obj[t.Columns[j]] = cell
+		}
+		doc.Rows = append(doc.Rows, obj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,88 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWriteJSON(t *testing.T) {
+	var b bytes.Buffer
+	if err := sample().WriteJSON(&b); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var doc struct {
+		Title   string              `json:"title"`
+		Columns []string            `json:"columns"`
+		Rows    []map[string]string `json:"rows"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v\n%s", err, b.String())
+	}
+	if doc.Title != sample().Title {
+		t.Errorf("title = %q, want %q", doc.Title, sample().Title)
+	}
+	if len(doc.Columns) != len(sample().Columns) {
+		t.Errorf("columns = %v, want %v", doc.Columns, sample().Columns)
+	}
+	if len(doc.Rows) != sample().NumRows() {
+		t.Fatalf("rows = %d, want %d", len(doc.Rows), sample().NumRows())
+	}
+	for _, row := range doc.Rows {
+		for col := range row {
+			found := false
+			for _, c := range doc.Columns {
+				if c == col {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("row key %q is not a declared column", col)
+			}
+		}
+	}
+}
+
+// A row shorter than the header is legal JSON output: the missing cells
+// are simply absent from the row object.
+func TestWriteJSONShortRow(t *testing.T) {
+	tbl := NewTable("short", "a", "b", "c")
+	tbl.AddRow("only")
+	var b bytes.Buffer
+	if err := tbl.WriteJSON(&b); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if !strings.Contains(b.String(), `"only"`) || strings.Contains(b.String(), `"b"`+":") {
+		t.Errorf("short row encoded wrong:\n%s", b.String())
+	}
+}
+
+// A row wider than the header has cells with no column name; WriteJSON
+// must refuse it with a descriptive error instead of dropping the cells
+// (mirroring the CSV writer's no-silent-corruption contract).
+func TestWriteJSONRaggedRowErrors(t *testing.T) {
+	tbl := NewTable("ragged", "a", "b")
+	tbl.AddRow("1", "2")
+	tbl.AddRow("1", "2", "3")
+	var b bytes.Buffer
+	err := tbl.WriteJSON(&b)
+	if err == nil {
+		t.Fatalf("WriteJSON accepted a row wider than the header:\n%s", b.String())
+	}
+	for _, want := range []string{"row 1", "3 cells", "2 columns"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestWriteJSONEmptyTable(t *testing.T) {
+	var b bytes.Buffer
+	if err := NewTable("", "a").WriteJSON(&b); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if !strings.Contains(b.String(), `"rows": []`) {
+		t.Errorf("empty table should emit an empty rows array, got:\n%s", b.String())
+	}
+}

@@ -1,0 +1,74 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// Cancellation must stop the pool from launching new tasks promptly:
+// once a task cancels the context, only tasks already dispatched (at
+// most one per worker, plus the single index that may be in flight in
+// the dispatch select) may still run; everything else gets ctx's error
+// without being started.
+func TestMapStopsLaunchingAfterCancel(t *testing.T) {
+	const workers, n = 4, 1000
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var started atomic.Int64
+	results := Map(ctx, workers, n, func(ctx context.Context, i int) (int, error) {
+		started.Add(1)
+		if i == 0 {
+			cancel()
+		}
+		// Hold every dispatched task until cancellation so fast workers
+		// cannot legitimately drain the queue before cancel lands.
+		<-ctx.Done()
+		return i, nil
+	})
+	if got := started.Load(); got > 2*workers {
+		t.Errorf("%d tasks started after a cancellation in task 0; want at most %d", got, 2*workers)
+	}
+	cancelled := 0
+	for _, r := range results {
+		if errors.Is(r.Err, context.Canceled) {
+			cancelled++
+			if r.Wall != 0 {
+				t.Errorf("never-started task reports nonzero wall time %v", r.Wall)
+			}
+		}
+	}
+	if cancelled < n-2*workers {
+		t.Errorf("%d of %d tasks carry the context error; want at least %d", cancelled, n, n-2*workers)
+	}
+}
+
+// Join must surface the context error of cancelled tasks so callers can
+// distinguish "work failed" from "work was abandoned".
+func TestJoinSurfacesContextError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results := Map(ctx, 1, 5, func(context.Context, int) (int, error) {
+		t.Fatal("task ran despite pre-cancelled context")
+		return 0, nil
+	})
+	err := Join(results)
+	if err == nil {
+		t.Fatal("Join returned nil for a fully cancelled run")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("errors.Is(Join(...), context.Canceled) = false; err = %v", err)
+	}
+}
+
+// The same guarantee under a deadline: Join reports DeadlineExceeded.
+func TestJoinSurfacesDeadlineError(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 0)
+	defer cancel()
+	<-ctx.Done()
+	results := Map(ctx, 3, 7, func(context.Context, int) (int, error) { return 0, nil })
+	if err := Join(results); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("errors.Is(Join(...), context.DeadlineExceeded) = false; err = %v", err)
+	}
+}

@@ -1,0 +1,66 @@
+package service
+
+import "testing"
+
+func res(s string) response { return jsonResponse([]byte(s)) }
+
+func TestLRUBasics(t *testing.T) {
+	c := newLRU(2)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache returned a hit")
+	}
+	c.Put("a", res("1"))
+	c.Put("b", res("2"))
+	if got, ok := c.Get("a"); !ok || string(got.body) != "1" {
+		t.Fatalf("Get(a) = %q, %v", got.body, ok)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
+	c := newLRU(2)
+	c.Put("a", res("1"))
+	c.Put("b", res("2"))
+	c.Get("a") // a is now more recent than b
+	c.Put("c", res("3"))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a was recently used and must survive")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c was just inserted and must survive")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestLRUPutRefreshes(t *testing.T) {
+	c := newLRU(2)
+	c.Put("a", res("1"))
+	c.Put("b", res("2"))
+	c.Put("a", res("1'")) // refresh both value and recency
+	c.Put("c", res("3"))  // evicts b, not a
+	if got, ok := c.Get("a"); !ok || string(got.body) != "1'" {
+		t.Fatalf("Get(a) = %q, %v; want refreshed value", got.body, ok)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+}
+
+func TestLRUMinimumCapacity(t *testing.T) {
+	c := newLRU(0) // clamped to 1
+	c.Put("a", res("1"))
+	c.Put("b", res("2"))
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Fatal("most recent entry must survive in a capacity-1 cache")
+	}
+}

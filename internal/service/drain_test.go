@@ -1,0 +1,85 @@
+package service
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestShutdownDrainsInFlightRequests models cmd/syncd's SIGTERM path:
+// http.Server.Shutdown must let an in-progress computation finish and
+// its response reach the client — no request dropped.
+func TestShutdownDrainsInFlightRequests(t *testing.T) {
+	s := NewServer(Config{})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	s.computeGate = func(string) {
+		close(entered)
+		<-release
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: s}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+
+	type result struct {
+		status int
+		body   string
+		err    error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/plan", "application/json",
+			strings.NewReader(`{"topology":{"kind":"mesh","n":4}}`))
+		if err != nil {
+			done <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		done <- result{status: resp.StatusCode, body: string(b), err: err}
+	}()
+	<-entered // the request is now mid-computation
+
+	// Begin the drain while the request is still in flight, then let the
+	// computation finish.
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+	time.Sleep(10 * time.Millisecond) // let Shutdown stop the listener first
+	close(release)
+
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("in-flight request dropped during drain: %v", r.err)
+	}
+	if r.status != 200 {
+		t.Fatalf("in-flight request got status %d during drain: %s", r.status, r.body)
+	}
+	if !strings.Contains(r.body, "scheme") {
+		t.Fatalf("drained response incomplete: %q", r.body)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-serveErr; err != http.ErrServerClosed {
+		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+	}
+
+	// New connections after drain must be refused.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("server accepted a connection after Shutdown")
+	}
+}

@@ -1,0 +1,718 @@
+// Request and response schemas for the four v1 endpoints, and the
+// computations behind them. Every compute is a pure function of its
+// decoded request (all randomness is seeded from request fields), which
+// is what makes content-addressed caching and request coalescing sound.
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/clocksim"
+	"repro/internal/clocktree"
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/hybrid"
+	"repro/internal/runner"
+	"repro/internal/skew"
+	"repro/internal/stats"
+	"repro/internal/viz"
+)
+
+// httpError carries a status code chosen by the compute layer.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{status: 400, msg: fmt.Sprintf(format, args...)}
+}
+
+func unprocessable(err error) error {
+	return &httpError{status: 422, msg: err.Error()}
+}
+
+// TopologySpec names a standard topology to construct server-side, as an
+// alternative to posting a full graph.
+type TopologySpec struct {
+	Kind string `json:"kind"`
+	N    int    `json:"n,omitempty"`
+	Rows int    `json:"rows,omitempty"`
+	Cols int    `json:"cols,omitempty"`
+}
+
+// GraphInput is the polymorphic graph field of every request: either a
+// topology spec (built server-side via comm.Build) or a full inline
+// graph in the comm interchange format (validated on decode).
+type GraphInput struct {
+	Topology *TopologySpec `json:"topology,omitempty"`
+	Graph    *comm.Graph   `json:"graph,omitempty"`
+}
+
+func (in GraphInput) build() (*comm.Graph, error) {
+	switch {
+	case in.Topology != nil && in.Graph != nil:
+		return nil, badRequest("give exactly one of topology and graph, not both")
+	case in.Topology != nil:
+		g, err := comm.Build(in.Topology.Kind, in.Topology.N, in.Topology.Rows, in.Topology.Cols)
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
+		return g, nil
+	case in.Graph != nil:
+		return in.Graph, nil
+	}
+	return nil, badRequest("request needs a topology or a graph")
+}
+
+// treeBuilders maps builder names accepted by the API to constructions.
+var treeBuilders = map[string]func(*comm.Graph) (*clocktree.Tree, error){
+	"htree":      clocktree.HTree,
+	"spine":      clocktree.Spine,
+	"ladder":     clocktree.Ladder,
+	"serpentine": clocktree.Serpentine,
+	"comm":       clocktree.AlongCommTree,
+}
+
+func treeBuilderNames() []string {
+	names := make([]string, 0, len(treeBuilders))
+	for n := range treeBuilders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// buildTree constructs, optionally equalizes, and optionally buffers one
+// named clock tree over g.
+func buildTree(name string, g *comm.Graph, equalize bool, spacing float64) (*clocktree.Tree, error) {
+	build, ok := treeBuilders[name]
+	if !ok {
+		return nil, badRequest("unknown tree builder %q (want one of %s)", name, strings.Join(treeBuilderNames(), ", "))
+	}
+	t, err := build(g)
+	if err != nil {
+		return nil, unprocessable(err)
+	}
+	if equalize {
+		t.Equalize()
+	}
+	if spacing > 0 {
+		t, err = clocktree.Buffered(t, spacing)
+		if err != nil {
+			return nil, unprocessable(err)
+		}
+	}
+	return t, nil
+}
+
+// ---------------------------------------------------------------- plan
+
+// PlanRequest mirrors cmd/planner's flags. Zero-valued physical
+// parameters take the planner CLI's defaults, applied before
+// canonicalization so spelled-out defaults and omitted fields share one
+// cache entry.
+type PlanRequest struct {
+	GraphInput
+	Model             string  `json:"model"`
+	M                 float64 `json:"m"`
+	Eps               float64 `json:"eps"`
+	Delta             float64 `json:"delta"`
+	BufferSpacing     float64 `json:"buffer_spacing"`
+	Alpha             float64 `json:"alpha,omitempty"`
+	Handshake         float64 `json:"handshake,omitempty"`
+	LocalDistribution float64 `json:"local_distribution,omitempty"`
+	ElementSize       float64 `json:"element_size,omitempty"`
+	TimeoutMS         int64   `json:"timeout_ms,omitempty"`
+}
+
+func (req *PlanRequest) applyDefaults() {
+	if req.Model == "" {
+		req.Model = string(core.SummationModel)
+	}
+	if req.M == 0 {
+		req.M = 1
+	}
+	if req.Eps == 0 {
+		req.Eps = 0.1
+	}
+	if req.Delta == 0 {
+		req.Delta = 2
+	}
+	if req.BufferSpacing == 0 {
+		req.BufferSpacing = 1
+	}
+	if req.Alpha == 0 && core.ModelKind(req.Model) == core.NoPipelining {
+		req.Alpha = 1
+	}
+}
+
+// Assumptions converts the request's physical parameters to the
+// planner's input form.
+func (req *PlanRequest) Assumptions() core.Assumptions {
+	return core.Assumptions{
+		Model:             core.ModelKind(req.Model),
+		M:                 req.M,
+		Eps:               req.Eps,
+		Delta:             req.Delta,
+		BufferSpacing:     req.BufferSpacing,
+		Alpha:             req.Alpha,
+		Handshake:         req.Handshake,
+		LocalDistribution: req.LocalDistribution,
+		ElementSize:       req.ElementSize,
+	}
+}
+
+func (s *Server) computePlan(ctx context.Context, req *PlanRequest) (response, error) {
+	g, err := req.build()
+	if err != nil {
+		return response{}, err
+	}
+	plan, err := core.NewPlan(g, req.Assumptions())
+	if err != nil {
+		return response{}, unprocessable(err)
+	}
+	if err := ctx.Err(); err != nil {
+		return response{}, err
+	}
+	var buf bytes.Buffer
+	if err := EncodePlan(&buf, plan); err != nil {
+		return response{}, err
+	}
+	return jsonResponse(buf.Bytes()), nil
+}
+
+// ------------------------------------------------------------- analyze
+
+// ModelSpec selects a skew model for analysis.
+type ModelSpec struct {
+	Kind string  `json:"kind"`
+	M    float64 `json:"m,omitempty"`
+	Eps  float64 `json:"eps,omitempty"`
+}
+
+func (m *ModelSpec) applyDefaults() {
+	if m.Kind == "" {
+		m.Kind = "linear"
+	}
+	if m.M == 0 {
+		m.M = 1
+	}
+	if m.Eps == 0 {
+		m.Eps = 0.1
+	}
+}
+
+func (m ModelSpec) build() (skew.Model, error) {
+	switch m.Kind {
+	case "difference":
+		return skew.Difference{F: func(d float64) float64 { return m.M * d }}, nil
+	case "summation":
+		return skew.Summation{G: func(s float64) float64 { return m.Eps * s }, Beta: m.Eps}, nil
+	case "linear":
+		return skew.Linear{M: m.M, Eps: m.Eps}, nil
+	}
+	return nil, badRequest("unknown skew model %q (want difference, summation, or linear)", m.Kind)
+}
+
+// AnalyzeRequest evaluates one skew model over a set of candidate clock
+// trees for a graph, optionally with Monte-Carlo simulation and the
+// Section V-B certified mesh lower bound.
+type AnalyzeRequest struct {
+	GraphInput
+	Trees               []string  `json:"trees"`
+	Equalize            bool      `json:"equalize,omitempty"`
+	BufferSpacing       float64   `json:"buffer_spacing,omitempty"`
+	Model               ModelSpec `json:"model"`
+	MonteCarloTrials    int       `json:"montecarlo_trials,omitempty"`
+	Seed                int64     `json:"seed,omitempty"`
+	CertifiedLowerBound bool      `json:"certified_lower_bound,omitempty"`
+	TimeoutMS           int64     `json:"timeout_ms,omitempty"`
+}
+
+func (req *AnalyzeRequest) applyDefaults() {
+	if len(req.Trees) == 0 {
+		req.Trees = []string{"htree"}
+	}
+	req.Model.applyDefaults()
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+}
+
+// TreeAnalysis is one candidate tree's analysis. A builder that does not
+// apply to the posted graph (e.g. a ladder on a mesh) reports its error
+// inline rather than failing the whole request — collect-all, like the
+// experiment runner.
+type TreeAnalysis struct {
+	Tree                string  `json:"tree"`
+	Error               string  `json:"error,omitempty"`
+	Nodes               int     `json:"nodes,omitempty"`
+	Buffers             int     `json:"buffers,omitempty"`
+	TotalWireLength     float64 `json:"total_wire_length,omitempty"`
+	MaxSkew             float64 `json:"max_skew,omitempty"`
+	WorstPair           [2]int  `json:"worst_pair,omitempty"`
+	MaxD                float64 `json:"max_d,omitempty"`
+	MaxS                float64 `json:"max_s,omitempty"`
+	Pairs               int     `json:"pairs,omitempty"`
+	GuaranteedMinSkew   float64 `json:"guaranteed_min_skew,omitempty"`
+	MonteCarloMaxSkew   float64 `json:"montecarlo_max_skew,omitempty"`
+	CertifiedLowerBound float64 `json:"certified_lower_bound,omitempty"`
+}
+
+// AnalyzeResponse is the analyze endpoint's body.
+type AnalyzeResponse struct {
+	Graph   string         `json:"graph"`
+	Cells   int            `json:"cells"`
+	Model   string         `json:"model"`
+	Results []TreeAnalysis `json:"results"`
+}
+
+func (s *Server) computeAnalyze(ctx context.Context, req *AnalyzeRequest) (response, error) {
+	g, err := req.build()
+	if err != nil {
+		return response{}, err
+	}
+	model, err := req.Model.build()
+	if err != nil {
+		return response{}, err
+	}
+	if req.MonteCarloTrials < 0 || req.MonteCarloTrials > 1<<20 {
+		return response{}, badRequest("montecarlo_trials must be in [0, %d], got %d", 1<<20, req.MonteCarloTrials)
+	}
+
+	// Fan the candidate trees out over the worker pool; each tree's
+	// Monte Carlo trials fan out again inside MonteCarloParallel.
+	results := runner.Map(ctx, s.cfg.Workers, len(req.Trees), func(ctx context.Context, i int) (TreeAnalysis, error) {
+		out := TreeAnalysis{Tree: req.Trees[i]}
+		tree, err := buildTree(req.Trees[i], g, req.Equalize, req.BufferSpacing)
+		if err != nil {
+			out.Error = err.Error()
+			return out, nil
+		}
+		analysis, err := skew.Analyze(g, tree, model)
+		if err != nil {
+			out.Error = err.Error()
+			return out, nil
+		}
+		out.Nodes = tree.NumNodes()
+		out.Buffers = tree.BufferCount()
+		out.TotalWireLength = tree.TotalWireLength()
+		out.MaxSkew = analysis.MaxSkew
+		out.WorstPair = [2]int{int(analysis.WorstPair.A), int(analysis.WorstPair.B)}
+		out.MaxD, out.MaxS = analysis.MaxD, analysis.MaxS
+		out.Pairs = analysis.Pairs
+		out.GuaranteedMinSkew = skew.GuaranteedMinSkew(g, tree, model)
+		if req.MonteCarloTrials > 0 {
+			mc, err := skew.MonteCarloParallel(ctx, s.cfg.Workers, g, tree,
+				skew.Linear{M: req.Model.M, Eps: req.Model.Eps},
+				req.MonteCarloTrials, stats.NewRNG(req.Seed))
+			if err != nil {
+				return out, err
+			}
+			out.MonteCarloMaxSkew = mc
+		}
+		if req.CertifiedLowerBound && g.Kind == comm.KindMesh {
+			cert, err := skew.MeshCertifiedLowerBound(g, tree, req.Model.Eps)
+			if err != nil {
+				out.Error = err.Error()
+				return out, nil
+			}
+			out.CertifiedLowerBound = cert.Bound
+		}
+		return out, nil
+	})
+	if err := runner.Join(results); err != nil {
+		return response{}, err
+	}
+	resp := AnalyzeResponse{Graph: g.Name, Cells: g.NumCells(), Model: model.Name()}
+	for _, r := range results {
+		resp.Results = append(resp.Results, r.Value)
+	}
+	return marshalResponse(resp)
+}
+
+// ------------------------------------------------------------ simulate
+
+// ClockParamsSpec are clocksim.Params in request form.
+type ClockParamsSpec struct {
+	M             float64 `json:"m,omitempty"`
+	Eps           float64 `json:"eps,omitempty"`
+	BufferDelay   float64 `json:"buffer_delay,omitempty"`
+	MinSeparation float64 `json:"min_separation,omitempty"`
+	RiseFallBias  float64 `json:"rise_fall_bias,omitempty"`
+}
+
+// HybridSpec parameterizes a hybrid-synchronization simulation.
+type HybridSpec struct {
+	ElementSize       float64 `json:"element_size,omitempty"`
+	Handshake         float64 `json:"handshake,omitempty"`
+	LocalDistribution float64 `json:"local_distribution,omitempty"`
+	CellDelay         float64 `json:"cell_delay,omitempty"`
+	HoldDelay         float64 `json:"hold_delay,omitempty"`
+	Waves             int     `json:"waves,omitempty"`
+}
+
+// SimulateRequest runs clock-propagation or hybrid-handshake simulation,
+// including the fault-injected variants.
+type SimulateRequest struct {
+	GraphInput
+	Mode          string          `json:"mode"` // "clock" (default) or "hybrid"
+	Tree          string          `json:"tree,omitempty"`
+	Equalize      bool            `json:"equalize,omitempty"`
+	BufferSpacing float64         `json:"buffer_spacing,omitempty"`
+	Regime        string          `json:"regime,omitempty"` // nominal | random | jittered | adversarial
+	Trials        int             `json:"trials,omitempty"`
+	Seed          int64           `json:"seed,omitempty"`
+	Pair          *[2]int         `json:"pair,omitempty"` // adversarial target pair
+	Params        ClockParamsSpec `json:"params"`
+	Faults        *faults.Config  `json:"faults,omitempty"`
+	Hybrid        *HybridSpec     `json:"hybrid,omitempty"`
+	TimeoutMS     int64           `json:"timeout_ms,omitempty"`
+}
+
+func (req *SimulateRequest) applyDefaults() {
+	if req.Mode == "" {
+		req.Mode = "clock"
+	}
+	if req.Tree == "" {
+		req.Tree = "htree"
+	}
+	if req.Regime == "" {
+		req.Regime = "nominal"
+	}
+	if req.Trials == 0 {
+		req.Trials = 1
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	if req.Params.M == 0 {
+		req.Params.M = 1
+	}
+	if req.Mode == "hybrid" {
+		if req.Hybrid == nil {
+			req.Hybrid = &HybridSpec{}
+		}
+		h := req.Hybrid
+		if h.ElementSize == 0 {
+			h.ElementSize = 4
+		}
+		if h.CellDelay == 0 {
+			h.CellDelay = 2
+		}
+		if h.HoldDelay == 0 {
+			h.HoldDelay = h.CellDelay / 4
+		}
+		if h.Handshake == 0 {
+			h.Handshake = h.CellDelay / 2
+		}
+		if h.Waves == 0 {
+			h.Waves = 32
+		}
+	}
+}
+
+// SummaryJSON is a stats.Summary in response form.
+type SummaryJSON struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	Min  float64 `json:"min"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+func summaryJSON(s stats.Summary) *SummaryJSON {
+	return &SummaryJSON{N: s.N, Mean: s.Mean, Std: s.Std, Min: s.Min, P50: s.P50, P90: s.P90, P99: s.P99, Max: s.Max}
+}
+
+// FaultsJSON reports one representative trial's injected-fault tallies
+// (the injector is keyed, so every trial of a request draws the same
+// pattern).
+type FaultsJSON struct {
+	Dropped    int64 `json:"dropped"`
+	Delayed    int64 `json:"delayed"`
+	Jittered   int64 `json:"jittered"`
+	Metastable int64 `json:"metastable"`
+}
+
+// HybridSimJSON is the hybrid-mode simulation result.
+type HybridSimJSON struct {
+	Elements        int     `json:"elements"`
+	MaxElementCells int     `json:"max_element_cells"`
+	Waves           int     `json:"waves"`
+	WaveCost        float64 `json:"wave_cost"`
+	CycleTime       float64 `json:"cycle_time"`
+	LastWaveSpread  float64 `json:"last_wave_spread"`
+	MaxStall        float64 `json:"max_stall,omitempty"`
+}
+
+// SimulateResponse is the simulate endpoint's body.
+type SimulateResponse struct {
+	Graph              string         `json:"graph"`
+	Cells              int            `json:"cells"`
+	Mode               string         `json:"mode"`
+	Tree               string         `json:"tree,omitempty"`
+	Regime             string         `json:"regime,omitempty"`
+	Trials             int            `json:"trials,omitempty"`
+	CommSkew           *SummaryJSON   `json:"comm_skew,omitempty"`
+	MaxEventDrift      float64        `json:"max_event_drift,omitempty"`
+	MinPipelinedPeriod float64        `json:"min_pipelined_period,omitempty"`
+	Hybrid             *HybridSimJSON `json:"hybrid,omitempty"`
+	Faults             *FaultsJSON    `json:"faults,omitempty"`
+}
+
+func (s *Server) computeSimulate(ctx context.Context, req *SimulateRequest) (response, error) {
+	g, err := req.build()
+	if err != nil {
+		return response{}, err
+	}
+	if req.Trials < 1 || req.Trials > 1<<16 {
+		return response{}, badRequest("trials must be in [1, %d], got %d", 1<<16, req.Trials)
+	}
+	if req.Faults != nil {
+		if err := req.Faults.Validate(); err != nil {
+			return response{}, badRequest("%v", err)
+		}
+	}
+	resp := SimulateResponse{Graph: g.Name, Cells: g.NumCells(), Mode: req.Mode}
+	switch req.Mode {
+	case "hybrid":
+		if err := s.simulateHybrid(ctx, g, req, &resp); err != nil {
+			return response{}, err
+		}
+	case "clock":
+		if err := s.simulateClock(ctx, g, req, &resp); err != nil {
+			return response{}, err
+		}
+	default:
+		return response{}, badRequest("unknown mode %q (want clock or hybrid)", req.Mode)
+	}
+	return marshalResponse(resp)
+}
+
+func (s *Server) simulateClock(ctx context.Context, g *comm.Graph, req *SimulateRequest, resp *SimulateResponse) error {
+	tree, err := buildTree(req.Tree, g, req.Equalize, req.BufferSpacing)
+	if err != nil {
+		return err
+	}
+	p := clocksim.Params{
+		M: req.Params.M, Eps: req.Params.Eps,
+		BufferDelay:   req.Params.BufferDelay,
+		MinSeparation: req.Params.MinSeparation,
+		RiseFallBias:  req.Params.RiseFallBias,
+	}
+	var pair [2]comm.CellID
+	if req.Regime == "adversarial" {
+		pairs := g.CommunicatingPairs()
+		if len(pairs) == 0 {
+			return unprocessable(fmt.Errorf("service: graph %q has no communicating pairs", g.Name))
+		}
+		pair = pairs[0]
+		if req.Pair != nil {
+			pair = [2]comm.CellID{comm.CellID(req.Pair[0]), comm.CellID(req.Pair[1])}
+		}
+	}
+	rng := stats.NewRNG(req.Seed)
+	results := runner.Map(ctx, s.cfg.Workers, req.Trials, func(_ context.Context, i int) (float64, error) {
+		var arr *clocksim.Arrivals
+		var err error
+		switch req.Regime {
+		case "nominal":
+			arr, err = clocksim.Nominal(tree, p)
+		case "random":
+			arr, err = clocksim.Random(tree, p, rng.Fork(int64(i)))
+		case "jittered":
+			// One injector per trial: an Injector is single-goroutine,
+			// and the keyed decisions make every trial's pattern
+			// identical for a given seed anyway.
+			inj, err := faults.New(faultsOrZero(req.Faults), req.Seed)
+			if err != nil {
+				return 0, badRequest("%v", err)
+			}
+			arr, err2 := clocksim.Jittered(tree, p, rng.Fork(int64(i)), inj)
+			if err2 != nil {
+				return 0, unprocessable(err2)
+			}
+			return arr.MaxCommSkew(g)
+		case "adversarial":
+			arr, err = clocksim.Adversarial(tree, p, pair[0], pair[1])
+		default:
+			return 0, badRequest("unknown regime %q (want nominal, random, jittered, or adversarial)", req.Regime)
+		}
+		if err != nil {
+			return 0, unprocessable(err)
+		}
+		return arr.MaxCommSkew(g)
+	})
+	if err := runner.Join(results); err != nil {
+		return firstTypedError(results, err)
+	}
+	summary := stats.Summarize(runner.Values(results))
+	resp.Tree = tree.Name
+	resp.Regime = req.Regime
+	resp.Trials = req.Trials
+	resp.CommSkew = summaryJSON(summary)
+	resp.MaxEventDrift = clocksim.MaxEventDrift(tree, p)
+	if p.MinSeparation > 0 {
+		resp.MinPipelinedPeriod = clocksim.MinPipelinedPeriod(tree, p)
+	}
+	if req.Regime == "jittered" {
+		inj, err := faults.New(faultsOrZero(req.Faults), req.Seed)
+		if err == nil {
+			// Re-draw one trial's pattern solely to report its tallies.
+			for id := 0; id < tree.NumNodes(); id++ {
+				inj.EdgeJitter(uint64(id))
+			}
+			c := inj.Counts()
+			resp.Faults = &FaultsJSON{Jittered: c.Jittered}
+		}
+	}
+	return nil
+}
+
+func (s *Server) simulateHybrid(ctx context.Context, g *comm.Graph, req *SimulateRequest, resp *SimulateResponse) error {
+	h := req.Hybrid
+	if h.Waves < 1 || h.Waves > 1<<12 {
+		return badRequest("hybrid waves must be in [1, %d], got %d", 1<<12, h.Waves)
+	}
+	cfg := hybrid.Config{
+		ElementSize:       h.ElementSize,
+		Handshake:         h.Handshake,
+		LocalDistribution: h.LocalDistribution,
+		CellDelay:         h.CellDelay,
+		HoldDelay:         h.HoldDelay,
+	}
+	sys, err := hybrid.New(g, cfg)
+	if err != nil {
+		return unprocessable(err)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	var inj *faults.Injector
+	if req.Faults != nil && req.Faults.Enabled() {
+		inj, err = faults.New(*req.Faults, req.Seed)
+		if err != nil {
+			return badRequest("%v", err)
+		}
+	}
+	times, err := sys.SimulateHandshakeFaulty(h.Waves, inj)
+	if err != nil {
+		return unprocessable(err)
+	}
+	last := times[len(times)-1]
+	lo, hi := stats.Min(last), stats.Max(last)
+	out := &HybridSimJSON{
+		Elements:        sys.NumElements(),
+		MaxElementCells: sys.MaxElementCells(),
+		Waves:           h.Waves,
+		WaveCost:        cfg.WaveCost(),
+		CycleTime:       sys.CycleTime(h.Waves),
+		LastWaveSpread:  hi - lo,
+	}
+	if inj != nil {
+		clean, err := sys.SimulateHandshakeFaulty(h.Waves, nil)
+		if err != nil {
+			return unprocessable(err)
+		}
+		var stall float64
+		for k := range times {
+			for v := range times[k] {
+				if d := times[k][v] - clean[k][v]; d > stall {
+					stall = d
+				}
+			}
+		}
+		out.MaxStall = stall
+		c := inj.Counts()
+		resp.Faults = &FaultsJSON{Dropped: c.Dropped, Delayed: c.Delayed, Jittered: c.Jittered, Metastable: c.Metastable}
+	}
+	resp.Hybrid = out
+	return nil
+}
+
+// faultsOrZero dereferences an optional fault config.
+func faultsOrZero(c *faults.Config) faults.Config {
+	if c == nil {
+		return faults.Config{}
+	}
+	return *c
+}
+
+// firstTypedError prefers a typed httpError from the task results over
+// the aggregate, so clients see the real status code.
+func firstTypedError(results []runner.Result[float64], agg error) error {
+	for _, r := range results {
+		var he *httpError
+		if r.Err != nil && errors.As(r.Err, &he) {
+			return he
+		}
+	}
+	return agg
+}
+
+// -------------------------------------------------------------- layout
+
+// LayoutRequest is the query-parameter form of GET /v1/layout.svg,
+// normalized into a struct so layouts cache under the same
+// content-addressing as the POST endpoints.
+type LayoutRequest struct {
+	Topology    TopologySpec `json:"topology"`
+	Tree        string       `json:"tree,omitempty"` // "" or "none" = no clock overlay
+	Equalize    bool         `json:"equalize,omitempty"`
+	Spacing     float64      `json:"spacing,omitempty"`
+	Hybrid      bool         `json:"hybrid,omitempty"`
+	ElementSize float64      `json:"element_size,omitempty"`
+	Caption     string       `json:"caption,omitempty"`
+}
+
+func (s *Server) computeLayout(ctx context.Context, req *LayoutRequest) (response, error) {
+	g, err := comm.Build(req.Topology.Kind, req.Topology.N, req.Topology.Rows, req.Topology.Cols)
+	if err != nil {
+		return response{}, badRequest("%v", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return response{}, err
+	}
+	var buf bytes.Buffer
+	if req.Hybrid {
+		size := req.ElementSize
+		if size == 0 {
+			size = 4
+		}
+		sys, err := hybrid.New(g, hybrid.Config{
+			ElementSize: size, Handshake: 0.5, LocalDistribution: 0.3,
+			CellDelay: 2, HoldDelay: 0.5,
+		})
+		if err != nil {
+			return response{}, unprocessable(err)
+		}
+		if err := viz.RenderHybrid(&buf, g, sys, req.Caption); err != nil {
+			return response{}, err
+		}
+	} else {
+		var tree *clocktree.Tree
+		if req.Tree != "" && req.Tree != "none" {
+			tree, err = buildTree(req.Tree, g, req.Equalize, req.Spacing)
+			if err != nil {
+				return response{}, err
+			}
+		}
+		if err := viz.RenderGraphWithClock(&buf, g, tree, req.Caption); err != nil {
+			return response{}, err
+		}
+	}
+	return response{status: 200, contentType: "image/svg+xml", body: buf.Bytes()}, nil
+}

@@ -1,0 +1,135 @@
+package service
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// latencySamples bounds each endpoint's latency reservoir; quantiles are
+// computed over the most recent window.
+const latencySamples = 4096
+
+// latencyVar is an expvar-compatible latency histogram: a ring of recent
+// samples whose String() reports count, mean, and p50/p95/p99 computed
+// with stats.Percentile.
+type latencyVar struct {
+	mu      sync.Mutex
+	samples []float64 // milliseconds, ring buffer
+	next    int
+	full    bool
+	count   int64
+	sum     float64
+}
+
+// Observe records one request latency.
+func (l *latencyVar) Observe(ms float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.samples == nil {
+		l.samples = make([]float64, latencySamples)
+	}
+	l.samples[l.next] = ms
+	l.next = (l.next + 1) % len(l.samples)
+	if l.next == 0 {
+		l.full = true
+	}
+	l.count++
+	l.sum += ms
+}
+
+// String implements expvar.Var with a JSON object of summary quantiles.
+func (l *latencyVar) String() string {
+	l.mu.Lock()
+	window := l.samples[:l.next]
+	if l.full {
+		window = l.samples
+	}
+	window = append([]float64(nil), window...)
+	count, sum := l.count, l.sum
+	l.mu.Unlock()
+	if count == 0 {
+		return `{"count":0}`
+	}
+	return fmt.Sprintf(`{"count":%d,"mean_ms":%.4g,"p50_ms":%.4g,"p95_ms":%.4g,"p99_ms":%.4g}`,
+		count, sum/float64(count),
+		stats.Percentile(window, 50), stats.Percentile(window, 95), stats.Percentile(window, 99))
+}
+
+// metrics is the server's observability state: expvar counters and
+// per-endpoint latency histograms, exported as one JSON document at
+// /metrics. The vars live on the server rather than in expvar's global
+// registry so multiple servers (tests, embedded use) never collide.
+type metrics struct {
+	start     time.Time
+	requests  expvar.Int // all requests, any outcome
+	errors    expvar.Int // requests answered with a non-2xx status
+	hits      expvar.Int // responses served from the result cache
+	misses    expvar.Int // responses computed by this request (leader)
+	coalesced expvar.Int // responses shared from another in-flight request
+	computes  expvar.Int // underlying engine executions
+	inFlight  expvar.Int // requests currently being served
+
+	mu        sync.Mutex
+	latencies map[string]*latencyVar // endpoint → histogram
+
+	vars *expvar.Map
+}
+
+func newMetrics() *metrics {
+	m := &metrics{start: time.Now(), latencies: make(map[string]*latencyVar)}
+	m.vars = new(expvar.Map).Init()
+	m.vars.Set("requests", &m.requests)
+	m.vars.Set("errors", &m.errors)
+	m.vars.Set("cache_hits", &m.hits)
+	m.vars.Set("cache_misses", &m.misses)
+	m.vars.Set("coalesced", &m.coalesced)
+	m.vars.Set("computes", &m.computes)
+	m.vars.Set("in_flight", &m.inFlight)
+	m.vars.Set("cache_hit_ratio", expvar.Func(func() any {
+		h, n := m.hits.Value(), m.hits.Value()+m.misses.Value()+m.coalesced.Value()
+		if n == 0 {
+			return 0.0
+		}
+		return float64(h) / float64(n)
+	}))
+	m.vars.Set("uptime_s", expvar.Func(func() any {
+		return time.Since(m.start).Seconds()
+	}))
+	return m
+}
+
+// latency returns (creating on first use) the histogram for endpoint.
+func (m *metrics) latency(endpoint string) *latencyVar {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l, ok := m.latencies[endpoint]
+	if !ok {
+		l = &latencyVar{}
+		m.latencies[endpoint] = l
+		m.vars.Set("latency_"+endpoint, l)
+	}
+	return l
+}
+
+// snapshot returns the full metrics document as JSON. expvar.Map.String
+// already emits JSON with sorted keys; every var it holds (Int, Func,
+// latencyVar) also stringifies to valid JSON, so the composition is a
+// valid, deterministic-shaped document.
+func (m *metrics) snapshot() []byte {
+	s := m.vars.String()
+	// Round-trip through json.Indent for readability; on the (never
+	// expected) event of invalid JSON, return the raw string.
+	var buf []byte
+	if json.Valid([]byte(s)) {
+		buf = []byte(s)
+	} else {
+		b, _ := json.Marshal(map[string]string{"error": "invalid metrics document"})
+		buf = b
+	}
+	return append(buf, '\n')
+}

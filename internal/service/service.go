@@ -1,0 +1,341 @@
+// Package service exposes the repository's planning, analysis, and
+// simulation engines as a concurrent HTTP JSON API with a production
+// hot path: canonical request hashing feeding a bounded LRU result
+// cache, singleflight coalescing of identical in-flight requests, a
+// bounded worker pool for engine fan-out, per-request deadlines, and
+// expvar-based observability.
+//
+// Every endpoint's result is a pure function of its canonicalized
+// request — randomness is always seeded from request fields — so the
+// cache needs no invalidation and coalescing is semantically invisible.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+)
+
+// Config parameterizes a Server. The zero value is usable: NewServer
+// fills in the defaults documented on each field.
+type Config struct {
+	// CacheEntries bounds the result cache. Default 1024.
+	CacheEntries int
+	// Workers bounds each request's engine fan-out (candidate trees,
+	// Monte-Carlo trials, simulation trials). Default GOMAXPROCS.
+	Workers int
+	// DefaultDeadline applies when a request carries no timeout_ms.
+	// Default 30s.
+	DefaultDeadline time.Duration
+	// MaxDeadline caps client-supplied timeouts. Default 2m.
+	MaxDeadline time.Duration
+	// MaxBodyBytes bounds request bodies. Default 8 MiB.
+	MaxBodyBytes int64
+	// LogWriter receives one structured JSON log line per request.
+	// Default: logging disabled.
+	LogWriter io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 1024
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 2 * time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	return c
+}
+
+// response is a finished endpoint result, the unit stored in the cache
+// and shared between coalesced callers.
+type response struct {
+	status      int
+	contentType string
+	body        []byte
+}
+
+func jsonResponse(body []byte) response {
+	return response{status: 200, contentType: "application/json", body: body}
+}
+
+// marshalResponse encodes v as the indented JSON body of a 200.
+func marshalResponse(v any) (response, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return response{}, fmt.Errorf("service: encoding response: %w", err)
+	}
+	return jsonResponse(append(b, '\n')), nil
+}
+
+// Server is the syncd HTTP handler. Construct with NewServer; it is
+// safe for concurrent use and carries no global state, so tests can run
+// many side by side.
+type Server struct {
+	cfg     Config
+	cache   *lru
+	flight  *flightGroup
+	metrics *metrics
+	mux     *http.ServeMux
+	logger  *log.Logger
+
+	// computeGate, when set (tests only), is called at the start of
+	// every cache-miss computation. Tests use it as a barrier to hold
+	// computations open while concurrent identical requests pile up.
+	computeGate func(endpoint string)
+}
+
+// NewServer builds a Server with cfg (zero fields defaulted).
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		cache:   newLRU(cfg.CacheEntries),
+		flight:  newFlightGroup(),
+		metrics: newMetrics(),
+		mux:     http.NewServeMux(),
+	}
+	if cfg.LogWriter != nil {
+		s.logger = log.New(cfg.LogWriter, "", 0)
+	}
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/v1/plan", post(decoded(s, "plan", func(r *PlanRequest) { r.applyDefaults() }, timeoutOfPlan, s.computePlan)))
+	s.mux.HandleFunc("/v1/analyze", post(decoded(s, "analyze", func(r *AnalyzeRequest) { r.applyDefaults() }, timeoutOfAnalyze, s.computeAnalyze)))
+	s.mux.HandleFunc("/v1/simulate", post(decoded(s, "simulate", func(r *SimulateRequest) { r.applyDefaults() }, timeoutOfSimulate, s.computeSimulate)))
+	s.mux.HandleFunc("/v1/layout.svg", s.handleLayout)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"status\":\"ok\",\"uptime_s\":%.1f}\n", time.Since(s.metrics.start).Seconds())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(s.metrics.snapshot())
+}
+
+func timeoutOfPlan(r *PlanRequest) int64         { return r.TimeoutMS }
+func timeoutOfAnalyze(r *AnalyzeRequest) int64   { return r.TimeoutMS }
+func timeoutOfSimulate(r *SimulateRequest) int64 { return r.TimeoutMS }
+
+// post restricts a handler to the POST method.
+func post(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			http.Error(w, `{"error":"method not allowed; use POST"}`, http.StatusMethodNotAllowed)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// decoded adapts one typed compute function into the shared serving
+// flow: decode body → apply defaults → canonicalize → hash → cache →
+// singleflight → compute with deadline → record → respond.
+func decoded[R any](s *Server, endpoint string, defaults func(*R), timeoutMS func(*R) int64, compute func(context.Context, *R) (response, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req R
+		body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		dec := json.NewDecoder(body)
+		if err := dec.Decode(&req); err != nil {
+			s.finish(w, r, endpoint, time.Now(), response{}, badRequest("decoding request: %v", err), "")
+			return
+		}
+		defaults(&req)
+		canonical, err := canonicalize(&req)
+		if err != nil {
+			s.finish(w, r, endpoint, time.Now(), response{}, err, "")
+			return
+		}
+		key := cacheKey(endpoint, canonical)
+		s.serveKeyed(w, r, endpoint, key, timeoutMS(&req), func(ctx context.Context) (response, error) {
+			return compute(ctx, &req)
+		})
+	}
+}
+
+// serveKeyed is the shared hot path behind every cacheable endpoint.
+func (s *Server) serveKeyed(w http.ResponseWriter, r *http.Request, endpoint, key string, timeoutMS int64, compute func(context.Context) (response, error)) {
+	start := time.Now()
+	s.metrics.inFlight.Add(1)
+	defer s.metrics.inFlight.Add(-1)
+
+	if res, ok := s.cache.Get(key); ok {
+		s.metrics.hits.Add(1)
+		s.finish(w, r, endpoint, start, res, nil, "hit")
+		return
+	}
+
+	deadline := s.cfg.DefaultDeadline
+	if timeoutMS > 0 {
+		deadline = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if deadline > s.cfg.MaxDeadline {
+		deadline = s.cfg.MaxDeadline
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+
+	res, err, coalesced := s.flight.Do(ctx, key, func() (response, error) {
+		if s.computeGate != nil {
+			s.computeGate(endpoint)
+		}
+		s.metrics.computes.Add(1)
+		res, err := compute(ctx)
+		if err == nil {
+			s.cache.Put(key, res)
+		}
+		return res, err
+	})
+	cacheState := "miss"
+	if coalesced {
+		cacheState = "coalesced"
+		s.metrics.coalesced.Add(1)
+	} else {
+		s.metrics.misses.Add(1)
+	}
+	s.finish(w, r, endpoint, start, res, err, cacheState)
+}
+
+// handleLayout serves GET /v1/layout.svg, translating query parameters
+// into a LayoutRequest so layouts share the content-addressed cache.
+func (s *Server) handleLayout(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, `{"error":"method not allowed; use GET"}`, http.StatusMethodNotAllowed)
+		return
+	}
+	req, err := layoutRequestFromQuery(r)
+	if err != nil {
+		s.finish(w, r, "layout", time.Now(), response{}, err, "")
+		return
+	}
+	canonical, err := canonicalize(req)
+	if err != nil {
+		s.finish(w, r, "layout", time.Now(), response{}, err, "")
+		return
+	}
+	key := cacheKey("layout", canonical)
+	s.serveKeyed(w, r, "layout", key, 0, func(ctx context.Context) (response, error) {
+		return s.computeLayout(ctx, req)
+	})
+}
+
+func layoutRequestFromQuery(r *http.Request) (*LayoutRequest, error) {
+	q := r.URL.Query()
+	req := &LayoutRequest{
+		Topology: TopologySpec{Kind: q.Get("kind")},
+		Tree:     q.Get("tree"),
+		Caption:  q.Get("caption"),
+	}
+	if req.Topology.Kind == "" {
+		return nil, badRequest("layout needs a kind query parameter (linear, ring, mesh, hex, torus, tree)")
+	}
+	for name, dst := range map[string]*int{"n": &req.Topology.N, "rows": &req.Topology.Rows, "cols": &req.Topology.Cols} {
+		if v := q.Get(name); v != "" {
+			i, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, badRequest("query parameter %s: %v", name, err)
+			}
+			*dst = i
+		}
+	}
+	for name, dst := range map[string]*bool{"equalize": &req.Equalize, "hybrid": &req.Hybrid} {
+		if v := q.Get(name); v != "" {
+			b, err := strconv.ParseBool(v)
+			if err != nil {
+				return nil, badRequest("query parameter %s: %v", name, err)
+			}
+			*dst = b
+		}
+	}
+	for name, dst := range map[string]*float64{"spacing": &req.Spacing, "element_size": &req.ElementSize} {
+		if v := q.Get(name); v != "" {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return nil, badRequest("query parameter %s: %v", name, err)
+			}
+			*dst = f
+		}
+	}
+	return req, nil
+}
+
+// finish maps a compute result onto the wire, records metrics, and
+// emits the structured log line.
+func (s *Server) finish(w http.ResponseWriter, r *http.Request, endpoint string, start time.Time, res response, err error, cacheState string) {
+	s.metrics.requests.Add(1)
+	status := res.status
+	if err != nil {
+		status = statusOf(err)
+		body, _ := json.Marshal(map[string]string{"error": err.Error()})
+		res = response{status: status, contentType: "application/json", body: append(body, '\n')}
+	}
+	if status >= 400 {
+		s.metrics.errors.Add(1)
+	}
+	elapsed := time.Since(start)
+	s.metrics.latency(endpoint).Observe(float64(elapsed.Nanoseconds()) / 1e6)
+
+	w.Header().Set("Content-Type", res.contentType)
+	if cacheState != "" {
+		w.Header().Set("X-Cache", cacheState)
+	}
+	w.WriteHeader(status)
+	w.Write(res.body)
+
+	if s.logger != nil {
+		line, _ := json.Marshal(map[string]any{
+			"time":        start.UTC().Format(time.RFC3339Nano),
+			"endpoint":    endpoint,
+			"method":      r.Method,
+			"path":        r.URL.Path,
+			"status":      status,
+			"cache":       cacheState,
+			"duration_ms": float64(elapsed.Nanoseconds()) / 1e6,
+			"bytes":       len(res.body),
+		})
+		s.logger.Println(string(line))
+	}
+}
+
+// statusOf maps compute errors to HTTP statuses: typed httpErrors carry
+// their own, deadline expiry is 504, client cancellation 499 (nginx's
+// convention), anything else 500.
+func statusOf(err error) int {
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.status
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout
+	}
+	if errors.Is(err, context.Canceled) {
+		return 499
+	}
+	return http.StatusInternalServerError
+}

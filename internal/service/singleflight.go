@@ -1,0 +1,55 @@
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup coalesces concurrent identical requests: while one caller
+// (the leader) computes the response for a key, followers arriving with
+// the same key block until the leader finishes and share its result —
+// the underlying engines run exactly once per distinct in-flight
+// request, no matter how many clients ask.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{} // closed when res/err are final
+	res  response
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// Do returns fn's result for key, computing it at most once across
+// concurrent callers. The third return is true when this caller joined
+// an in-flight computation instead of starting one. A follower whose
+// ctx expires stops waiting and returns ctx's error; the leader's
+// computation is not interrupted on its behalf.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() (response, error)) (response, error, bool) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.res, c.err, true
+		case <-ctx.Done():
+			return response{}, ctx.Err(), true
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.res, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.res, c.err, false
+}

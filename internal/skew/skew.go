@@ -16,11 +16,13 @@
 package skew
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/clocktree"
 	"repro/internal/comm"
+	"repro/internal/runner"
 	"repro/internal/stats"
 )
 
@@ -185,28 +187,66 @@ func MonteCarlo(g *comm.Graph, tree *clocktree.Tree, m Linear, trials int, rng *
 		return 0, fmt.Errorf("skew: need 0 ≤ Eps ≤ M, got M=%g Eps=%g", m.M, m.Eps)
 	}
 	pairs := g.CommunicatingPairs()
-	n := tree.NumNodes()
-	arrival := make([]float64, n)
 	var worst float64
 	for trial := 0; trial < trials; trial++ {
-		r := rng.Fork(int64(trial))
-		// Arrival time = parent's arrival + edge length · random unit delay.
-		var walk func(v clocktree.NodeID)
-		walk = func(v clocktree.NodeID) {
-			for _, c := range tree.Children(v) {
-				unit := r.Uniform(m.M-m.Eps, m.M+m.Eps)
-				arrival[c] = arrival[v] + tree.EdgeLen(c)*unit
-				walk(c)
-			}
+		if w := monteCarloTrial(g, tree, m, pairs, rng.Fork(int64(trial))); w > worst {
+			worst = w
 		}
-		arrival[tree.Root()] = 0
-		walk(tree.Root())
-		for _, p := range pairs {
-			na, _ := tree.CellNode(p[0])
-			nb, _ := tree.CellNode(p[1])
-			if d := math.Abs(arrival[na] - arrival[nb]); d > worst {
-				worst = d
-			}
+	}
+	return worst, nil
+}
+
+// monteCarloTrial draws one random per-segment delay assignment from r
+// and returns the trial's worst arrival-time difference over pairs.
+func monteCarloTrial(g *comm.Graph, tree *clocktree.Tree, m Linear, pairs [][2]comm.CellID, r *stats.RNG) float64 {
+	arrival := make([]float64, tree.NumNodes())
+	// Arrival time = parent's arrival + edge length · random unit delay.
+	var walk func(v clocktree.NodeID)
+	walk = func(v clocktree.NodeID) {
+		for _, c := range tree.Children(v) {
+			unit := r.Uniform(m.M-m.Eps, m.M+m.Eps)
+			arrival[c] = arrival[v] + tree.EdgeLen(c)*unit
+			walk(c)
+		}
+	}
+	arrival[tree.Root()] = 0
+	walk(tree.Root())
+	var worst float64
+	for _, p := range pairs {
+		na, _ := tree.CellNode(p[0])
+		nb, _ := tree.CellNode(p[1])
+		if d := math.Abs(arrival[na] - arrival[nb]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// MonteCarloParallel is MonteCarlo with the trials fanned out over a
+// bounded worker pool and cancellation threaded through ctx — the form
+// the serving path uses so one heavy request neither blocks a core nor
+// outlives its deadline. Each trial forks the caller's generator by its
+// trial index exactly as MonteCarlo does, so for a given seed the result
+// is identical to the sequential run at any worker count. A cancelled
+// ctx aborts the remaining trials and returns ctx's error.
+func MonteCarloParallel(ctx context.Context, workers int, g *comm.Graph, tree *clocktree.Tree, m Linear, trials int, rng *stats.RNG) (float64, error) {
+	if !tree.Covers(g) {
+		return 0, fmt.Errorf("skew: tree %q does not clock every cell of %q", tree.Name, g.Name)
+	}
+	if m.Eps < 0 || m.M < m.Eps {
+		return 0, fmt.Errorf("skew: need 0 ≤ Eps ≤ M, got M=%g Eps=%g", m.M, m.Eps)
+	}
+	pairs := g.CommunicatingPairs()
+	results := runner.Map(ctx, workers, trials, func(_ context.Context, i int) (float64, error) {
+		return monteCarloTrial(g, tree, m, pairs, rng.Fork(int64(i))), nil
+	})
+	if err := runner.Join(results); err != nil {
+		return 0, err
+	}
+	var worst float64
+	for _, r := range results {
+		if r.Value > worst {
+			worst = r.Value
 		}
 	}
 	return worst, nil
