@@ -1,0 +1,137 @@
+// Command obscheck validates observability artifacts so CI can gate on
+// them without external tooling.
+//
+// Usage:
+//
+//	obscheck -trace out.json [-min-events 1] [-min-categories 1]
+//	obscheck -prom < exposition.txt
+//	obscheck -manifest run.json
+//
+// -trace parses a Chrome trace_event file (the -trace output of
+// cmd/experiments and cmd/planner), requires at least -min-events
+// complete ("X") span events and -min-categories distinct engine
+// categories, and prints a one-line summary. -prom parses a Prometheus
+// text exposition (syncd's GET /metrics?format=prom) from stdin under
+// the strict 0.0.4 grammar, optionally requiring families named by
+// repeated -require flags. -manifest checks a run manifest for the
+// provenance fields the trajectory depends on. Exit status is non-zero
+// on any violation.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+type requireList []string
+
+func (r *requireList) String() string { return strings.Join(*r, ",") }
+
+func (r *requireList) Set(v string) error {
+	*r = append(*r, v)
+	return nil
+}
+
+func main() {
+	tracePath := flag.String("trace", "", "validate a Chrome trace_event JSON file")
+	minEvents := flag.Int("min-events", 1, "minimum complete (X) events the trace must hold")
+	minCategories := flag.Int("min-categories", 1, "minimum distinct span categories the trace must hold")
+	promIn := flag.Bool("prom", false, "validate a Prometheus text exposition read from stdin")
+	manifestPath := flag.String("manifest", "", "validate a run manifest JSON file")
+	var require requireList
+	flag.Var(&require, "require", "metric family that must be present (repeatable; with -prom)")
+	flag.Parse()
+
+	modes := 0
+	for _, on := range []bool{*tracePath != "", *promIn, *manifestPath != ""} {
+		if on {
+			modes++
+		}
+	}
+	if modes != 1 {
+		fail(fmt.Errorf("pick exactly one of -trace, -prom, -manifest"))
+	}
+
+	switch {
+	case *tracePath != "":
+		checkTrace(*tracePath, *minEvents, *minCategories)
+	case *promIn:
+		checkProm(require)
+	case *manifestPath != "":
+		checkManifest(*manifestPath)
+	}
+}
+
+func checkTrace(path string, minEvents, minCategories int) {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	doc, err := obs.ReadTrace(f)
+	if err != nil {
+		fail(err)
+	}
+	complete := doc.CompleteEvents()
+	cats := doc.Categories()
+	if len(complete) < minEvents {
+		fail(fmt.Errorf("trace %s: %d complete events, need ≥ %d", path, len(complete), minEvents))
+	}
+	if len(cats) < minCategories {
+		fail(fmt.Errorf("trace %s: %d categories %v, need ≥ %d", path, len(cats), cats, minCategories))
+	}
+	fmt.Printf("trace ok: %d events, %d complete spans, categories %s\n",
+		len(doc.TraceEvents), len(complete), strings.Join(cats, ","))
+}
+
+func checkProm(require []string) {
+	fams, err := obs.ParseProm(os.Stdin)
+	if err != nil {
+		fail(err)
+	}
+	samples := 0
+	for _, f := range fams {
+		samples += len(f.Samples)
+	}
+	if samples == 0 {
+		fail(fmt.Errorf("exposition holds no samples"))
+	}
+	for _, name := range require {
+		if _, ok := obs.FindProm(fams, name); !ok {
+			fail(fmt.Errorf("required family %s missing from exposition", name))
+		}
+	}
+	fmt.Printf("prom ok: %d families, %d samples\n", len(fams), samples)
+}
+
+func checkManifest(path string) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fail(err)
+	}
+	var m obs.Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		fail(fmt.Errorf("manifest %s is not valid JSON: %w", path, err))
+	}
+	if m.Command == "" {
+		fail(fmt.Errorf("manifest %s: command missing", path))
+	}
+	if m.GoVersion == "" {
+		fail(fmt.Errorf("manifest %s: go_version missing", path))
+	}
+	if m.WallSeconds <= 0 {
+		fail(fmt.Errorf("manifest %s: wall_s = %g, want > 0", path, m.WallSeconds))
+	}
+	fmt.Printf("manifest ok: %s on go %s, %d experiments, wall %.2fs\n",
+		m.Command, m.GoVersion, len(m.Experiments), m.WallSeconds)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "obscheck:", err)
+	os.Exit(1)
+}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +22,7 @@ import (
 	vlsisync "repro"
 	"repro/internal/comm"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -35,6 +37,7 @@ func main() {
 	alpha := flag.Float64("alpha", 1, "equipotential time per unit path (A6)")
 	jsonOut := flag.Bool("json", false, "print the plan as JSON (the syncd /v1/plan encoding)")
 	assumptions := flag.Bool("assumptions", false, "print the paper's assumptions A1-A11 with their implementations and exit")
+	tracePath := flag.String("trace", "", "write the planner's spans as Chrome trace_event JSON to this file")
 	flag.Parse()
 
 	if *assumptions {
@@ -62,9 +65,28 @@ func main() {
 		BufferSpacing: *spacing,
 		Alpha:         *alpha,
 	}
-	plan, err := vlsisync.PlanSynchronization(g, a)
+	ctx := context.Background()
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.NewTracer()
+		ctx = obs.WithTracer(ctx, tracer)
+	}
+	plan, err := vlsisync.PlanSynchronizationCtx(ctx, g, a)
 	if err != nil {
 		fail(err)
+	}
+	if tracer != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fail(err)
+		}
+		if err := tracer.WriteTrace(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
 	}
 
 	if *jsonOut {

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	syncd [-addr 127.0.0.1:8080] [-cache 1024] [-workers 0]
-//	      [-deadline 30s] [-max-deadline 2m] [-quiet]
+//	      [-deadline 30s] [-max-deadline 2m] [-quiet] [-pprof]
 //
 // Endpoints:
 //
@@ -14,7 +14,12 @@
 //	POST /v1/simulate    clock-propagation or hybrid-handshake simulation
 //	GET  /v1/layout.svg  render a topology (optionally with its clock tree)
 //	GET  /healthz        liveness
-//	GET  /metrics        counters, cache stats, latency quantiles (JSON)
+//	GET  /metrics        counters, cache stats, latency quantiles
+//	                     (expvar JSON; ?format=prom for Prometheus text)
+//
+// With -pprof the net/http/pprof profiling endpoints are additionally
+// served under /debug/pprof/ (default off: profiling handlers expose
+// internals and should be opted into, not ambient).
 //
 // On SIGINT/SIGTERM the daemon stops accepting connections, lets
 // in-flight requests finish (bounded by -drain-timeout), and exits 0.
@@ -26,6 +31,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -42,6 +48,7 @@ func main() {
 	maxDeadline := flag.Duration("max-deadline", 2*time.Minute, "cap on client-requested deadlines")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
 	quiet := flag.Bool("quiet", false, "suppress per-request log lines")
+	withPprof := flag.Bool("pprof", false, "serve net/http/pprof endpoints under /debug/pprof/")
 	flag.Parse()
 
 	cfg := service.Config{
@@ -59,7 +66,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "syncd:", err)
 		os.Exit(1)
 	}
-	srv := &http.Server{Handler: service.NewServer(cfg)}
+	var handler http.Handler = service.NewServer(cfg)
+	if *withPprof {
+		// Explicit registrations on a private mux: importing net/http/pprof
+		// for its side effect would pollute http.DefaultServeMux and serve
+		// the profiles even without the flag.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+	}
+	srv := &http.Server{Handler: handler}
 
 	// The announcement goes to stdout so scripts (CI smoke, syncload
 	// wrappers) can scrape the actual port when -addr ends in :0.

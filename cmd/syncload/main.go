@@ -12,7 +12,14 @@
 //
 //	syncload [-url http://127.0.0.1:8080] [-qps 50] [-duration 10s]
 //	         [-concurrency 16] [-mix plan=4,analyze=3,simulate=2,layout=1]
-//	         [-variants 8] [-seed 1] [-json]
+//	         [-variants 8] [-seed 1] [-json] [-cpuprofile load.pprof]
+//
+// With -json the report is a single typed document with a per-endpoint
+// latency breakdown (requests, errors, cache hits, coalesced, p50/p95/
+// p99/max) plus the overall row and achieved throughput — the format
+// committed as BENCH_serve.json. -cpuprofile writes a pprof CPU profile
+// of the generator itself, for checking that the load driver is not the
+// bottleneck at high -qps.
 //
 // The request pool holds -variants distinct bodies per endpoint,
 // generated deterministically from -seed, so a fraction of requests
@@ -21,11 +28,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -61,10 +70,26 @@ func main() {
 	variants := flag.Int("variants", 8, "distinct request bodies per endpoint")
 	seed := flag.Int64("seed", 1, "workload generation seed")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON instead of a table")
+	cpuprofile := flag.String("cpuprofile", "", "write the generator's CPU profile (pprof format) to this file")
 	flag.Parse()
 
 	if *qps <= 0 || *duration <= 0 || *concurrency < 1 || *variants < 1 {
 		fail(fmt.Errorf("need qps > 0, duration > 0, concurrency ≥ 1, variants ≥ 1"))
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+		}()
 	}
 	weights, err := parseMix(*mix)
 	if err != nil {
@@ -232,6 +257,63 @@ func fire(client *http.Client, base string, sh shot) outcome {
 	return out
 }
 
+// endpointReport is one endpoint's latency breakdown with typed fields,
+// so downstream tooling (the committed BENCH_serve.json trajectory)
+// can compare plan vs. simulate cost without re-parsing table strings.
+type endpointReport struct {
+	Endpoint  string  `json:"endpoint"`
+	Requests  int     `json:"requests"`
+	Errors    int     `json:"errors"`
+	Hits      int     `json:"hits"`
+	Coalesced int     `json:"coalesced"`
+	P50Ms     float64 `json:"p50_ms"`
+	P95Ms     float64 `json:"p95_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	MaxMs     float64 `json:"max_ms"`
+}
+
+// loadReport is the full -json document: run-level throughput plus the
+// per-endpoint breakdown and the overall row.
+type loadReport struct {
+	Title       string           `json:"title"`
+	OfferedQPS  float64          `json:"offered_qps"`
+	AchievedQPS float64          `json:"achieved_qps"`
+	Completed   int              `json:"completed"`
+	Errors      int              `json:"errors"`
+	ElapsedS    float64          `json:"elapsed_s"`
+	Endpoints   []endpointReport `json:"endpoints"`
+	Overall     endpointReport   `json:"overall"`
+}
+
+func summarize(name string, os []outcome) endpointReport {
+	lats := make([]float64, 0, len(os))
+	r := endpointReport{Endpoint: name, Requests: len(os)}
+	for _, o := range os {
+		lats = append(lats, o.latency)
+		if o.err {
+			r.Errors++
+		}
+		switch o.cache {
+		case "hit":
+			r.Hits++
+		case "coalesced":
+			r.Coalesced++
+		}
+	}
+	r.P50Ms = round2(stats.Percentile(lats, 50))
+	r.P95Ms = round2(stats.Percentile(lats, 95))
+	r.P99Ms = round2(stats.Percentile(lats, 99))
+	r.MaxMs = round2(stats.Max(lats))
+	return r
+}
+
+// round2 keeps the JSON at the same 0.01ms resolution the table prints.
+func round2(v float64) float64 {
+	s := fmt.Sprintf("%.2f", v)
+	f, _ := strconv.ParseFloat(s, 64)
+	return f
+}
+
 func render(byEndpoint map[string][]outcome, elapsed time.Duration, offeredQPS float64, asJSON bool) {
 	names := make([]string, 0, len(byEndpoint))
 	for n := range byEndpoint {
@@ -239,57 +321,41 @@ func render(byEndpoint map[string][]outcome, elapsed time.Duration, offeredQPS f
 	}
 	sort.Strings(names)
 
-	t := report.NewTable("syncload: open-loop latency by endpoint",
-		"endpoint", "requests", "errors", "hits", "coalesced", "p50_ms", "p95_ms", "p99_ms", "max_ms")
-	var all []float64
-	completed, errs := 0, 0
-	addRow := func(name string, os []outcome) {
-		lats := make([]float64, 0, len(os))
-		hits, coalesced, rowErrs := 0, 0, 0
-		for _, o := range os {
-			lats = append(lats, o.latency)
-			if o.err {
-				rowErrs++
-			}
-			switch o.cache {
-			case "hit":
-				hits++
-			case "coalesced":
-				coalesced++
-			}
-		}
-		t.AddRow(name, len(os), rowErrs, hits, coalesced,
-			fmt.Sprintf("%.2f", stats.Percentile(lats, 50)),
-			fmt.Sprintf("%.2f", stats.Percentile(lats, 95)),
-			fmt.Sprintf("%.2f", stats.Percentile(lats, 99)),
-			fmt.Sprintf("%.2f", stats.Max(lats)))
+	rep := loadReport{
+		Title:      "syncload: open-loop latency by endpoint",
+		OfferedQPS: offeredQPS,
+		ElapsedS:   round2(elapsed.Seconds()),
 	}
 	for _, n := range names {
-		addRow(n, byEndpoint[n])
-		for _, o := range byEndpoint[n] {
-			all = append(all, o.latency)
-			completed++
-			if o.err {
-				errs++
-			}
-		}
+		rep.Endpoints = append(rep.Endpoints, summarize(n, byEndpoint[n]))
 	}
-	addRow("overall", flatten(byEndpoint, names))
+	rep.Overall = summarize("overall", flatten(byEndpoint, names))
+	rep.Completed = rep.Overall.Requests
+	rep.Errors = rep.Overall.Errors
+	rep.AchievedQPS = round2(float64(rep.Completed) / elapsed.Seconds())
 
-	achieved := float64(completed) / elapsed.Seconds()
 	if asJSON {
-		if err := t.WriteJSON(os.Stdout); err != nil {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
 			fail(err)
 		}
-		fmt.Printf("{\"offered_qps\":%.2f,\"achieved_qps\":%.2f,\"completed\":%d,\"errors\":%d,\"elapsed_s\":%.2f}\n",
-			offeredQPS, achieved, completed, errs, elapsed.Seconds())
 		return
+	}
+	t := report.NewTable(rep.Title,
+		"endpoint", "requests", "errors", "hits", "coalesced", "p50_ms", "p95_ms", "p99_ms", "max_ms")
+	for _, er := range append(rep.Endpoints, rep.Overall) {
+		t.AddRow(er.Endpoint, er.Requests, er.Errors, er.Hits, er.Coalesced,
+			fmt.Sprintf("%.2f", er.P50Ms),
+			fmt.Sprintf("%.2f", er.P95Ms),
+			fmt.Sprintf("%.2f", er.P99Ms),
+			fmt.Sprintf("%.2f", er.MaxMs))
 	}
 	if err := t.Render(os.Stdout); err != nil {
 		fail(err)
 	}
 	fmt.Printf("\noffered %.1f req/s, achieved %.1f req/s; %d completed, %d errors in %.1fs\n",
-		offeredQPS, achieved, completed, errs, elapsed.Seconds())
+		rep.OfferedQPS, rep.AchievedQPS, rep.Completed, rep.Errors, elapsed.Seconds())
 }
 
 func flatten(byEndpoint map[string][]outcome, names []string) []outcome {

@@ -12,6 +12,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/embed"
 	"repro/internal/hybrid"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/runner"
 	"repro/internal/selftimed"
@@ -77,13 +78,32 @@ func ExperimentIDs() []string {
 // RunExperiment reproduces one claim. With quick set, sweeps are reduced
 // for test and benchmark use; the shapes tested are the same.
 func RunExperiment(id string, quick bool) (*ExperimentResult, error) {
-	rc := &runCtx{ctx: context.Background(), quick: quick, workers: 1}
+	return RunExperimentCtx(context.Background(), id, quick)
+}
+
+// RunExperimentCtx is RunExperiment with context propagation: a tracer
+// carried by ctx (obs.WithTracer) records the experiment's span tree,
+// and cancellation reaches the experiment's inner sweeps.
+func RunExperimentCtx(ctx context.Context, id string, quick bool) (*ExperimentResult, error) {
 	for _, e := range experiments {
 		if e.id == id {
-			return e.run(rc)
+			return runOne(ctx, e, quick, 1)
 		}
 	}
 	return nil, fmt.Errorf("vlsisync: unknown experiment %q (have %v)", id, ExperimentIDs())
+}
+
+// runOne executes one experiment under an "experiment.<ID>" span.
+func runOne(ctx context.Context, e experiment, quick bool, workers int) (*ExperimentResult, error) {
+	ctx, span := obs.Start(ctx, "experiment."+e.id, obs.String("title", e.title))
+	defer span.End()
+	res, err := e.run(&runCtx{ctx: ctx, quick: quick, workers: workers})
+	if res != nil {
+		span.Annotate(
+			obs.Int("rows", int64(res.Table.NumRows())),
+			obs.String("pass", fmt.Sprintf("%v", res.Pass)))
+	}
+	return res, err
 }
 
 // RunOptions configures a suite run.
@@ -99,6 +119,11 @@ type RunOptions struct {
 	// finished at the deadline are reported as errors; completed ones
 	// keep their results.
 	Timeout time.Duration
+	// Tracer, when set, records the run's span tree (one span per
+	// experiment with the engine spans nested underneath). Tracing never
+	// touches the experiments' RNG streams or results, so the rendered
+	// tables stay byte-identical with or without it.
+	Tracer *obs.Tracer
 }
 
 // RunExperiments reproduces the suite under opts. It returns the results
@@ -121,10 +146,10 @@ func RunExperiments(ctx context.Context, opts RunOptions) ([]*ExperimentResult, 
 	if workers < 1 {
 		workers = 1
 	}
+	ctx = obs.WithTracer(ctx, opts.Tracer)
 	rs := runner.Map(ctx, workers, len(experiments),
 		func(ctx context.Context, i int) (*ExperimentResult, error) {
-			rc := &runCtx{ctx: ctx, quick: opts.Quick, workers: workers}
-			return experiments[i].run(rc)
+			return runOne(ctx, experiments[i], opts.Quick, workers)
 		})
 	results := make([]*ExperimentResult, 0, len(rs))
 	metrics := make([]report.RunMetric, len(rs))
@@ -188,7 +213,7 @@ func runE1(rc *runCtx) (*ExperimentResult, error) {
 				return nil, err
 			}
 			tree.Equalize()
-			a, err := skew.Analyze(g, tree, model)
+			a, err := skew.AnalyzeCtx(rc.ctx, g, tree, model)
 			if err != nil {
 				return nil, err
 			}
@@ -232,7 +257,7 @@ func runE2(rc *runCtx) (*ExperimentResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		a, err := skew.Analyze(g, tree, skew.Summation{Beta: 1})
+		a, err := skew.AnalyzeCtx(rc.ctx, g, tree, skew.Summation{Beta: 1})
 		if err != nil {
 			return nil, err
 		}
@@ -287,7 +312,7 @@ func runE3(rc *runCtx) (*ExperimentResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			a, err := skew.Analyze(g, tree, skew.Summation{Beta: 1})
+			a, err := skew.AnalyzeCtx(rc.ctx, g, tree, skew.Summation{Beta: 1})
 			if err != nil {
 				return nil, err
 			}
@@ -296,7 +321,7 @@ func runE3(rc *runCtx) (*ExperimentResult, error) {
 			}
 			minP := math.NaN()
 			if lay.name == "straight" {
-				p, err := firMinPeriod(n, 0.05)
+				p, err := firMinPeriod(rc.ctx, n, 0.05)
 				if err != nil {
 					return nil, err
 				}
@@ -327,7 +352,9 @@ func runE3(rc *runCtx) (*ExperimentResult, error) {
 // firMinPeriod builds an n-tap FIR array, derives per-cell clock offsets
 // from the spine tree (arrival = wire delay × unit), and bisects for the
 // minimum period that still reproduces the ideal output.
-func firMinPeriod(n int, unitSkewPerPitch float64) (float64, error) {
+func firMinPeriod(ctx context.Context, n int, unitSkewPerPitch float64) (float64, error) {
+	_, span := obs.Start(ctx, "systolic.fir", obs.Int("taps", int64(n)))
+	defer span.End()
 	weights := make([]float64, n)
 	for i := range weights {
 		weights[i] = 1 / float64(i+1)
@@ -423,17 +450,17 @@ func runE5(rc *runCtx) (*ExperimentResult, error) {
 	type point struct {
 		prob, predicted, rigid, elastic float64
 	}
-	rs := runner.Map(rc.ctx, rc.workers, len(ks), func(_ context.Context, i int) (point, error) {
+	rs := runner.Map(rc.ctx, rc.workers, len(ks), func(ctx context.Context, i int) (point, error) {
 		k := ks[i]
 		g, err := comm.Linear(k)
 		if err != nil {
 			return point{}, err
 		}
-		rigid, err := selftimed.RunRigid(g, waves, d, stats.NewRNG(int64(k)))
+		rigid, err := selftimed.RunRigidCtx(ctx, g, waves, d, stats.NewRNG(int64(k)))
 		if err != nil {
 			return point{}, err
 		}
-		elastic, err := selftimed.Run(g, waves, d, stats.NewRNG(int64(k)))
+		elastic, err := selftimed.RunElasticCtx(ctx, g, waves, d, 1, stats.NewRNG(int64(k)))
 		if err != nil {
 			return point{}, err
 		}
@@ -483,18 +510,18 @@ func runE6(rc *runCtx) (*ExperimentResult, error) {
 		equi, pipe float64
 		speedups   []float64 // the five-chip replication, at n=2048 only
 	}
-	rs := runner.Map(rc.ctx, rc.workers, len(ns), func(_ context.Context, i int) (point, error) {
+	rs := runner.Map(rc.ctx, rc.workers, len(ns), func(ctx context.Context, i int) (point, error) {
 		n := ns[i]
 		c := cfg
 		c.N = n
-		s, err := wiresim.NewString(c, stats.NewRNG(int64(n)))
+		s, err := wiresim.NewStringCtx(ctx, c, stats.NewRNG(int64(n)))
 		if err != nil {
 			return point{}, err
 		}
 		pt := point{equi: s.EquipotentialCycle() * 1e9, pipe: s.MinPipelinedPeriod() * 1e9}
 		if n == 2048 {
 			for seed := int64(0); seed < 5; seed++ {
-				chip, err := wiresim.NewString(c, stats.NewRNG(seed))
+				chip, err := wiresim.NewStringCtx(ctx, c, stats.NewRNG(seed))
 				if err != nil {
 					return point{}, err
 				}
@@ -550,8 +577,8 @@ func runE7(rc *runCtx) (*ExperimentResult, error) {
 		type chip struct {
 			disc, period float64
 		}
-		rs := runner.Map(rc.ctx, rc.workers, chips, func(_ context.Context, seed int) (chip, error) {
-			s, err := wiresim.NewString(wiresim.Config{
+		rs := runner.Map(rc.ctx, rc.workers, chips, func(ctx context.Context, seed int) (chip, error) {
+			s, err := wiresim.NewStringCtx(ctx, wiresim.Config{
 				N: n, StageDelay: 1, NoiseSD: 0.05,
 			}, stats.NewRNG(int64(seed*7919+n)))
 			if err != nil {
@@ -619,7 +646,7 @@ func runE8(rc *runCtx) (*ExperimentResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		a, err := skew.Analyze(g, tree, skew.Summation{G: func(s float64) float64 { return 0.1 * s }, Beta: 0.1})
+		a, err := skew.AnalyzeCtx(rc.ctx, g, tree, skew.Summation{G: func(s float64) float64 { return 0.1 * s }, Beta: 0.1})
 		if err != nil {
 			return nil, err
 		}
@@ -627,7 +654,7 @@ func runE8(rc *runCtx) (*ExperimentResult, error) {
 
 		correct := "-"
 		if n <= 8 {
-			ok, err := hybridMatMulCorrect(n, cfg)
+			ok, err := hybridMatMulCorrect(rc.ctx, n, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -659,7 +686,9 @@ func runE8(rc *runCtx) (*ExperimentResult, error) {
 	}, nil
 }
 
-func hybridMatMulCorrect(n int, cfg hybrid.Config) (bool, error) {
+func hybridMatMulCorrect(ctx context.Context, n int, cfg hybrid.Config) (bool, error) {
+	ctx, span := obs.Start(ctx, "systolic.matmul", obs.Int("n", int64(n)))
+	defer span.End()
 	rng := stats.NewRNG(int64(n))
 	a := systolic.NewMatrix(n, n)
 	b := systolic.NewMatrix(n, n)
@@ -675,7 +704,7 @@ func hybridMatMulCorrect(n int, cfg hybrid.Config) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	tr, err := sys.Run(mm.Machine, mm.Cycles)
+	tr, err := sys.RunCtx(ctx, mm.Machine, mm.Cycles)
 	if err != nil {
 		return false, err
 	}
@@ -753,11 +782,14 @@ func runE10(rc *runCtx) (*ExperimentResult, error) {
 		n := 1 << exp // N = 2^exp, source is 2^(exp/3) × 2^(2exp/3)
 		rows := 1 << (exp / 3)
 		cols := n / rows
+		_, span := obs.Start(rc.ctx, "embed.fold", obs.Int("rows", int64(rows)), obs.Int("cols", int64(cols)))
 		e, err := embed.FoldToSquare(rows, cols)
 		if err != nil {
+			span.End()
 			return nil, err
 		}
 		m, err := embed.Measure(e)
+		span.End()
 		if err != nil {
 			return nil, err
 		}
@@ -802,7 +834,7 @@ func runE11(rc *runCtx) (*ExperimentResult, error) {
 				ops[i] = treemachine.Op{Kind: treemachine.Query, Key: int64(i % 30)}
 			}
 		}
-		_, st, err := m.Run(ops)
+		_, st, err := m.RunCtx(rc.ctx, ops)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,48 @@
+package clocksim
+
+import (
+	"context"
+
+	"repro/internal/clocktree"
+	"repro/internal/comm"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// The Ctx variants below wrap the four clock-propagation regimes with an
+// observability span ("clocksim.<regime>") recorded when ctx carries a
+// tracer. The propagation itself — including every RNG draw — is
+// untouched, so results are identical to the plain functions.
+
+// NominalCtx is Nominal with a "clocksim.nominal" span.
+func NominalCtx(ctx context.Context, tree *clocktree.Tree, p Params) (*Arrivals, error) {
+	_, span := obs.Start(ctx, "clocksim.nominal",
+		obs.String("tree", tree.Name), obs.Int("nodes", int64(tree.NumNodes())))
+	defer span.End()
+	return Nominal(tree, p)
+}
+
+// RandomCtx is Random with a "clocksim.random" span.
+func RandomCtx(ctx context.Context, tree *clocktree.Tree, p Params, rng *stats.RNG) (*Arrivals, error) {
+	_, span := obs.Start(ctx, "clocksim.random",
+		obs.String("tree", tree.Name), obs.Int("nodes", int64(tree.NumNodes())))
+	defer span.End()
+	return Random(tree, p, rng)
+}
+
+// JitteredCtx is Jittered with a "clocksim.jittered" span.
+func JitteredCtx(ctx context.Context, tree *clocktree.Tree, p Params, rng *stats.RNG, inj *faults.Injector) (*Arrivals, error) {
+	_, span := obs.Start(ctx, "clocksim.jittered",
+		obs.String("tree", tree.Name), obs.Int("nodes", int64(tree.NumNodes())))
+	defer span.End()
+	return Jittered(tree, p, rng, inj)
+}
+
+// AdversarialCtx is Adversarial with a "clocksim.adversarial" span.
+func AdversarialCtx(ctx context.Context, tree *clocktree.Tree, p Params, a, b comm.CellID) (*Arrivals, error) {
+	_, span := obs.Start(ctx, "clocksim.adversarial",
+		obs.String("tree", tree.Name), obs.Int("nodes", int64(tree.NumNodes())))
+	defer span.End()
+	return Adversarial(tree, p, a, b)
+}

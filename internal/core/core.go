@@ -19,11 +19,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/clocktree"
 	"repro/internal/comm"
 	"repro/internal/hybrid"
+	"repro/internal/obs"
 	"repro/internal/skew"
 )
 
@@ -192,6 +194,25 @@ func oneDimensional(g *comm.Graph) bool {
 // NewPlan selects and constructs the synchronization scheme for g under
 // the given assumptions.
 func NewPlan(g *comm.Graph, a Assumptions) (*Plan, error) {
+	return NewPlanCtx(context.Background(), g, a)
+}
+
+// NewPlanCtx is NewPlan with observability: when ctx carries a tracer
+// it records a root "core.plan" span with child spans for each planning
+// stage — clock-tree construction ("core.layout"), skew analysis
+// ("skew.analyze"), lower-bound certification ("core.certify"), and
+// hybrid partitioning ("core.hybrid") — so a trace shows where planning
+// time goes for a given regime.
+func NewPlanCtx(ctx context.Context, g *comm.Graph, a Assumptions) (plan *Plan, err error) {
+	ctx, root := obs.Start(ctx, "core.plan",
+		obs.String("graph", g.Name), obs.String("model", string(a.Model)),
+		obs.Int("cells", int64(g.NumCells())))
+	defer func() {
+		if plan != nil {
+			root.Annotate(obs.String("scheme", string(plan.Scheme)))
+		}
+		root.End()
+	}()
 	if err := a.validate(); err != nil {
 		return nil, err
 	}
@@ -202,16 +223,18 @@ func NewPlan(g *comm.Graph, a Assumptions) (*Plan, error) {
 
 	switch a.Model {
 	case DifferenceModel:
-		tree, err := clocktree.HTree(g)
+		buffered, err := layoutSpan(ctx, "htree", func() (*clocktree.Tree, error) {
+			tree, err := clocktree.HTree(g)
+			if err != nil {
+				return nil, err
+			}
+			tree.Equalize()
+			return clocktree.Buffered(tree, a.BufferSpacing)
+		})
 		if err != nil {
 			return nil, err
 		}
-		tree.Equalize()
-		buffered, err := clocktree.Buffered(tree, a.BufferSpacing)
-		if err != nil {
-			return nil, err
-		}
-		analysis, err := skew.Analyze(g, buffered, skew.Difference{F: func(d float64) float64 { return a.M * d }})
+		analysis, err := skew.AnalyzeCtx(ctx, g, buffered, skew.Difference{F: func(d float64) float64 { return a.M * d }})
 		if err != nil {
 			return nil, err
 		}
@@ -231,24 +254,26 @@ func NewPlan(g *comm.Graph, a Assumptions) (*Plan, error) {
 	case SummationModel:
 		model := skew.Summation{G: func(s float64) float64 { return a.Eps * s }, Beta: a.Eps}
 		if oneDimensional(g) {
-			var tree *clocktree.Tree
-			var err error
-			if g.Kind == comm.KindRing {
-				// A chain spine would leave the ring's wrap-around pair a
-				// full chain apart on the tree; the ladder keeps every
-				// ring pair local.
-				tree, err = clocktree.Ladder(g)
-			} else {
-				tree, err = clocktree.Spine(g)
-			}
+			buffered, err := layoutSpan(ctx, "spine", func() (*clocktree.Tree, error) {
+				var tree *clocktree.Tree
+				var err error
+				if g.Kind == comm.KindRing {
+					// A chain spine would leave the ring's wrap-around pair
+					// a full chain apart on the tree; the ladder keeps
+					// every ring pair local.
+					tree, err = clocktree.Ladder(g)
+				} else {
+					tree, err = clocktree.Spine(g)
+				}
+				if err != nil {
+					return nil, err
+				}
+				return clocktree.Buffered(tree, a.BufferSpacing)
+			})
 			if err != nil {
 				return nil, err
 			}
-			buffered, err := clocktree.Buffered(tree, a.BufferSpacing)
-			if err != nil {
-				return nil, err
-			}
-			analysis, err := skew.Analyze(g, buffered, model)
+			analysis, err := skew.AnalyzeCtx(ctx, g, buffered, model)
 			if err != nil {
 				return nil, err
 			}
@@ -267,16 +292,19 @@ func NewPlan(g *comm.Graph, a Assumptions) (*Plan, error) {
 		}
 		// Two-dimensional (or otherwise wide) structure: global clocking
 		// cannot keep skew bounded (Theorem 6) — plan the hybrid scheme.
-		plan, err := hybridPlan(g, a)
+		plan, err := hybridPlanCtx(ctx, g, a)
 		if err != nil {
 			return nil, err
 		}
 		if g.Kind == comm.KindMesh && g.Rows >= 2 && g.Cols >= 2 {
+			_, cspan := obs.Start(ctx, "core.certify", obs.Int("rows", int64(g.Rows)), obs.Int("cols", int64(g.Cols)))
 			tree, err := clocktree.HTree(g)
 			if err != nil {
+				cspan.End()
 				return nil, err
 			}
 			cert, err := skew.MeshCertifiedLowerBound(g, tree, a.Eps)
+			cspan.End()
 			if err != nil {
 				return nil, err
 			}
@@ -292,11 +320,13 @@ func NewPlan(g *comm.Graph, a Assumptions) (*Plan, error) {
 	case NoPipelining:
 		// Only equipotential clocking remains for a global clock: τ grows
 		// with the layout diameter (A6). Report it, then prefer hybrid.
-		plan, err := hybridPlan(g, a)
+		plan, err := hybridPlanCtx(ctx, g, a)
 		if err != nil {
 			return nil, err
 		}
-		tree, err := clocktree.HTree(g)
+		tree, err := layoutSpan(ctx, "htree-equipotential", func() (*clocktree.Tree, error) {
+			return clocktree.HTree(g)
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -310,6 +340,29 @@ func NewPlan(g *comm.Graph, a Assumptions) (*Plan, error) {
 		return plan, nil
 	}
 	return nil, fmt.Errorf("core: unreachable model %q", a.Model)
+}
+
+// layoutSpan times one clock-tree construction under a "core.layout"
+// span tagged with the layout kind.
+func layoutSpan(ctx context.Context, kind string, build func() (*clocktree.Tree, error)) (*clocktree.Tree, error) {
+	_, span := obs.Start(ctx, "core.layout", obs.String("kind", kind))
+	tree, err := build()
+	if tree != nil {
+		span.Annotate(obs.Int("nodes", int64(tree.NumNodes())))
+	}
+	span.End()
+	return tree, err
+}
+
+// hybridPlanCtx times hybridPlan under a "core.hybrid" span.
+func hybridPlanCtx(ctx context.Context, g *comm.Graph, a Assumptions) (*Plan, error) {
+	_, span := obs.Start(ctx, "core.hybrid")
+	plan, err := hybridPlan(g, a)
+	if plan != nil && plan.Hybrid != nil {
+		span.Annotate(obs.Int("elements", int64(plan.Hybrid.NumElements())))
+	}
+	span.End()
+	return plan, err
 }
 
 // hybridPlan builds the Section VI fallback plan.

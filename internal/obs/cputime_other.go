@@ -1,0 +1,6 @@
+//go:build !unix
+
+package obs
+
+// processCPUSeconds is unavailable off unix; manifests report 0.
+func processCPUSeconds() float64 { return 0 }

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Manifest is one run's provenance record: what was run, with which
+// flags and code version, and where the time went. cmd/experiments
+// writes one per run (-manifest) so BENCH trajectories stay
+// attributable to an exact configuration.
+type Manifest struct {
+	Command     string            `json:"command"`
+	Args        []string          `json:"args,omitempty"`
+	Flags       map[string]string `json:"flags,omitempty"`
+	GitDescribe string            `json:"git_describe"`
+	GoVersion   string            `json:"go_version"`
+	GOMAXPROCS  int               `json:"gomaxprocs"`
+	Start       time.Time         `json:"start"`
+	WallSeconds float64           `json:"wall_s"`
+	// CPUSeconds is the whole process's user+system CPU time. With
+	// experiments running in parallel, per-experiment CPU is not
+	// separable, so the manifest reports per-experiment wall time and
+	// run-level CPU.
+	CPUSeconds  float64            `json:"cpu_s"`
+	Experiments []ExperimentTiming `json:"experiments,omitempty"`
+	Spans       []SpanStat         `json:"spans,omitempty"`
+}
+
+// ExperimentTiming is one experiment's execution record in a manifest.
+type ExperimentTiming struct {
+	ID          string  `json:"id"`
+	WallSeconds float64 `json:"wall_s"`
+	Rows        int     `json:"rows,omitempty"`
+	Pass        bool    `json:"pass"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// NewManifest starts a manifest for the current process: command name,
+// arguments, toolchain version, and git describe of the working tree
+// (or "unknown" outside a repository). Call Finish before writing.
+func NewManifest(start time.Time) *Manifest {
+	m := &Manifest{
+		Command:    commandName(),
+		Args:       append([]string(nil), os.Args[1:]...),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Start:      start.UTC(),
+	}
+	m.GitDescribe = gitDescribe()
+	return m
+}
+
+func commandName() string {
+	if len(os.Args) == 0 {
+		return "unknown"
+	}
+	name := os.Args[0]
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return name
+}
+
+func gitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty", "--tags").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// VisitFlags records the process's flag values. Pass a visitor like
+// flag.CommandLine.Visit (set flags only) or .VisitAll (every flag).
+func (m *Manifest) VisitFlags(visit func(func(name, value string))) {
+	if m.Flags == nil {
+		m.Flags = make(map[string]string)
+	}
+	visit(func(name, value string) { m.Flags[name] = value })
+}
+
+// Finish stamps wall and CPU totals and folds in the tracer's span
+// summary (t may be nil).
+func (m *Manifest) Finish(t *Tracer) {
+	m.WallSeconds = time.Since(m.Start).Seconds()
+	m.CPUSeconds = processCPUSeconds()
+	if t != nil {
+		m.Spans = t.Summary()
+	}
+	sort.Slice(m.Experiments, func(i, j int) bool { return m.Experiments[i].ID < m.Experiments[j].ID })
+}
+
+// Write encodes the manifest as indented JSON.
+func (m *Manifest) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		return fmt.Errorf("obs: encoding manifest: %w", err)
+	}
+	return nil
+}
+
+// WriteFile writes the manifest to path.
+func (m *Manifest) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

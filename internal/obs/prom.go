@@ -1,0 +1,400 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is a minimal, dependency-free implementation of the
+// Prometheus text exposition format (version 0.0.4): enough to let
+// syncd serve GET /metrics?format=prom to a real scraper, and a strict
+// parser so CI can validate the output without vendoring the upstream
+// client library.
+
+// PromSample is one sample line of a metric family.
+type PromSample struct {
+	// Labels are label pairs in output order. WriteProm sorts them; the
+	// parser preserves input order.
+	Labels [][2]string
+	Value  float64
+}
+
+// PromMetric is one metric family: a HELP line, a TYPE line, and its
+// samples.
+type PromMetric struct {
+	Name    string
+	Help    string
+	Type    string // counter | gauge | summary | histogram | untyped
+	Samples []PromSample
+}
+
+// Label is a convenience constructor for a sample's label list.
+func Label(pairs ...string) [][2]string {
+	if len(pairs)%2 != 0 {
+		panic("obs: Label needs key/value pairs")
+	}
+	out := make([][2]string, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		out = append(out, [2]string{pairs[i], pairs[i+1]})
+	}
+	return out
+}
+
+// WriteProm renders the families in the Prometheus text exposition
+// format. Families and labels are written in deterministic order so
+// repeated scrapes of identical state are byte-identical.
+func WriteProm(w io.Writer, metrics []PromMetric) error {
+	bw := bufio.NewWriter(w)
+	for _, m := range metrics {
+		if err := validMetricName(m.Name); err != nil {
+			return err
+		}
+		if m.Help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", m.Name, escapeHelp(m.Help))
+		}
+		typ := m.Type
+		if typ == "" {
+			typ = "untyped"
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", m.Name, typ)
+		for _, s := range m.Samples {
+			name := m.Name
+			labels := s.Labels
+			// Summary quantile/sum/count samples carry their suffix in a
+			// reserved label so callers can stay declarative.
+			var rest [][2]string
+			for _, l := range labels {
+				if l[0] == "__suffix__" {
+					name += l[1]
+					continue
+				}
+				rest = append(rest, l)
+			}
+			sort.SliceStable(rest, func(i, j int) bool { return rest[i][0] < rest[j][0] })
+			bw.WriteString(name)
+			if len(rest) > 0 {
+				bw.WriteByte('{')
+				for i, l := range rest {
+					if i > 0 {
+						bw.WriteByte(',')
+					}
+					fmt.Fprintf(bw, "%s=%q", l[0], l[1])
+				}
+				bw.WriteByte('}')
+			}
+			fmt.Fprintf(bw, " %s\n", formatPromValue(s.Value))
+		}
+	}
+	return bw.Flush()
+}
+
+// Suffix marks a sample as belonging to a suffixed series of its family
+// (e.g. _sum or _count of a summary).
+func Suffix(s string) [2]string { return [2]string{"__suffix__", s} }
+
+// SummarySamples builds the conventional summary series for a latency
+// family: one {quantile="…"} sample per quantile plus _sum and _count.
+func SummarySamples(labels [][2]string, quantiles map[string]float64, sum float64, count int64) []PromSample {
+	qs := make([]string, 0, len(quantiles))
+	for q := range quantiles {
+		qs = append(qs, q)
+	}
+	sort.Strings(qs)
+	out := make([]PromSample, 0, len(qs)+2)
+	for _, q := range qs {
+		out = append(out, PromSample{
+			Labels: append(append([][2]string{}, labels...), [2]string{"quantile", q}),
+			Value:  quantiles[q],
+		})
+	}
+	out = append(out,
+		PromSample{Labels: append(append([][2]string{}, labels...), Suffix("_sum")), Value: sum},
+		PromSample{Labels: append(append([][2]string{}, labels...), Suffix("_count")), Value: float64(count)},
+	)
+	return out
+}
+
+func formatPromValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func validMetricName(name string) error {
+	if name == "" {
+		return fmt.Errorf("obs: empty metric name")
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return fmt.Errorf("obs: invalid metric name %q", name)
+		}
+	}
+	return nil
+}
+
+func validLabelName(name string) error {
+	if name == "" {
+		return fmt.Errorf("obs: empty label name")
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return fmt.Errorf("obs: invalid label name %q", name)
+		}
+	}
+	return nil
+}
+
+// ParseProm parses text in the Prometheus exposition format, validating
+// it strictly: metric and label names must be legal, every sample must
+// carry a parseable value, TYPE lines must name a known type, and a
+// sample's base family must match the preceding TYPE block (modulo the
+// standard _sum/_count/_bucket suffixes). It returns the families in
+// input order.
+func ParseProm(r io.Reader) ([]PromMetric, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var out []PromMetric
+	index := map[string]int{} // family name → position in out
+	family := func(name string) *PromMetric {
+		if i, ok := index[name]; ok {
+			return &out[i]
+		}
+		out = append(out, PromMetric{Name: name})
+		index[name] = len(out) - 1
+		return &out[len(out)-1]
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, rest, ok := cutComment(line)
+			if !ok {
+				continue // free-form comment
+			}
+			name, text, _ := strings.Cut(rest, " ")
+			if err := validMetricName(name); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			m := family(name)
+			switch kind {
+			case "HELP":
+				m.Help = text
+			case "TYPE":
+				switch text {
+				case "counter", "gauge", "summary", "histogram", "untyped":
+					m.Type = text
+				default:
+					return nil, fmt.Errorf("line %d: unknown TYPE %q for %s", lineNo, text, name)
+				}
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		base := baseFamilyIndexed(name, index, out)
+		m := family(base)
+		ls := labels
+		if base != name {
+			ls = append(ls, Suffix(strings.TrimPrefix(name, base)))
+		}
+		m.Samples = append(m.Samples, PromSample{Labels: ls, Value: value})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func cutComment(line string) (kind, rest string, ok bool) {
+	rest = strings.TrimSpace(strings.TrimPrefix(line, "#"))
+	for _, k := range []string{"HELP", "TYPE"} {
+		if strings.HasPrefix(rest, k+" ") {
+			return k, strings.TrimSpace(strings.TrimPrefix(rest, k+" ")), true
+		}
+	}
+	return "", "", false
+}
+
+// baseFamilyIndexed strips the conventional suffixes of summary and
+// histogram series when the base family is known from a TYPE line.
+func baseFamilyIndexed(name string, index map[string]int, out []PromMetric) string {
+	for _, suf := range []string{"_sum", "_count", "_bucket"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if i, ok := index[base]; ok && (out[i].Type == "summary" || out[i].Type == "histogram") {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+func parseSample(line string) (name string, labels [][2]string, value float64, err error) {
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	if brace >= 0 {
+		name = rest[:brace]
+		close := strings.LastIndexByte(rest, '}')
+		if close < brace {
+			return "", nil, 0, fmt.Errorf("unbalanced braces in %q", line)
+		}
+		labels, err = parseLabels(rest[brace+1 : close])
+		if err != nil {
+			return "", nil, 0, err
+		}
+		rest = strings.TrimSpace(rest[close+1:])
+	} else {
+		var ok bool
+		name, rest, ok = strings.Cut(rest, " ")
+		if !ok {
+			return "", nil, 0, fmt.Errorf("sample %q has no value", line)
+		}
+		rest = strings.TrimSpace(rest)
+	}
+	if err := validMetricName(name); err != nil {
+		return "", nil, 0, err
+	}
+	// A timestamp may follow the value; accept and discard it.
+	fields := strings.Fields(rest)
+	if len(fields) == 0 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("sample %q: want value [timestamp]", line)
+	}
+	value, err = parsePromValue(fields[0])
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("sample %q: %w", line, err)
+	}
+	return name, labels, value, nil
+}
+
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func parseLabels(s string) ([][2]string, error) {
+	var out [][2]string
+	rest := strings.TrimSpace(s)
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label %q has no =", rest)
+		}
+		name := strings.TrimSpace(rest[:eq])
+		if err := validLabelName(name); err != nil {
+			return nil, err
+		}
+		rest = strings.TrimSpace(rest[eq+1:])
+		if len(rest) == 0 || rest[0] != '"' {
+			return nil, fmt.Errorf("label %s: value must be quoted", name)
+		}
+		val, remainder, err := unquoteLabelValue(rest)
+		if err != nil {
+			return nil, fmt.Errorf("label %s: %w", name, err)
+		}
+		out = append(out, [2]string{name, val})
+		rest = strings.TrimSpace(remainder)
+		if strings.HasPrefix(rest, ",") {
+			rest = strings.TrimSpace(rest[1:])
+		} else if rest != "" {
+			return nil, fmt.Errorf("unexpected %q after label %s", rest, name)
+		}
+	}
+	return out, nil
+}
+
+// unquoteLabelValue reads a quoted label value with the exposition
+// format's escapes (\\, \", \n) and returns the remainder of the input.
+func unquoteLabelValue(s string) (value, rest string, err error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case '\\', '"':
+				b.WriteByte(s[i])
+			default:
+				return "", "", fmt.Errorf("unknown escape \\%c", s[i])
+			}
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label value")
+}
+
+// FindProm returns the first sample of family name whose labels include
+// every pair of want, and whether one exists — the lookup CI assertions
+// and tests use.
+func FindProm(metrics []PromMetric, name string, want ...string) (PromSample, bool) {
+	wantPairs := Label(want...)
+	for _, m := range metrics {
+		if m.Name != name {
+			continue
+		}
+		for _, s := range m.Samples {
+			match := true
+			for _, w := range wantPairs {
+				found := false
+				for _, l := range s.Labels {
+					if l == w {
+						found = true
+						break
+					}
+				}
+				if !found {
+					match = false
+					break
+				}
+			}
+			if match {
+				return s, true
+			}
+		}
+	}
+	return PromSample{}, false
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleFamilies() []PromMetric {
+	return []PromMetric{
+		{Name: "requests_total", Help: "All requests, any outcome.", Type: "counter",
+			Samples: []PromSample{{Value: 42}}},
+		{Name: "in_flight", Help: "Requests currently being served.", Type: "gauge",
+			Samples: []PromSample{{Value: 3}}},
+		{Name: "request_latency_ms", Help: "Latency by endpoint.", Type: "summary",
+			Samples: SummarySamples(Label("endpoint", "plan"),
+				map[string]float64{"0.5": 0.9, "0.95": 1.5, "0.99": 2.2}, 123.5, 100)},
+	}
+}
+
+func TestWritePromParseRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, sampleFamilies()); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE requests_total counter",
+		"requests_total 42",
+		"# TYPE in_flight gauge",
+		"# TYPE request_latency_ms summary",
+		`request_latency_ms{endpoint="plan",quantile="0.5"} 0.9`,
+		`request_latency_ms_sum{endpoint="plan"} 123.5`,
+		`request_latency_ms_count{endpoint="plan"} 100`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	families, err := ParseProm(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ParseProm rejected own output: %v\n%s", err, text)
+	}
+	if s, ok := FindProm(families, "requests_total"); !ok || s.Value != 42 {
+		t.Fatalf("requests_total = %+v, ok=%v", s, ok)
+	}
+	if s, ok := FindProm(families, "request_latency_ms", "endpoint", "plan", "quantile", "0.99"); !ok || s.Value != 2.2 {
+		t.Fatalf("p99 = %+v, ok=%v", s, ok)
+	}
+	// _sum folds back into the summary family via the suffix label.
+	if s, ok := FindProm(families, "request_latency_ms", "__suffix__", "_sum"); !ok || s.Value != 123.5 {
+		t.Fatalf("sum = %+v, ok=%v", s, ok)
+	}
+}
+
+func TestWritePromDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteProm(&a, sampleFamilies()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteProm(&b, sampleFamilies()); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("exposition is not deterministic")
+	}
+}
+
+func TestWritePromRejectsBadNames(t *testing.T) {
+	err := WriteProm(&bytes.Buffer{}, []PromMetric{{Name: "bad-name"}})
+	if err == nil {
+		t.Fatalf("WriteProm accepted a hyphenated metric name")
+	}
+	err = WriteProm(&bytes.Buffer{}, []PromMetric{{Name: "9starts_with_digit"}})
+	if err == nil {
+		t.Fatalf("WriteProm accepted a leading-digit name")
+	}
+}
+
+func TestParsePromSpecials(t *testing.T) {
+	text := strings.Join([]string{
+		"# odd free-form comment",
+		"# TYPE latency summary",
+		`latency{quantile="0.5"} NaN`,
+		"up 1 1712000000",
+		`escaped{msg="a\"b\\c\nd"} +Inf`,
+	}, "\n")
+	families, err := ParseProm(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, ok := FindProm(families, "latency", "quantile", "0.5"); !ok || !math.IsNaN(s.Value) {
+		t.Fatalf("NaN sample = %+v ok=%v", s, ok)
+	}
+	if s, ok := FindProm(families, "up"); !ok || s.Value != 1 {
+		t.Fatalf("timestamped sample = %+v ok=%v", s, ok)
+	}
+	s, ok := FindProm(families, "escaped")
+	if !ok || !math.IsInf(s.Value, 1) {
+		t.Fatalf("escaped sample = %+v ok=%v", s, ok)
+	}
+	if got := s.Labels[0][1]; got != "a\"b\\c\nd" {
+		t.Fatalf("unescaped label = %q", got)
+	}
+}
+
+func TestParsePromRejectsMalformed(t *testing.T) {
+	cases := []string{
+		`metric{label=unquoted} 1`,
+		`metric{label="unterminated} 1`,
+		`metric 1 2 3`,
+		`metric`,
+		`bad-name 1`,
+		`metric{bad-label="x"} 1`,
+		"# TYPE m sideways\nm 1",
+		`metric{l="x"} notanumber`,
+	}
+	for _, c := range cases {
+		if _, err := ParseProm(strings.NewReader(c)); err == nil {
+			t.Errorf("ParseProm accepted %q", c)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// TraceEvent is one entry of the Chrome trace_event format's JSON-object
+// form (the subset Perfetto and chrome://tracing load): complete ("X")
+// events for spans and metadata ("M") events naming the display tracks.
+type TraceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`            // microseconds since trace start
+	Dur   float64        `json:"dur,omitempty"` // microseconds
+	PID   int64          `json:"pid"`
+	TID   int64          `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// TraceDocument is the top-level object of an exported trace.
+type TraceDocument struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit,omitempty"`
+}
+
+// WriteTrace exports every finished span as Chrome trace_event JSON.
+// Spans become complete ("X") events; tracks become threads named by
+// metadata events. The output loads directly in chrome://tracing and
+// https://ui.perfetto.dev.
+func (t *Tracer) WriteTrace(w io.Writer) error {
+	doc := t.document()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("obs: encoding trace: %w", err)
+	}
+	return nil
+}
+
+func (t *Tracer) document() *TraceDocument {
+	t.mu.Lock()
+	spans := append([]spanRecord(nil), t.spans...)
+	tracks := append([]trackRecord(nil), t.tracks...)
+	t.mu.Unlock()
+
+	// Stable event order: by start time, then id — so identical runs
+	// produce identical trace files.
+	sort.Slice(spans, func(i, j int) bool {
+		if !spans[i].start.Equal(spans[j].start) {
+			return spans[i].start.Before(spans[j].start)
+		}
+		return spans[i].id < spans[j].id
+	})
+
+	doc := &TraceDocument{DisplayTimeUnit: "ms"}
+	used := make(map[int64]bool, len(spans))
+	for _, s := range spans {
+		used[s.track] = true
+	}
+	for _, tr := range tracks {
+		if !used[tr.id] {
+			continue
+		}
+		doc.TraceEvents = append(doc.TraceEvents, TraceEvent{
+			Name:  "thread_name",
+			Phase: "M",
+			PID:   1,
+			TID:   tr.id,
+			Args:  map[string]any{"name": tr.name},
+		})
+	}
+	for _, s := range spans {
+		ev := TraceEvent{
+			Name:  s.name,
+			Cat:   category(s.name),
+			Phase: "X",
+			TS:    float64(s.start.Sub(t.epoch).Nanoseconds()) / 1e3,
+			Dur:   float64(s.dur.Nanoseconds()) / 1e3,
+			PID:   1,
+			TID:   s.track,
+		}
+		if len(s.attrs) > 0 {
+			ev.Args = make(map[string]any, len(s.attrs))
+			for _, a := range s.attrs {
+				ev.Args[a.Key] = a.Value()
+			}
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ev)
+	}
+	return doc
+}
+
+// category derives the trace_event category from a span name's
+// "package.operation" convention, enabling per-engine filtering in the
+// viewer.
+func category(name string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '.' {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// ReadTrace parses and validates a trace_event document produced by
+// WriteTrace (or any tool emitting the JSON-object form). It is the
+// in-repo checker CI's obs-smoke job uses.
+func ReadTrace(r io.Reader) (*TraceDocument, error) {
+	var doc TraceDocument
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("obs: trace is not valid JSON: %w", err)
+	}
+	for i, ev := range doc.TraceEvents {
+		switch ev.Phase {
+		case "X":
+			if ev.Dur < 0 || ev.TS < 0 {
+				return nil, fmt.Errorf("obs: event %d (%s): negative ts/dur", i, ev.Name)
+			}
+		case "M", "B", "E", "i", "C":
+		default:
+			return nil, fmt.Errorf("obs: event %d (%s): unknown phase %q", i, ev.Name, ev.Phase)
+		}
+		if ev.Name == "" {
+			return nil, fmt.Errorf("obs: event %d has no name", i)
+		}
+	}
+	return &doc, nil
+}
+
+// CompleteEvents returns the trace's complete ("X") span events.
+func (d *TraceDocument) CompleteEvents() []TraceEvent {
+	var out []TraceEvent
+	for _, ev := range d.TraceEvents {
+		if ev.Phase == "X" {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Categories returns the distinct categories of the trace's complete
+// events, sorted.
+func (d *TraceDocument) Categories() []string {
+	seen := map[string]bool{}
+	for _, ev := range d.TraceEvents {
+		if ev.Phase == "X" && ev.Cat != "" {
+			seen[ev.Cat] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,66 @@
+package runner
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// The pool must record a runner.map span (with aggregate wait/run
+// attributes) when the context carries a tracer, measure per-task wait
+// and run time, and keep the process gauges balanced.
+func TestMapRecordsSpanAndWait(t *testing.T) {
+	tr := obs.NewTracer()
+	ctx := obs.WithTracer(context.Background(), tr)
+	rs := Map(ctx, 2, 8, func(_ context.Context, i int) (int, error) {
+		time.Sleep(time.Millisecond)
+		return i, nil
+	})
+	if err := Join(rs); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rs {
+		if r.Wall <= 0 {
+			t.Fatalf("task %d Wall = %v, want > 0", i, r.Wall)
+		}
+		if r.Wait < 0 {
+			t.Fatalf("task %d Wait = %v, want >= 0", i, r.Wait)
+		}
+	}
+	stats := tr.Summary()
+	found := false
+	for _, s := range stats {
+		if s.Name == "runner.map" && s.Count == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no runner.map span recorded: %+v", stats)
+	}
+
+	ps := Stats()
+	if ps.TasksStarted < 8 || ps.TasksDone < 8 {
+		t.Fatalf("pool totals too small: %+v", ps)
+	}
+	if ps.TasksStarted != ps.TasksDone {
+		t.Fatalf("started %d != done %d with idle pool", ps.TasksStarted, ps.TasksDone)
+	}
+	if ps.BusyWorkers != 0 || ps.QueueDepth != 0 {
+		t.Fatalf("idle pool gauges nonzero: %+v", ps)
+	}
+}
+
+// Without a tracer, Map must not record spans anywhere and results are
+// unchanged relative to the sequential path.
+func TestMapWithoutTracerStillDeterministic(t *testing.T) {
+	fn := func(_ context.Context, i int) (int, error) { return i * i, nil }
+	seq := Map(context.Background(), 1, 16, fn)
+	par := Map(context.Background(), 4, 16, fn)
+	for i := range seq {
+		if seq[i].Value != par[i].Value {
+			t.Fatalf("task %d: seq %d != par %d", i, seq[i].Value, par[i].Value)
+		}
+	}
+}

@@ -10,14 +10,24 @@
 // stats.NewRNG/Fork) produces the same Result at any worker count,
 // including workers == 1, which runs every task inline on the calling
 // goroutine.
+//
+// The pool is observable: Map records one obs span per call (with
+// queue-wait and occupancy aggregates) when the context carries a
+// tracer, and always maintains cheap atomic gauges — queue depth, busy
+// workers, task totals — that the serving stack exports as Prometheus
+// gauges via Stats.
 package runner
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Result is one task's outcome.
@@ -27,6 +37,51 @@ type Result[T any] struct {
 	// Wall is how long the task ran. Zero for tasks never started
 	// (cancelled before dispatch).
 	Wall time.Duration
+	// Wait is how long the task sat queued between submission to the
+	// pool and the start of execution. Zero on the sequential path.
+	Wait time.Duration
+
+	// wallStart is when the task began executing, kept so the pool can
+	// derive Wait from the submission timestamp.
+	wallStart time.Time
+}
+
+// pool gauges: process-wide atomics describing every Map call in
+// flight. They cost a handful of uncontended atomic adds per task —
+// noise next to any real task body — and give the serving stack live
+// worker-pool visibility.
+var (
+	tasksStarted atomic.Int64
+	tasksDone    atomic.Int64
+	busyWorkers  atomic.Int64
+	queued       atomic.Int64
+)
+
+// PoolStats is a snapshot of the process-wide worker-pool gauges.
+type PoolStats struct {
+	// TasksStarted and TasksDone count tasks over the process lifetime.
+	TasksStarted, TasksDone int64
+	// BusyWorkers is how many tasks are executing right now.
+	BusyWorkers int64
+	// QueueDepth is how many dispatched tasks are waiting for a worker.
+	QueueDepth int64
+}
+
+// Stats returns the current pool gauges.
+func Stats() PoolStats {
+	return PoolStats{
+		TasksStarted: tasksStarted.Load(),
+		TasksDone:    tasksDone.Load(),
+		BusyWorkers:  busyWorkers.Load(),
+		QueueDepth:   queued.Load(),
+	}
+}
+
+// task is one queued unit: its index and when it was submitted, so the
+// wait time (queueing delay) is measurable per task.
+type task struct {
+	i  int
+	at time.Time
 }
 
 // Map runs fn(ctx, i) for every i in [0, n) with at most workers
@@ -51,6 +106,8 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 	if workers > n {
 		workers = n
 	}
+	ctx, span := obs.Start(ctx, "runner.map",
+		obs.Int("tasks", int64(n)), obs.Int("workers", int64(max(workers, 1))))
 	if workers <= 1 || n == 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
@@ -59,16 +116,25 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 			}
 			out[i] = run(ctx, i, fn)
 		}
+		finishMapSpan(span, out, 1)
 		return out
 	}
-	idx := make(chan int)
+	idx := make(chan task)
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
+		wctx := ctx
+		if span != nil {
+			// Give each worker its own display track so concurrent task
+			// spans render as pool lanes instead of overlapping slices.
+			wctx = obs.WorkerContext(ctx, "runner-worker-"+strconv.Itoa(w))
+		}
 		go func() {
 			defer wg.Done()
-			for i := range idx {
-				out[i] = run(ctx, i, fn)
+			for t := range idx {
+				r := run(wctx, t.i, fn)
+				r.Wait = r.wallStart.Sub(t.at)
+				out[t.i] = r
 			}
 		}()
 	}
@@ -77,22 +143,57 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 			out[i] = Result[T]{Err: err}
 			continue
 		}
+		queued.Add(1)
 		select {
-		case idx <- i:
+		case idx <- task{i: i, at: time.Now()}:
 		case <-ctx.Done():
 			out[i] = Result[T]{Err: ctx.Err()}
 		}
+		queued.Add(-1)
 	}
 	close(idx)
 	wg.Wait()
+	finishMapSpan(span, out, workers)
 	return out
+}
+
+// finishMapSpan annotates the runner.map span with the pool's measured
+// aggregates before ending it. No-op when tracing is disabled.
+func finishMapSpan[T any](span *obs.Span, out []Result[T], workers int) {
+	if span == nil {
+		return
+	}
+	var runTotal, waitTotal, waitMax time.Duration
+	failed := 0
+	for _, r := range out {
+		runTotal += r.Wall
+		waitTotal += r.Wait
+		if r.Wait > waitMax {
+			waitMax = r.Wait
+		}
+		if r.Err != nil {
+			failed++
+		}
+	}
+	span.Annotate(
+		obs.Float("run_ms_total", float64(runTotal.Nanoseconds())/1e6),
+		obs.Float("wait_ms_total", float64(waitTotal.Nanoseconds())/1e6),
+		obs.Float("wait_ms_max", float64(waitMax.Nanoseconds())/1e6),
+		obs.Int("failed", int64(failed)),
+	)
+	span.End()
 }
 
 // run executes one task, converting a panic into an error.
 func run[T any](ctx context.Context, i int, fn func(ctx context.Context, i int) (T, error)) (res Result[T]) {
 	start := time.Now()
+	res.wallStart = start
+	tasksStarted.Add(1)
+	busyWorkers.Add(1)
 	defer func() {
 		res.Wall = time.Since(start)
+		busyWorkers.Add(-1)
+		tasksDone.Add(1)
 		if p := recover(); p != nil {
 			res.Err = fmt.Errorf("runner: task %d panicked: %v", i, p)
 		}

@@ -1,0 +1,30 @@
+package selftimed
+
+import (
+	"context"
+
+	"repro/internal/comm"
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// RunElasticCtx is RunElastic with a "selftimed.elastic" span recorded
+// when ctx carries a tracer. The token game and its RNG draws are
+// untouched, so results match RunElastic exactly.
+func RunElasticCtx(ctx context.Context, g *comm.Graph, waves int, d Delays, depth int, rng *stats.RNG) (Result, error) {
+	_, span := obs.Start(ctx, "selftimed.elastic",
+		obs.String("graph", g.Name), obs.Int("waves", int64(waves)),
+		obs.Int("depth", int64(depth)), obs.Int("cells", int64(g.NumCells())))
+	defer span.End()
+	return RunElastic(g, waves, d, depth, rng)
+}
+
+// RunRigidCtx is RunRigid with a "selftimed.rigid" span recorded when
+// ctx carries a tracer.
+func RunRigidCtx(ctx context.Context, g *comm.Graph, waves int, d Delays, rng *stats.RNG) (Result, error) {
+	_, span := obs.Start(ctx, "selftimed.rigid",
+		obs.String("graph", g.Name), obs.Int("waves", int64(waves)),
+		obs.Int("cells", int64(g.NumCells())))
+	defer span.End()
+	return RunRigid(g, waves, d, rng)
+}

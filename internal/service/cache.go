@@ -11,10 +11,11 @@ import (
 // fields), so cached entries never go stale — the bound exists only to
 // cap memory.
 type lru struct {
-	mu    sync.Mutex
-	cap   int
-	ll    *list.List // front = most recently used
-	items map[string]*list.Element
+	mu        sync.Mutex
+	cap       int
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	evictions int64
 }
 
 type lruEntry struct {
@@ -56,7 +57,16 @@ func (c *lru) Put(key string, res response) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*lruEntry).key)
+		c.evictions++
 	}
+}
+
+// Evictions returns how many entries have been displaced to honor the
+// capacity bound over the cache's lifetime.
+func (c *lru) Evictions() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
 }
 
 // Len returns the number of cached entries.

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"expvar"
 	"fmt"
@@ -42,22 +43,33 @@ func (l *latencyVar) Observe(ms float64) {
 	l.sum += ms
 }
 
-// String implements expvar.Var with a JSON object of summary quantiles.
-func (l *latencyVar) String() string {
+// summary returns the histogram's numeric aggregates: lifetime count and
+// sum (ms), and p50/p95/p99 over the recent window. The Prometheus
+// exposition and the expvar String both build on it.
+func (l *latencyVar) summary() (count int64, sum, p50, p95, p99 float64) {
 	l.mu.Lock()
 	window := l.samples[:l.next]
 	if l.full {
 		window = l.samples
 	}
 	window = append([]float64(nil), window...)
-	count, sum := l.count, l.sum
+	count, sum = l.count, l.sum
 	l.mu.Unlock()
+	if count == 0 {
+		return 0, 0, 0, 0, 0
+	}
+	return count, sum,
+		stats.Percentile(window, 50), stats.Percentile(window, 95), stats.Percentile(window, 99)
+}
+
+// String implements expvar.Var with a JSON object of summary quantiles.
+func (l *latencyVar) String() string {
+	count, sum, p50, p95, p99 := l.summary()
 	if count == 0 {
 		return `{"count":0}`
 	}
 	return fmt.Sprintf(`{"count":%d,"mean_ms":%.4g,"p50_ms":%.4g,"p95_ms":%.4g,"p99_ms":%.4g}`,
-		count, sum/float64(count),
-		stats.Percentile(window, 50), stats.Percentile(window, 95), stats.Percentile(window, 99))
+		count, sum/float64(count), p50, p95, p99)
 }
 
 // metrics is the server's observability state: expvar counters and
@@ -116,20 +128,17 @@ func (m *metrics) latency(endpoint string) *latencyVar {
 	return l
 }
 
-// snapshot returns the full metrics document as JSON. expvar.Map.String
-// already emits JSON with sorted keys; every var it holds (Int, Func,
-// latencyVar) also stringifies to valid JSON, so the composition is a
-// valid, deterministic-shaped document.
+// snapshot returns the full metrics document as indented JSON.
+// expvar.Map.String already emits JSON with sorted keys; every var it
+// holds (Int, Func, latencyVar) also stringifies to valid JSON, so the
+// composition is a valid, deterministic-shaped document.
 func (m *metrics) snapshot() []byte {
 	s := m.vars.String()
-	// Round-trip through json.Indent for readability; on the (never
-	// expected) event of invalid JSON, return the raw string.
-	var buf []byte
-	if json.Valid([]byte(s)) {
-		buf = []byte(s)
-	} else {
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, []byte(s), "", "  "); err != nil {
 		b, _ := json.Marshal(map[string]string{"error": "invalid metrics document"})
-		buf = b
+		return append(b, '\n')
 	}
-	return append(buf, '\n')
+	buf.WriteByte('\n')
+	return buf.Bytes()
 }

@@ -1,0 +1,218 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func getURL(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading body: %v", err)
+	}
+	return resp, b
+}
+
+// syncWriter serializes writes and reads of the wrapped buffer: the
+// handler's log write may race the client's next action otherwise.
+type syncWriter struct {
+	mu sync.Mutex
+	w  *bytes.Buffer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+func (s *syncWriter) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.String()
+}
+
+// The ring must wrap cleanly past its capacity: lifetime count and sum
+// keep growing while the quantile window holds only the most recent
+// latencySamples observations.
+func TestLatencyVarWraparound(t *testing.T) {
+	l := &latencyVar{}
+	total := latencySamples + 1234
+	for i := 0; i < total; i++ {
+		// Old samples are 1ms; the last full window is all 5ms, so the
+		// post-wrap quantiles must see only 5s.
+		v := 1.0
+		if i >= total-latencySamples {
+			v = 5.0
+		}
+		l.Observe(v)
+	}
+	count, sum, p50, p95, p99 := l.summary()
+	if count != int64(total) {
+		t.Fatalf("count = %d, want %d", count, total)
+	}
+	wantSum := float64(total-latencySamples)*1.0 + float64(latencySamples)*5.0
+	if sum != wantSum {
+		t.Fatalf("sum = %g, want %g", sum, wantSum)
+	}
+	for name, q := range map[string]float64{"p50": p50, "p95": p95, "p99": p99} {
+		if q != 5.0 {
+			t.Fatalf("%s = %g after wraparound, want 5 (window must hold only recent samples)", name, q)
+		}
+	}
+}
+
+// Observe and String must be safe to interleave (run under -race).
+func TestLatencyVarConcurrent(t *testing.T) {
+	l := &latencyVar{}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				l.Observe(float64(i%17) + 0.5)
+			}
+		}(w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				var doc map[string]any
+				if err := json.Unmarshal([]byte(l.String()), &doc); err != nil {
+					t.Errorf("String not valid JSON: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	count, _, _, _, _ := l.summary()
+	if count != 8000 {
+		t.Fatalf("count = %d, want 8000", count)
+	}
+}
+
+// The JSON /metrics document must now actually be indented (the comment
+// always promised json.Indent) and remain valid JSON.
+func TestMetricsSnapshotIndented(t *testing.T) {
+	s := NewServer(Config{})
+	snap := s.metrics.snapshot()
+	if !json.Valid(snap) {
+		t.Fatalf("snapshot is not valid JSON: %s", snap)
+	}
+	if !bytes.Contains(snap, []byte("\n  ")) {
+		t.Fatalf("snapshot is not indented: %s", snap)
+	}
+}
+
+// GET /metrics?format=prom must parse under the strict exposition parser
+// and expose the acceptance families, including the eviction counter the
+// LRU used to drop silently.
+func TestMetricsPromExposition(t *testing.T) {
+	s := NewServer(Config{CacheEntries: 1})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// Two distinct layout requests against a 1-entry cache force an
+	// eviction; re-requesting the first after serves a cold miss.
+	for _, q := range []string{"kind=linear&n=3", "kind=linear&n=4", "kind=linear&n=3"} {
+		resp, body := getURL(t, ts.URL+"/v1/layout.svg?"+q)
+		if resp.StatusCode != 200 {
+			t.Fatalf("layout?%s: status %d: %s", q, resp.StatusCode, body)
+		}
+	}
+
+	resp, body := getURL(t, ts.URL+"/metrics?format=prom")
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q, want text/plain exposition", ct)
+	}
+	fams, err := obs.ParseProm(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, body)
+	}
+
+	want := map[string]float64{
+		"requests_total":        3,
+		"cache_hits_total":      0,
+		"cache_evictions_total": 2, // n=4 evicts n=3, then n=3 evicts n=4
+		"computes_total":        3,
+		"in_flight":             0,
+	}
+	for name, v := range want {
+		sm, ok := obs.FindProm(fams, name)
+		if !ok {
+			t.Fatalf("family %s missing from exposition:\n%s", name, body)
+		}
+		if sm.Value != v {
+			t.Errorf("%s = %g, want %g", name, sm.Value, v)
+		}
+	}
+	for _, suffix := range []string{"_sum", "_count"} {
+		if _, ok := obs.FindProm(fams, "request_latency_ms", "endpoint", "layout", "__suffix__", suffix); !ok {
+			t.Fatalf("request_latency_ms%s{endpoint=layout} missing:\n%s", suffix, body)
+		}
+	}
+	if _, ok := obs.FindProm(fams, "request_latency_ms", "endpoint", "layout", "quantile", "0.99"); !ok {
+		t.Fatalf("request_latency_ms p99 for layout missing:\n%s", body)
+	}
+}
+
+// Requests are tagged with IDs: client-supplied X-Request-ID is echoed,
+// otherwise the server assigns one; with a tracer configured the serve
+// span records the ID, and a coalesced follower would record its leader.
+func TestRequestIDsAndServeSpans(t *testing.T) {
+	tr := obs.NewTracer()
+	logbuf := &syncWriter{w: &bytes.Buffer{}}
+	s := NewServer(Config{Tracer: tr, LogWriter: logbuf})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, _ := getURL(t, ts.URL+"/v1/layout.svg?kind=linear&n=3")
+	assigned := resp.Header.Get("X-Request-ID")
+	if assigned == "" {
+		t.Fatalf("no X-Request-ID assigned")
+	}
+
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/layout.svg?kind=linear&n=4", nil)
+	req.Header.Set("X-Request-ID", "client-given-7")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if got := resp2.Header.Get("X-Request-ID"); got != "client-given-7" {
+		t.Fatalf("X-Request-ID = %q, want echo of client-given-7", got)
+	}
+
+	if !strings.Contains(logbuf.String(), `"request_id":"client-given-7"`) {
+		t.Fatalf("log lines missing request_id: %s", logbuf.String())
+	}
+
+	found := false
+	for _, st := range tr.Summary() {
+		if st.Name == "serve.layout" && st.Count == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("serve.layout spans not recorded: %+v", tr.Summary())
+	}
+}

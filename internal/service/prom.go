@@ -1,0 +1,83 @@
+package service
+
+import (
+	"bytes"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/runner"
+)
+
+// promFamilies assembles the server's metric families for the
+// Prometheus text exposition served at GET /metrics?format=prom: the
+// expvar counters under their conventional *_total names, the cache and
+// worker-pool gauges, and one summary family with per-endpoint latency
+// quantiles.
+func (s *Server) promFamilies() []obs.PromMetric {
+	m := s.metrics
+	counter := func(name, help string, v int64) obs.PromMetric {
+		return obs.PromMetric{Name: name, Help: help, Type: "counter",
+			Samples: []obs.PromSample{{Value: float64(v)}}}
+	}
+	gauge := func(name, help string, v float64) obs.PromMetric {
+		return obs.PromMetric{Name: name, Help: help, Type: "gauge",
+			Samples: []obs.PromSample{{Value: v}}}
+	}
+	fams := []obs.PromMetric{
+		counter("requests_total", "HTTP requests served, any outcome.", m.requests.Value()),
+		counter("errors_total", "Requests answered with a non-2xx status.", m.errors.Value()),
+		counter("cache_hits_total", "Responses served from the result cache.", m.hits.Value()),
+		counter("cache_misses_total", "Responses computed by their own request (leaders).", m.misses.Value()),
+		counter("cache_evictions_total", "Cache entries displaced by the capacity bound.", s.cache.Evictions()),
+		counter("coalesced_total", "Responses shared from another in-flight request.", m.coalesced.Value()),
+		counter("computes_total", "Underlying engine executions.", m.computes.Value()),
+		gauge("in_flight", "Requests currently being served.", float64(m.inFlight.Value())),
+		gauge("cache_entries", "Entries currently in the result cache.", float64(s.cache.Len())),
+		gauge("uptime_seconds", "Seconds since the server started.", time.Since(m.start).Seconds()),
+	}
+	ps := runner.Stats()
+	fams = append(fams,
+		counter("runner_tasks_started_total", "Worker-pool tasks started, process-wide.", ps.TasksStarted),
+		counter("runner_tasks_done_total", "Worker-pool tasks finished, process-wide.", ps.TasksDone),
+		gauge("runner_busy_workers", "Worker-pool tasks executing right now.", float64(ps.BusyWorkers)),
+		gauge("runner_queue_depth", "Dispatched tasks waiting for a worker.", float64(ps.QueueDepth)),
+	)
+
+	lat := obs.PromMetric{
+		Name: "request_latency_ms",
+		Help: "Request latency in milliseconds by endpoint (quantiles over the recent window).",
+		Type: "summary",
+	}
+	m.mu.Lock()
+	endpoints := make([]string, 0, len(m.latencies))
+	for ep := range m.latencies {
+		endpoints = append(endpoints, ep)
+	}
+	sort.Strings(endpoints)
+	hists := make([]*latencyVar, len(endpoints))
+	for i, ep := range endpoints {
+		hists[i] = m.latencies[ep]
+	}
+	m.mu.Unlock()
+	for i, ep := range endpoints {
+		count, sum, p50, p95, p99 := hists[i].summary()
+		lat.Samples = append(lat.Samples, obs.SummarySamples(
+			obs.Label("endpoint", ep),
+			map[string]float64{"0.5": p50, "0.95": p95, "0.99": p99},
+			sum, count)...)
+	}
+	fams = append(fams, lat)
+	return fams
+}
+
+// promSnapshot renders the families in the text exposition format.
+func (s *Server) promSnapshot() []byte {
+	var buf bytes.Buffer
+	if err := obs.WriteProm(&buf, s.promFamilies()); err != nil {
+		// Family names are compile-time constants, so this is unreachable;
+		// degrade to an exposition comment rather than a broken scrape.
+		return []byte("# metrics rendering failed: " + err.Error() + "\n")
+	}
+	return buf.Bytes()
+}

@@ -20,7 +20,10 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Config parameterizes a Server. The zero value is usable: NewServer
@@ -41,6 +44,10 @@ type Config struct {
 	// LogWriter receives one structured JSON log line per request.
 	// Default: logging disabled.
 	LogWriter io.Writer
+	// Tracer, when set, records one span per request (plus the engine
+	// spans underneath it) into the given tracer. Default: tracing
+	// disabled, at zero per-request cost.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -93,6 +100,7 @@ type Server struct {
 	metrics *metrics
 	mux     *http.ServeMux
 	logger  *log.Logger
+	nextReq atomic.Int64 // request-ID counter
 
 	// computeGate, when set (tests only), is called at the start of
 	// every cache-miss computation. Tests use it as a barrier to hold
@@ -122,9 +130,29 @@ func NewServer(cfg Config) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// requestIDKey carries the request's ID through its context.
+type requestIDKey struct{}
+
+// requestIDFrom returns the request ID assigned in ServeHTTP ("" for
+// contexts that never passed through it, e.g. direct handler tests).
+func requestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// ServeHTTP implements http.Handler. Every request is assigned an ID —
+// the client's X-Request-ID when present, otherwise a process-unique
+// counter value — echoed in the response's X-Request-ID header and
+// attached to the request's log line and span.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	id := r.Header.Get("X-Request-ID")
+	if id == "" {
+		id = "syncd-" + strconv.FormatInt(s.nextReq.Add(1), 10)
+	}
+	w.Header().Set("X-Request-ID", id)
+	ctx := context.WithValue(r.Context(), requestIDKey{}, id)
+	ctx = obs.WithTracer(ctx, s.cfg.Tracer)
+	s.mux.ServeHTTP(w, r.WithContext(ctx))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -133,6 +161,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write(s.promSnapshot())
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(s.metrics.snapshot())
 }
@@ -179,13 +212,21 @@ func decoded[R any](s *Server, endpoint string, defaults func(*R), timeoutMS fun
 }
 
 // serveKeyed is the shared hot path behind every cacheable endpoint.
+// With tracing enabled it records a "serve.<endpoint>" span covering the
+// whole request; the compute's engine spans nest underneath, and a
+// coalesced follower's span names the leader request whose computation
+// it shared.
 func (s *Server) serveKeyed(w http.ResponseWriter, r *http.Request, endpoint, key string, timeoutMS int64, compute func(context.Context) (response, error)) {
 	start := time.Now()
+	reqID := requestIDFrom(r.Context())
+	rctx, span := obs.Start(r.Context(), "serve."+endpoint, obs.String("request_id", reqID))
+	defer span.End()
 	s.metrics.inFlight.Add(1)
 	defer s.metrics.inFlight.Add(-1)
 
 	if res, ok := s.cache.Get(key); ok {
 		s.metrics.hits.Add(1)
+		span.Annotate(obs.String("cache", "hit"))
 		s.finish(w, r, endpoint, start, res, nil, "hit")
 		return
 	}
@@ -197,10 +238,10 @@ func (s *Server) serveKeyed(w http.ResponseWriter, r *http.Request, endpoint, ke
 	if deadline > s.cfg.MaxDeadline {
 		deadline = s.cfg.MaxDeadline
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	ctx, cancel := context.WithTimeout(rctx, deadline)
 	defer cancel()
 
-	res, err, coalesced := s.flight.Do(ctx, key, func() (response, error) {
+	res, err, coalesced, leader := s.flight.Do(ctx, key, reqID, func() (response, error) {
 		if s.computeGate != nil {
 			s.computeGate(endpoint)
 		}
@@ -215,9 +256,11 @@ func (s *Server) serveKeyed(w http.ResponseWriter, r *http.Request, endpoint, ke
 	if coalesced {
 		cacheState = "coalesced"
 		s.metrics.coalesced.Add(1)
+		span.Annotate(obs.String("leader", leader))
 	} else {
 		s.metrics.misses.Add(1)
 	}
+	span.Annotate(obs.String("cache", cacheState))
 	s.finish(w, r, endpoint, start, res, err, cacheState)
 }
 
@@ -311,6 +354,7 @@ func (s *Server) finish(w http.ResponseWriter, r *http.Request, endpoint string,
 	if s.logger != nil {
 		line, _ := json.Marshal(map[string]any{
 			"time":        start.UTC().Format(time.RFC3339Nano),
+			"request_id":  requestIDFrom(r.Context()),
 			"endpoint":    endpoint,
 			"method":      r.Method,
 			"path":        r.URL.Path,

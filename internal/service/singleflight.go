@@ -16,9 +16,10 @@ type flightGroup struct {
 }
 
 type flightCall struct {
-	done chan struct{} // closed when res/err are final
-	res  response
-	err  error
+	done   chan struct{} // closed when res/err are final
+	leader string        // request ID of the caller computing the result
+	res    response
+	err    error
 }
 
 func newFlightGroup() *flightGroup {
@@ -26,22 +27,25 @@ func newFlightGroup() *flightGroup {
 }
 
 // Do returns fn's result for key, computing it at most once across
-// concurrent callers. The third return is true when this caller joined
-// an in-flight computation instead of starting one. A follower whose
-// ctx expires stops waiting and returns ctx's error; the leader's
-// computation is not interrupted on its behalf.
-func (g *flightGroup) Do(ctx context.Context, key string, fn func() (response, error)) (response, error, bool) {
+// concurrent callers. owner identifies this caller (its request ID);
+// the returned leader is the owner of the caller that actually computed
+// — the caller itself when coalesced is false, otherwise the request
+// whose computation was shared, so follower log lines and spans can
+// point at the leader's. A follower whose ctx expires stops waiting and
+// returns ctx's error; the leader's computation is not interrupted on
+// its behalf.
+func (g *flightGroup) Do(ctx context.Context, key, owner string, fn func() (response, error)) (res response, err error, coalesced bool, leader string) {
 	g.mu.Lock()
 	if c, ok := g.calls[key]; ok {
 		g.mu.Unlock()
 		select {
 		case <-c.done:
-			return c.res, c.err, true
+			return c.res, c.err, true, c.leader
 		case <-ctx.Done():
-			return response{}, ctx.Err(), true
+			return response{}, ctx.Err(), true, c.leader
 		}
 	}
-	c := &flightCall{done: make(chan struct{})}
+	c := &flightCall{done: make(chan struct{}), leader: owner}
 	g.calls[key] = c
 	g.mu.Unlock()
 
@@ -51,5 +55,5 @@ func (g *flightGroup) Do(ctx context.Context, key string, fn func() (response, e
 	delete(g.calls, key)
 	g.mu.Unlock()
 	close(c.done)
-	return c.res, c.err, false
+	return c.res, c.err, false, owner
 }

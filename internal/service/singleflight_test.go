@@ -24,7 +24,7 @@ func TestFlightGroupCoalesces(t *testing.T) {
 			if !first {
 				<-started // ensure the leader holds the key before followers arrive
 			}
-			res, err, coalesced := g.Do(context.Background(), "k", func() (response, error) {
+			res, err, coalesced, leader := g.Do(context.Background(), "k", "r0", func() (response, error) {
 				close(started)
 				computes++
 				<-release
@@ -35,6 +35,9 @@ func TestFlightGroupCoalesces(t *testing.T) {
 			}
 			if string(res.body) != "ok" {
 				t.Errorf("res = %q", res.body)
+			}
+			if leader != "r0" {
+				t.Errorf("leader = %q, want r0", leader)
 			}
 			mu.Lock()
 			if coalesced {
@@ -67,7 +70,7 @@ func TestFlightGroupDistinctKeysIndependent(t *testing.T) {
 		wg.Add(1)
 		go func(k string) {
 			defer wg.Done()
-			g.Do(context.Background(), k, func() (response, error) {
+			g.Do(context.Background(), k, "r-"+k, func() (response, error) {
 				mu.Lock()
 				ran[k]++
 				mu.Unlock()
@@ -88,7 +91,7 @@ func TestFlightGroupFollowerRespectsContext(t *testing.T) {
 	release := make(chan struct{})
 	defer close(release)
 	started := make(chan struct{})
-	go g.Do(context.Background(), "k", func() (response, error) {
+	go g.Do(context.Background(), "k", "r-lead", func() (response, error) {
 		close(started)
 		<-release
 		return response{}, nil
@@ -97,12 +100,15 @@ func TestFlightGroupFollowerRespectsContext(t *testing.T) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
 	defer cancel()
-	_, err, coalesced := g.Do(ctx, "k", func() (response, error) {
+	_, err, coalesced, leader := g.Do(ctx, "k", "r-follow", func() (response, error) {
 		t.Error("follower must not compute")
 		return response{}, nil
 	})
 	if !coalesced {
 		t.Fatalf("second caller should have joined the in-flight call")
+	}
+	if leader != "r-lead" {
+		t.Fatalf("leader = %q, want r-lead", leader)
 	}
 	if err != context.DeadlineExceeded {
 		t.Fatalf("err = %v, want DeadlineExceeded", err)

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/clocktree"
 	"repro/internal/comm"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/stats"
 )
@@ -230,6 +231,10 @@ func monteCarloTrial(g *comm.Graph, tree *clocktree.Tree, m Linear, pairs [][2]c
 // is identical to the sequential run at any worker count. A cancelled
 // ctx aborts the remaining trials and returns ctx's error.
 func MonteCarloParallel(ctx context.Context, workers int, g *comm.Graph, tree *clocktree.Tree, m Linear, trials int, rng *stats.RNG) (float64, error) {
+	ctx, span := obs.Start(ctx, "skew.montecarlo",
+		obs.String("graph", g.Name), obs.String("tree", tree.Name),
+		obs.Int("trials", int64(trials)), obs.Int("workers", int64(workers)))
+	defer span.End()
 	if !tree.Covers(g) {
 		return 0, fmt.Errorf("skew: tree %q does not clock every cell of %q", tree.Name, g.Name)
 	}

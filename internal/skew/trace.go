@@ -1,0 +1,25 @@
+package skew
+
+import (
+	"context"
+
+	"repro/internal/clocktree"
+	"repro/internal/comm"
+	"repro/internal/obs"
+)
+
+// AnalyzeCtx is Analyze with an observability span ("skew.analyze")
+// recorded when ctx carries a tracer. The analysis itself is pure; the
+// span only captures where the wall time of the Section V evaluation
+// goes.
+func AnalyzeCtx(ctx context.Context, g *comm.Graph, tree *clocktree.Tree, model Model) (Analysis, error) {
+	_, span := obs.Start(ctx, "skew.analyze",
+		obs.String("graph", g.Name),
+		obs.String("tree", tree.Name),
+		obs.String("model", model.Name()),
+		obs.Int("cells", int64(g.NumCells())))
+	a, err := Analyze(g, tree, model)
+	span.Annotate(obs.Int("pairs", int64(a.Pairs)))
+	span.End()
+	return a, err
+}

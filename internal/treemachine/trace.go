@@ -1,0 +1,16 @@
+package treemachine
+
+import (
+	"context"
+
+	"repro/internal/obs"
+)
+
+// RunCtx is Run with a "treemachine.run" span recorded when ctx carries
+// a tracer. The cycle-accurate simulation is untouched.
+func (m *Machine) RunCtx(ctx context.Context, ops []Op) ([]Result, Stats, error) {
+	_, span := obs.Start(ctx, "treemachine.run",
+		obs.Int("ops", int64(len(ops))), obs.Int("nodes", int64(m.Nodes())))
+	defer span.End()
+	return m.Run(ops)
+}

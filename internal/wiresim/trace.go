@@ -1,0 +1,17 @@
+package wiresim
+
+import (
+	"context"
+
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// NewStringCtx is NewString with a "wiresim.chip" span recorded when
+// ctx carries a tracer — the construction draws the per-stage delays,
+// which is where the Section VII experiment's model-building time goes.
+func NewStringCtx(ctx context.Context, cfg Config, rng *stats.RNG) (*InverterString, error) {
+	_, span := obs.Start(ctx, "wiresim.chip", obs.Int("inverters", int64(cfg.N)))
+	defer span.End()
+	return NewString(cfg, rng)
+}

@@ -23,6 +23,8 @@
 package vlsisync
 
 import (
+	"context"
+
 	"repro/internal/array"
 	"repro/internal/clocksim"
 	"repro/internal/clocktree"
@@ -136,6 +138,13 @@ func AnalyzeSkew(g *Array, tree *ClockTree, model SkewModel) (SkewAnalysis, erro
 // PlanSynchronization selects the paper's prescribed scheme for g.
 func PlanSynchronization(g *Array, a Assumptions) (*Plan, error) {
 	return core.NewPlan(g, a)
+}
+
+// PlanSynchronizationCtx is PlanSynchronization with context
+// propagation: a tracer carried by ctx (obs.WithTracer) records the
+// planner's stage spans.
+func PlanSynchronizationCtx(ctx context.Context, g *Array, a Assumptions) (*Plan, error) {
+	return core.NewPlanCtx(ctx, g, a)
 }
 
 // NewRNG returns a deterministic random source.
