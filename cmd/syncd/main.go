@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	syncd [-addr 127.0.0.1:8080] [-cache 1024] [-workers 0]
-//	      [-deadline 30s] [-max-deadline 2m] [-quiet] [-pprof]
+//	syncd [-addr 127.0.0.1:8080] [-cache 1024] [-kernel-cache 256]
+//	      [-workers 0] [-deadline 30s] [-max-deadline 2m] [-quiet] [-pprof]
 //
 // Endpoints:
 //
@@ -43,6 +43,7 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
 	cache := flag.Int("cache", 1024, "result cache entries")
+	kernelCache := flag.Int("kernel-cache", 256, "skew-kernel cache entries (precomputed graph+tree geometry)")
 	workers := flag.Int("workers", 0, "engine fan-out workers per request (0 = GOMAXPROCS)")
 	deadline := flag.Duration("deadline", 30*time.Second, "default per-request deadline")
 	maxDeadline := flag.Duration("max-deadline", 2*time.Minute, "cap on client-requested deadlines")
@@ -52,10 +53,11 @@ func main() {
 	flag.Parse()
 
 	cfg := service.Config{
-		CacheEntries:    *cache,
-		Workers:         *workers,
-		DefaultDeadline: *deadline,
-		MaxDeadline:     *maxDeadline,
+		CacheEntries:       *cache,
+		KernelCacheEntries: *kernelCache,
+		Workers:            *workers,
+		DefaultDeadline:    *deadline,
+		MaxDeadline:        *maxDeadline,
 	}
 	if !*quiet {
 		cfg.LogWriter = os.Stderr

@@ -145,7 +145,28 @@ func main() {
 	for o := range outcomes {
 		byEndpoint[o.endpoint] = append(byEndpoint[o.endpoint], o)
 	}
-	render(byEndpoint, elapsed, *qps, *jsonOut)
+	kHits, kMisses := kernelCacheStats(client, *baseURL)
+	render(byEndpoint, elapsed, *qps, *jsonOut, kHits, kMisses)
+}
+
+// kernelCacheStats scrapes the server's /metrics document for the
+// skew-kernel cache counters, so the report shows how much precomputed
+// geometry the workload reused. A failed scrape reports zeros rather
+// than failing the run — the load results are still valid.
+func kernelCacheStats(client *http.Client, base string) (hits, misses int64) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return 0, 0
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Hits   int64 `json:"kernel_cache_hits"`
+		Misses int64 `json:"kernel_cache_misses"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return 0, 0
+	}
+	return doc.Hits, doc.Misses
 }
 
 // variant is one concrete request in the pool.
@@ -283,6 +304,10 @@ type loadReport struct {
 	ElapsedS    float64          `json:"elapsed_s"`
 	Endpoints   []endpointReport `json:"endpoints"`
 	Overall     endpointReport   `json:"overall"`
+	// Server-side skew-kernel cache counters scraped from /metrics after
+	// the run (zero when the scrape fails or the server predates them).
+	KernelCacheHits   int64 `json:"kernel_cache_hits"`
+	KernelCacheMisses int64 `json:"kernel_cache_misses"`
 }
 
 func summarize(name string, os []outcome) endpointReport {
@@ -314,7 +339,7 @@ func round2(v float64) float64 {
 	return f
 }
 
-func render(byEndpoint map[string][]outcome, elapsed time.Duration, offeredQPS float64, asJSON bool) {
+func render(byEndpoint map[string][]outcome, elapsed time.Duration, offeredQPS float64, asJSON bool, kernelHits, kernelMisses int64) {
 	names := make([]string, 0, len(byEndpoint))
 	for n := range byEndpoint {
 		names = append(names, n)
@@ -333,6 +358,7 @@ func render(byEndpoint map[string][]outcome, elapsed time.Duration, offeredQPS f
 	rep.Completed = rep.Overall.Requests
 	rep.Errors = rep.Overall.Errors
 	rep.AchievedQPS = round2(float64(rep.Completed) / elapsed.Seconds())
+	rep.KernelCacheHits, rep.KernelCacheMisses = kernelHits, kernelMisses
 
 	if asJSON {
 		enc := json.NewEncoder(os.Stdout)
@@ -356,6 +382,9 @@ func render(byEndpoint map[string][]outcome, elapsed time.Duration, offeredQPS f
 	}
 	fmt.Printf("\noffered %.1f req/s, achieved %.1f req/s; %d completed, %d errors in %.1fs\n",
 		rep.OfferedQPS, rep.AchievedQPS, rep.Completed, rep.Errors, elapsed.Seconds())
+	if kernelHits+kernelMisses > 0 {
+		fmt.Printf("server kernel cache: %d hits, %d misses\n", kernelHits, kernelMisses)
+	}
 }
 
 func flatten(byEndpoint map[string][]outcome, names []string) []outcome {

@@ -47,6 +47,15 @@ type Tree struct {
 	depth    []int
 	up       [][]int32 // binary-lifting ancestor table
 
+	// Euler-tour RMQ structures for O(1) LCA: euler is the tour's node
+	// sequence (length 2n−1), firstVisit[v] the index of v's first tour
+	// occurrence, and sparse[k][i] the index of the minimum-depth node in
+	// the tour window [i, i+2^k).
+	euler      []int32
+	firstVisit []int32
+	sparse     [][]int32
+	log2       []uint8 // log2[w] = floor(log₂ w) for window sizes up to len(euler)
+
 	cellNode map[comm.CellID]NodeID
 }
 
@@ -103,8 +112,26 @@ func (t *Tree) MaxRootDist() float64 {
 	return m
 }
 
-// LCA returns the lowest common ancestor of a and b.
+// LCA returns the lowest common ancestor of a and b in O(1), answered
+// from the Euler-tour sparse table built at Finalize: the LCA is the
+// minimum-depth node in the tour between the two nodes' first visits.
 func (t *Tree) LCA(a, b NodeID) NodeID {
+	l, r := t.firstVisit[a], t.firstVisit[b]
+	if l > r {
+		l, r = r, l
+	}
+	k := t.log2[r-l+1]
+	i, j := t.sparse[k][l], t.sparse[k][r-(1<<k)+1]
+	if t.depth[t.euler[j]] < t.depth[t.euler[i]] {
+		i = j
+	}
+	return NodeID(t.euler[i])
+}
+
+// LCABinaryLifting is the O(log n) binary-lifting LCA retained alongside
+// the Euler-tour implementation as an independent oracle: differential
+// tests cross-check the two on every tree shape.
+func (t *Tree) LCABinaryLifting(a, b NodeID) NodeID {
 	u, v := int32(a), int32(b)
 	if t.depth[u] < t.depth[v] {
 		u, v = v, u
@@ -411,8 +438,69 @@ func (b *Builder) Finalize() (*Tree, error) {
 			t.up[k][v] = t.up[k-1][t.up[k-1][v]]
 		}
 	}
+	t.buildEulerRMQ()
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
 	return t, nil
+}
+
+// buildEulerRMQ records the Euler tour of the tree and a sparse table of
+// minimum-depth positions over it, giving LCA queries in O(1) after
+// O(n log n) preprocessing.
+func (t *Tree) buildEulerRMQ() {
+	n := len(t.nodes)
+	t.euler = make([]int32, 0, 2*n-1)
+	t.firstVisit = make([]int32, n)
+	// Iterative Euler tour: each stack frame is a node plus the index of
+	// the next child to descend into; the node is appended on entry and
+	// again after each child's subtree.
+	type frame struct {
+		v    NodeID
+		next int
+	}
+	stack := []frame{{v: t.root}}
+	t.firstVisit[t.root] = 0
+	t.euler = append(t.euler, int32(t.root))
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		kids := t.children[f.v]
+		if f.next >= len(kids) {
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 {
+				t.euler = append(t.euler, int32(stack[len(stack)-1].v))
+			}
+			continue
+		}
+		c := kids[f.next]
+		f.next++
+		t.firstVisit[c] = int32(len(t.euler))
+		t.euler = append(t.euler, int32(c))
+		stack = append(stack, frame{v: c})
+	}
+	m := len(t.euler)
+	t.log2 = make([]uint8, m+1)
+	for w := 2; w <= m; w++ {
+		t.log2[w] = t.log2[w/2] + 1
+	}
+	levels := int(t.log2[m]) + 1
+	t.sparse = make([][]int32, levels)
+	base := make([]int32, m)
+	for i := range base {
+		base[i] = int32(i)
+	}
+	t.sparse[0] = base
+	for k := 1; k < levels; k++ {
+		width := 1 << k
+		row := make([]int32, m-width+1)
+		prev := t.sparse[k-1]
+		for i := range row {
+			a, b := prev[i], prev[i+width/2]
+			if t.depth[t.euler[b]] < t.depth[t.euler[a]] {
+				a = b
+			}
+			row[i] = a
+		}
+		t.sparse[k] = row
+	}
 }

@@ -542,3 +542,89 @@ func TestAlongCommTreeSingleNode(t *testing.T) {
 		t.Errorf("NumNodes = %d", tr.NumNodes())
 	}
 }
+
+// The Euler-tour sparse-table LCA and the binary-lifting LCA are
+// independent implementations of the same query; they must agree on
+// every node pair of every tree shape the package can build.
+func TestEulerLCAMatchesBinaryLifting(t *testing.T) {
+	var trees []*Tree
+	mesh := mustMesh(t, 5, 7)
+	lin := mustLinear(t, 23)
+	for _, build := range []func() (*Tree, error){
+		func() (*Tree, error) { return HTree(mesh) },
+		func() (*Tree, error) { return Serpentine(mesh) },
+		func() (*Tree, error) { return Spine(lin) },
+		func() (*Tree, error) { return RandomBinary(mesh, stats.NewRNG(11)) },
+		func() (*Tree, error) { return RandomBinary(lin, stats.NewRNG(5)) },
+	} {
+		tr, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		trees = append(trees, tr)
+	}
+	ring, err := comm.Ring(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lad, err := Ladder(ring); err == nil {
+		trees = append(trees, lad)
+	}
+	for _, tr := range trees {
+		n := tr.NumNodes()
+		for a := 0; a < n; a++ {
+			for b := a; b < n; b++ {
+				fast := tr.LCA(NodeID(a), NodeID(b))
+				slow := tr.LCABinaryLifting(NodeID(a), NodeID(b))
+				if fast != slow {
+					t.Fatalf("tree %q: LCA(%d,%d): euler %d != lifting %d", tr.Name, a, b, fast, slow)
+				}
+			}
+		}
+	}
+}
+
+func TestEulerLCASingleNodeTree(t *testing.T) {
+	b := NewBuilder("solo")
+	r := b.Root(geom.Pt(0, 0), 0)
+	tr, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.LCA(r, r); got != r {
+		t.Errorf("LCA(root,root) = %d", got)
+	}
+}
+
+func benchHTree(b *testing.B, n int) *Tree {
+	b.Helper()
+	g, err := comm.Mesh(n, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := HTree(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+func BenchmarkLCAEuler32(b *testing.B) {
+	tr := benchHTree(b, 32)
+	n := NodeID(tr.NumNodes())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.LCA(NodeID(i)%n, NodeID(i*7+3)%n)
+	}
+}
+
+func BenchmarkLCABinaryLifting32(b *testing.B) {
+	tr := benchHTree(b, 32)
+	n := NodeID(tr.NumNodes())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.LCABinaryLifting(NodeID(i)%n, NodeID(i*7+3)%n)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/geom"
 	"repro/internal/graph"
@@ -67,6 +68,23 @@ type Graph struct {
 	Rows, Cols int
 
 	byPos map[[2]int]CellID
+
+	// memo caches derived pair geometry. It is a pointer so Graph values
+	// remain assignable (UnmarshalJSON) without copying a sync.Once; the
+	// package constructors allocate it, and a nil memo (hand-built Graph
+	// literals) degrades to uncached enumeration.
+	memo *graphMemo
+}
+
+// graphMemo holds the communicating-pair list, computed once on first
+// use. After that first use the edge set is frozen: the pair list is
+// what every analysis engine iterates, so a mutation that silently
+// missed it would corrupt results. numEdges records the edge count at
+// memoization time to detect (and panic on) late mutation.
+type graphMemo struct {
+	once     sync.Once
+	pairs    [][2]CellID
+	numEdges int
 }
 
 // NumCells returns the number of cells.
@@ -93,7 +111,31 @@ func (g *Graph) CellAt(row, col int) (Cell, bool) {
 // CommunicatingPairs returns every unordered pair of distinct cells joined
 // by at least one communication edge (host edges excluded), each pair once
 // with a < b. These are exactly the pairs whose clock skew matters (A5).
+//
+// The list is computed once and memoized: every analysis engine iterates
+// it, often many times per graph, and the map-and-sort enumeration
+// dominated their setup cost. The returned slice is shared — callers must
+// not modify it. After the first call the graph's edge set is frozen;
+// appending to Edges afterwards panics on the next call rather than
+// silently analyzing a stale pair list. (Graphs built as bare literals,
+// without the package constructors, skip memoization and recompute.)
 func (g *Graph) CommunicatingPairs() [][2]CellID {
+	if g.memo == nil {
+		return g.communicatingPairsUncached()
+	}
+	g.memo.once.Do(func() {
+		g.memo.pairs = g.communicatingPairsUncached()
+		g.memo.numEdges = len(g.Edges)
+	})
+	if len(g.Edges) != g.memo.numEdges {
+		panic(fmt.Sprintf("comm: graph %q mutated after first CommunicatingPairs call (%d edges then, %d now)",
+			g.Name, g.memo.numEdges, len(g.Edges)))
+	}
+	return g.memo.pairs
+}
+
+// communicatingPairsUncached enumerates, dedups, and sorts the pair list.
+func (g *Graph) communicatingPairsUncached() [][2]CellID {
 	seen := make(map[[2]CellID]bool)
 	for _, e := range g.Edges {
 		if e.From == Host || e.To == Host || e.From == e.To {
@@ -192,7 +234,8 @@ func (g *Graph) Validate() error {
 }
 
 func newGraph(kind Kind, name string, rows, cols int) *Graph {
-	return &Graph{Kind: kind, Name: name, Rows: rows, Cols: cols, byPos: make(map[[2]int]CellID)}
+	return &Graph{Kind: kind, Name: name, Rows: rows, Cols: cols,
+		byPos: make(map[[2]int]CellID), memo: &graphMemo{}}
 }
 
 func (g *Graph) addCell(row, col int, pos geom.Point) CellID {

@@ -376,3 +376,78 @@ func TestCombLinearLayout(t *testing.T) {
 		t.Error("CombLinear accepted a mesh")
 	}
 }
+
+func TestCommunicatingPairsMemoized(t *testing.T) {
+	g, err := Mesh(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := g.CommunicatingPairs()
+	b := g.CommunicatingPairs()
+	if len(a) == 0 || &a[0] != &b[0] {
+		t.Fatal("CommunicatingPairs not memoized: distinct backing arrays")
+	}
+}
+
+func TestCommunicatingPairsMemoizedConcurrent(t *testing.T) {
+	g, err := Mesh(6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(g.communicatingPairsUncached())
+	done := make(chan int, 8)
+	for i := 0; i < 8; i++ {
+		go func() { done <- len(g.CommunicatingPairs()) }()
+	}
+	for i := 0; i < 8; i++ {
+		if got := <-done; got != want {
+			t.Fatalf("concurrent CommunicatingPairs len = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestCommunicatingPairsMutationPanics(t *testing.T) {
+	g, err := Linear(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.CommunicatingPairs()
+	g.Edges = append(g.Edges, Edge{From: 0, To: 3, Label: "late"})
+	defer func() {
+		if recover() == nil {
+			t.Error("mutation after first CommunicatingPairs call did not panic")
+		}
+	}()
+	g.CommunicatingPairs()
+}
+
+// Builders mutate the edge set after construction (MeshWithBoundaryIO
+// rewrites Mesh's host edges); that must stay legal as long as it
+// happens before the first CommunicatingPairs call.
+func TestMutationBeforeFirstPairsCallAllowed(t *testing.T) {
+	g, err := MeshWithBoundaryIO(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.CommunicatingPairs()) == 0 {
+		t.Fatal("no pairs")
+	}
+}
+
+// A Graph built as a bare literal (no constructor, nil memo) must still
+// answer pair queries, just without caching.
+func TestCommunicatingPairsLiteralGraph(t *testing.T) {
+	g := &Graph{
+		Name:  "literal",
+		Cells: []Cell{{ID: 0}, {ID: 1}},
+		Edges: []Edge{{From: 0, To: 1}},
+	}
+	// Cells need distinct positions only for Validate; pairs don't care.
+	if got := g.CommunicatingPairs(); len(got) != 1 || got[0] != [2]CellID{0, 1} {
+		t.Fatalf("literal graph pairs = %v", got)
+	}
+	g.Edges = append(g.Edges, Edge{From: 1, To: 0})
+	if got := g.CommunicatingPairs(); len(got) != 1 {
+		t.Fatalf("uncached path must recompute: %v", got)
+	}
+}

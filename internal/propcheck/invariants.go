@@ -25,6 +25,12 @@ var registry = []Invariant{
 		Check: checkAnalysisBoundsMonteCarlo,
 	},
 	{
+		Name:  "kernel-matches-reference",
+		Ref:   "Sections III–V (implementation)",
+		Doc:   "precomputed skew kernels reproduce the reference analysis and Monte-Carlo bit for bit",
+		Check: checkKernelMatchesReference,
+	},
+	{
 		Name:  "adversarial-achieves-linear-lowerbound",
 		Ref:   "Section III (A11)",
 		Doc:   "an adversarial-but-consistent delay assignment realizes an arrival gap of exactly M·d + Eps·s",
@@ -119,6 +125,53 @@ func checkAnalysisBoundsMonteCarlo(rng *stats.RNG) error {
 	if mc > an.MaxSkew+1e-9 {
 		return fmt.Errorf("%s on %s: Monte-Carlo skew %g exceeds analysis bound %g",
 			g.Name, tree.Name, mc, an.MaxSkew)
+	}
+	return nil
+}
+
+// checkKernelMatchesReference pins the kernel fast paths to the retained
+// pre-kernel implementations with zero tolerance: same Analysis field
+// for field (the reference recomputes every distance through the
+// binary-lifting LCA, so this also cross-checks the Euler-tour table),
+// same guaranteed minimum, and bit-identical Monte-Carlo results for a
+// shared seed.
+func checkKernelMatchesReference(rng *stats.RNG) error {
+	g, err := AnyGraph(rng)
+	if err != nil {
+		return err
+	}
+	tree, err := TreeFor(rng, g)
+	if err != nil {
+		return err
+	}
+	m := LinearModel(rng)
+	got, err := skew.Analyze(g, tree, m)
+	if err != nil {
+		return err
+	}
+	want, err := skew.ReferenceAnalyze(g, tree, m)
+	if err != nil {
+		return err
+	}
+	if got != want {
+		return fmt.Errorf("%s on %s: kernel analysis %+v != reference %+v", g.Name, tree.Name, got, want)
+	}
+	if km, rm := skew.GuaranteedMinSkew(g, tree, m), skew.ReferenceGuaranteedMinSkew(g, tree, m); km != rm {
+		return fmt.Errorf("%s on %s: kernel guaranteed min %g != reference %g", g.Name, tree.Name, km, rm)
+	}
+	trials := intIn(rng, 1, 12)
+	seed := rng.Int63()
+	kmc, err := skew.MonteCarlo(g, tree, m, trials, stats.NewRNG(seed))
+	if err != nil {
+		return err
+	}
+	rmc, err := skew.ReferenceMonteCarlo(g, tree, m, trials, stats.NewRNG(seed))
+	if err != nil {
+		return err
+	}
+	if kmc != rmc {
+		return fmt.Errorf("%s on %s seed=%d trials=%d: kernel Monte-Carlo %v != reference %v",
+			g.Name, tree.Name, seed, trials, kmc, rmc)
 	}
 	return nil
 }

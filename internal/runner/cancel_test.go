@@ -72,3 +72,36 @@ func TestJoinSurfacesDeadlineError(t *testing.T) {
 		t.Errorf("errors.Is(Join(...), context.DeadlineExceeded) = false; err = %v", err)
 	}
 }
+
+// The chunked variant inherits Map's cancellation contract: chunks not
+// yet started when the context is cancelled report ctx's error and are
+// never run.
+func TestMapChunksStopsLaunchingAfterCancel(t *testing.T) {
+	const workers, n, chunk = 4, 1000, 10
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var started atomic.Int64
+	results := MapChunks(ctx, workers, n, chunk, func(ctx context.Context, lo, hi int) (int, error) {
+		started.Add(1)
+		if lo == 0 {
+			cancel()
+		}
+		<-ctx.Done()
+		return hi - lo, nil
+	})
+	if want := (n + chunk - 1) / chunk; len(results) != want {
+		t.Fatalf("got %d chunk results, want %d", len(results), want)
+	}
+	if got := started.Load(); got > 2*workers {
+		t.Errorf("%d chunks started after cancellation in chunk 0; want at most %d", got, 2*workers)
+	}
+	cancelled := 0
+	for _, r := range results {
+		if errors.Is(r.Err, context.Canceled) {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Error("no chunk reported context.Canceled")
+	}
+}

@@ -202,6 +202,34 @@ func run[T any](ctx context.Context, i int, fn func(ctx context.Context, i int) 
 	return res
 }
 
+// MapChunks runs fn over the index range [0, n) partitioned into
+// contiguous chunks of at most chunkSize indices: fn(ctx, lo, hi) covers
+// [lo, hi). It returns one Result per chunk, in chunk order.
+//
+// This is the batch form of Map for workloads with many tiny tasks
+// (e.g. Monte-Carlo trials): scheduling cost and the result slice drop
+// from O(n) tasks to O(n/chunkSize), and a worker can reuse per-chunk
+// scratch state across the indices it owns. The cancellation contract
+// is Map's: chunks not yet started when ctx is cancelled report ctx's
+// error; a running chunk is responsible for observing ctx itself if its
+// iterations are long.
+//
+// chunkSize < 1 is treated as 1. n == 0 returns an empty slice.
+func MapChunks[T any](ctx context.Context, workers, n, chunkSize int, fn func(ctx context.Context, lo, hi int) (T, error)) []Result[T] {
+	if chunkSize < 1 {
+		chunkSize = 1
+	}
+	chunks := (n + chunkSize - 1) / chunkSize
+	return Map(ctx, workers, chunks, func(ctx context.Context, c int) (T, error) {
+		lo := c * chunkSize
+		hi := lo + chunkSize
+		if hi > n {
+			hi = n
+		}
+		return fn(ctx, lo, hi)
+	})
+}
+
 // Join aggregates the errors of rs (in order) into one error, or nil if
 // every task succeeded.
 func Join[T any](rs []Result[T]) error {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -186,5 +187,58 @@ func TestMapNilContext(t *testing.T) {
 	})
 	if err := Join(rs); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestMapChunksCoversRangeExactlyOnce(t *testing.T) {
+	for _, tc := range []struct{ n, chunk int }{
+		{0, 4}, {1, 4}, {4, 4}, {5, 4}, {17, 5}, {10, 1}, {7, 100}, {9, 0},
+	} {
+		var mu sync.Mutex
+		seen := make(map[int]int)
+		results := MapChunks(context.Background(), 3, tc.n, tc.chunk, func(_ context.Context, lo, hi int) (int, error) {
+			if lo >= hi && tc.n > 0 {
+				t.Errorf("n=%d chunk=%d: empty chunk [%d,%d)", tc.n, tc.chunk, lo, hi)
+			}
+			mu.Lock()
+			for i := lo; i < hi; i++ {
+				seen[i]++
+			}
+			mu.Unlock()
+			return hi - lo, nil
+		})
+		if err := Join(results); err != nil {
+			t.Fatalf("n=%d chunk=%d: %v", tc.n, tc.chunk, err)
+		}
+		if len(seen) != tc.n {
+			t.Errorf("n=%d chunk=%d: covered %d indices", tc.n, tc.chunk, len(seen))
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Errorf("n=%d chunk=%d: index %d covered %d times", tc.n, tc.chunk, i, c)
+			}
+		}
+		total := 0
+		for _, r := range results {
+			total += r.Value
+		}
+		if total != tc.n {
+			t.Errorf("n=%d chunk=%d: chunk sizes sum to %d", tc.n, tc.chunk, total)
+		}
+	}
+}
+
+func TestMapChunksResultsInChunkOrder(t *testing.T) {
+	results := MapChunks(context.Background(), 4, 10, 3, func(_ context.Context, lo, hi int) (int, error) {
+		return lo, nil
+	})
+	want := []int{0, 3, 6, 9}
+	if len(results) != len(want) {
+		t.Fatalf("got %d results, want %d", len(results), len(want))
+	}
+	for i, r := range results {
+		if r.Value != want[i] {
+			t.Errorf("chunk %d starts at %d, want %d", i, r.Value, want[i])
+		}
 	}
 }

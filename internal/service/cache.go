@@ -6,11 +6,12 @@ import (
 )
 
 // lru is a bounded, thread-safe least-recently-used cache from canonical
-// request keys to finished responses. Serving results are pure functions
-// of the canonical request (every random stream is seeded from request
-// fields), so cached entries never go stale — the bound exists only to
-// cap memory.
-type lru struct {
+// content-addressed keys to values: finished responses on the result
+// path, precomputed skew kernels on the engine path. Cached values are
+// pure functions of the canonical key (every random stream is seeded
+// from request fields), so entries never go stale — the bound exists
+// only to cap memory.
+type lru[V any] struct {
 	mu        sync.Mutex
 	cap       int
 	ll        *list.List // front = most recently used
@@ -18,59 +19,60 @@ type lru struct {
 	evictions int64
 }
 
-type lruEntry struct {
+type lruEntry[V any] struct {
 	key string
-	res response
+	val V
 }
 
-func newLRU(capacity int) *lru {
+func newLRU[V any](capacity int) *lru[V] {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &lru{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+	return &lru[V]{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
 }
 
-// Get returns the cached response for key, marking it most recent.
-func (c *lru) Get(key string) (response, bool) {
+// Get returns the cached value for key, marking it most recent.
+func (c *lru[V]) Get(key string) (V, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
-		return response{}, false
+		var zero V
+		return zero, false
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*lruEntry).res, true
+	return el.Value.(*lruEntry[V]).val, true
 }
 
 // Put inserts or refreshes key, evicting the least recently used entry
 // when the cache is full.
-func (c *lru) Put(key string, res response) {
+func (c *lru[V]) Put(key string, val V) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*lruEntry).res = res
+		el.Value.(*lruEntry[V]).val = val
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&lruEntry{key: key, res: res})
+	c.items[key] = c.ll.PushFront(&lruEntry[V]{key: key, val: val})
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*lruEntry).key)
+		delete(c.items, oldest.Value.(*lruEntry[V]).key)
 		c.evictions++
 	}
 }
 
 // Evictions returns how many entries have been displaced to honor the
 // capacity bound over the cache's lifetime.
-func (c *lru) Evictions() int64 {
+func (c *lru[V]) Evictions() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.evictions
 }
 
 // Len returns the number of cached entries.
-func (c *lru) Len() int {
+func (c *lru[V]) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()

@@ -5,7 +5,7 @@ import "testing"
 func res(s string) response { return jsonResponse([]byte(s)) }
 
 func TestLRUBasics(t *testing.T) {
-	c := newLRU(2)
+	c := newLRU[response](2)
 	if _, ok := c.Get("a"); ok {
 		t.Fatal("empty cache returned a hit")
 	}
@@ -20,7 +20,7 @@ func TestLRUBasics(t *testing.T) {
 }
 
 func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
-	c := newLRU(2)
+	c := newLRU[response](2)
 	c.Put("a", res("1"))
 	c.Put("b", res("2"))
 	c.Get("a") // a is now more recent than b
@@ -40,7 +40,7 @@ func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
 }
 
 func TestLRUPutRefreshes(t *testing.T) {
-	c := newLRU(2)
+	c := newLRU[response](2)
 	c.Put("a", res("1"))
 	c.Put("b", res("2"))
 	c.Put("a", res("1'")) // refresh both value and recency
@@ -54,7 +54,7 @@ func TestLRUPutRefreshes(t *testing.T) {
 }
 
 func TestLRUMinimumCapacity(t *testing.T) {
-	c := newLRU(0) // clamped to 1
+	c := newLRU[response](0) // clamped to 1
 	c.Put("a", res("1"))
 	c.Put("b", res("2"))
 	if c.Len() != 1 {

@@ -114,6 +114,47 @@ func buildTree(name string, g *comm.Graph, equalize bool, spacing float64) (*clo
 	return t, nil
 }
 
+// kernelKey is the canonical identity of one cached skew kernel: the
+// full graph (in the comm interchange encoding) plus the tree recipe.
+// Two requests that differ only in model, trial count, seed, or timeout
+// map to the same key and share one precomputation.
+type kernelKey struct {
+	Graph    *comm.Graph `json:"graph"`
+	Tree     string      `json:"tree"`
+	Equalize bool        `json:"equalize,omitempty"`
+	Spacing  float64     `json:"spacing,omitempty"`
+}
+
+// kernelFor returns the cached skew kernel for (g, tree recipe),
+// building tree and kernel on a miss. The cache is content-addressed
+// with the same SHA-256 scheme as the result cache, so inline graphs
+// and equivalent server-built topologies cannot collide. Errors are not
+// cached: an invalid builder name or inapplicable topology recomputes
+// (and re-reports) on every request, which keeps error semantics
+// identical to the uncached path.
+func (s *Server) kernelFor(g *comm.Graph, tree string, equalize bool, spacing float64) (*skew.Kernel, error) {
+	canonical, err := canonicalize(&kernelKey{Graph: g, Tree: tree, Equalize: equalize, Spacing: spacing})
+	if err != nil {
+		return nil, err
+	}
+	key := cacheKey("kernel", canonical)
+	if k, ok := s.kernels.Get(key); ok {
+		s.metrics.kernelHits.Add(1)
+		return k, nil
+	}
+	s.metrics.kernelMisses.Add(1)
+	t, err := buildTree(tree, g, equalize, spacing)
+	if err != nil {
+		return nil, err
+	}
+	k, err := skew.NewKernel(g, t)
+	if err != nil {
+		return nil, unprocessable(err)
+	}
+	s.kernels.Put(key, k)
+	return k, nil
+}
+
 // ---------------------------------------------------------------- plan
 
 // PlanRequest mirrors cmd/planner's flags. Zero-valued physical
@@ -290,19 +331,19 @@ func (s *Server) computeAnalyze(ctx context.Context, req *AnalyzeRequest) (respo
 	}
 
 	// Fan the candidate trees out over the worker pool; each tree's
-	// Monte Carlo trials fan out again inside MonteCarloParallel.
+	// Monte Carlo trials fan out again inside MonteCarloParallel. The
+	// kernel cache means a repeat of a (graph, tree) recipe — even under
+	// a different model, trial count, or seed — skips the tree build and
+	// pair-geometry precomputation entirely.
 	results := runner.Map(ctx, s.cfg.Workers, len(req.Trees), func(ctx context.Context, i int) (TreeAnalysis, error) {
 		out := TreeAnalysis{Tree: req.Trees[i]}
-		tree, err := buildTree(req.Trees[i], g, req.Equalize, req.BufferSpacing)
+		k, err := s.kernelFor(g, req.Trees[i], req.Equalize, req.BufferSpacing)
 		if err != nil {
 			out.Error = err.Error()
 			return out, nil
 		}
-		analysis, err := skew.Analyze(g, tree, model)
-		if err != nil {
-			out.Error = err.Error()
-			return out, nil
-		}
+		tree := k.Tree()
+		analysis := k.Analyze(model)
 		out.Nodes = tree.NumNodes()
 		out.Buffers = tree.BufferCount()
 		out.TotalWireLength = tree.TotalWireLength()
@@ -310,9 +351,9 @@ func (s *Server) computeAnalyze(ctx context.Context, req *AnalyzeRequest) (respo
 		out.WorstPair = [2]int{int(analysis.WorstPair.A), int(analysis.WorstPair.B)}
 		out.MaxD, out.MaxS = analysis.MaxD, analysis.MaxS
 		out.Pairs = analysis.Pairs
-		out.GuaranteedMinSkew = skew.GuaranteedMinSkew(g, tree, model)
+		out.GuaranteedMinSkew = k.GuaranteedMinSkew(model)
 		if req.MonteCarloTrials > 0 {
-			mc, err := skew.MonteCarloParallel(ctx, s.cfg.Workers, g, tree,
+			mc, err := k.MonteCarloParallel(ctx, s.cfg.Workers,
 				skew.Linear{M: req.Model.M, Eps: req.Model.Eps},
 				req.MonteCarloTrials, stats.NewRNG(req.Seed))
 			if err != nil {
@@ -503,10 +544,14 @@ func (s *Server) computeSimulate(ctx context.Context, req *SimulateRequest) (res
 }
 
 func (s *Server) simulateClock(ctx context.Context, g *comm.Graph, req *SimulateRequest, resp *SimulateResponse) error {
-	tree, err := buildTree(req.Tree, g, req.Equalize, req.BufferSpacing)
+	// The kernel cache doubles as a tree cache: a simulate that repeats
+	// an analyzed (graph, tree) recipe — or repeats itself with a new
+	// seed or regime — reuses the built tree.
+	k, err := s.kernelFor(g, req.Tree, req.Equalize, req.BufferSpacing)
 	if err != nil {
 		return err
 	}
+	tree := k.Tree()
 	p := clocksim.Params{
 		M: req.Params.M, Eps: req.Params.Eps,
 		BufferDelay:   req.Params.BufferDelay,

@@ -86,6 +86,9 @@ type metrics struct {
 	computes  expvar.Int // underlying engine executions
 	inFlight  expvar.Int // requests currently being served
 
+	kernelHits   expvar.Int // skew-kernel cache hits (precomputation reused)
+	kernelMisses expvar.Int // skew-kernel cache misses (tree + kernel built)
+
 	mu        sync.Mutex
 	latencies map[string]*latencyVar // endpoint → histogram
 
@@ -102,6 +105,8 @@ func newMetrics() *metrics {
 	m.vars.Set("coalesced", &m.coalesced)
 	m.vars.Set("computes", &m.computes)
 	m.vars.Set("in_flight", &m.inFlight)
+	m.vars.Set("kernel_cache_hits", &m.kernelHits)
+	m.vars.Set("kernel_cache_misses", &m.kernelMisses)
 	m.vars.Set("cache_hit_ratio", expvar.Func(func() any {
 		h, n := m.hits.Value(), m.hits.Value()+m.misses.Value()+m.coalesced.Value()
 		if n == 0 {

@@ -32,8 +32,12 @@ func (s *Server) promFamilies() []obs.PromMetric {
 		counter("cache_evictions_total", "Cache entries displaced by the capacity bound.", s.cache.Evictions()),
 		counter("coalesced_total", "Responses shared from another in-flight request.", m.coalesced.Value()),
 		counter("computes_total", "Underlying engine executions.", m.computes.Value()),
+		counter("kernel_cache_hits_total", "Skew-kernel cache hits (precomputed geometry reused).", m.kernelHits.Value()),
+		counter("kernel_cache_misses_total", "Skew-kernel cache misses (tree and kernel built).", m.kernelMisses.Value()),
+		counter("kernel_cache_evictions_total", "Kernel cache entries displaced by the capacity bound.", s.kernels.Evictions()),
 		gauge("in_flight", "Requests currently being served.", float64(m.inFlight.Value())),
 		gauge("cache_entries", "Entries currently in the result cache.", float64(s.cache.Len())),
+		gauge("kernel_cache_entries", "Entries currently in the skew-kernel cache.", float64(s.kernels.Len())),
 		gauge("uptime_seconds", "Seconds since the server started.", time.Since(m.start).Seconds()),
 	}
 	ps := runner.Stats()

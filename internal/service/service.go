@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/skew"
 )
 
 // Config parameterizes a Server. The zero value is usable: NewServer
@@ -31,6 +32,10 @@ import (
 type Config struct {
 	// CacheEntries bounds the result cache. Default 1024.
 	CacheEntries int
+	// KernelCacheEntries bounds the skew-kernel cache: precomputed
+	// (graph, tree) geometry shared across requests that differ only in
+	// model, trial count, or seed. Default 256.
+	KernelCacheEntries int
 	// Workers bounds each request's engine fan-out (candidate trees,
 	// Monte-Carlo trials, simulation trials). Default GOMAXPROCS.
 	Workers int
@@ -53,6 +58,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 1024
+	}
+	if c.KernelCacheEntries == 0 {
+		c.KernelCacheEntries = 256
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
@@ -95,7 +103,8 @@ func marshalResponse(v any) (response, error) {
 // many side by side.
 type Server struct {
 	cfg     Config
-	cache   *lru
+	cache   *lru[response]
+	kernels *lru[*skew.Kernel]
 	flight  *flightGroup
 	metrics *metrics
 	mux     *http.ServeMux
@@ -113,7 +122,8 @@ func NewServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
-		cache:   newLRU(cfg.CacheEntries),
+		cache:   newLRU[response](cfg.CacheEntries),
+		kernels: newLRU[*skew.Kernel](cfg.KernelCacheEntries),
 		flight:  newFlightGroup(),
 		metrics: newMetrics(),
 		mux:     http.NewServeMux(),

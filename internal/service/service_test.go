@@ -389,3 +389,80 @@ func TestMetricsLatencyHistogram(t *testing.T) {
 		t.Fatalf("implausible latency histogram: %+v", h)
 	}
 }
+
+func TestKernelCacheSharedAcrossSeedsAndEndpoints(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	// Same (graph, tree) recipe, different seeds: distinct result-cache
+	// keys, one shared kernel.
+	for _, req := range []string{
+		`{"topology":{"kind":"mesh","n":8},"trees":["htree"],"montecarlo_trials":16,"seed":1}`,
+		`{"topology":{"kind":"mesh","n":8},"trees":["htree"],"montecarlo_trials":16,"seed":2}`,
+	} {
+		resp, body := postJSON(t, ts.URL+"/v1/analyze", req)
+		if resp.StatusCode != 200 {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+	}
+	if got := s.metrics.kernelMisses.Value(); got != 1 {
+		t.Fatalf("kernel misses = %d, want 1 (second analyze should reuse the kernel)", got)
+	}
+	if got := s.metrics.kernelHits.Value(); got != 1 {
+		t.Fatalf("kernel hits = %d, want 1", got)
+	}
+
+	// A simulate over the same recipe reuses the same kernel entry.
+	resp, body := postJSON(t, ts.URL+"/v1/simulate",
+		`{"topology":{"kind":"mesh","n":8},"tree":"htree","regime":"random","trials":4,"seed":3}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("simulate status %d: %s", resp.StatusCode, body)
+	}
+	if got := s.metrics.kernelMisses.Value(); got != 1 {
+		t.Fatalf("kernel misses after simulate = %d, want 1", got)
+	}
+	if got := s.metrics.kernelHits.Value(); got != 2 {
+		t.Fatalf("kernel hits after simulate = %d, want 2", got)
+	}
+
+	// Both exposition formats report the kernel-cache counters.
+	var m struct {
+		KernelHits   int64 `json:"kernel_cache_hits"`
+		KernelMisses int64 `json:"kernel_cache_misses"`
+	}
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m.KernelHits != 2 || m.KernelMisses != 1 {
+		t.Fatalf("expvar kernel cache hits/misses = %d/%d, want 2/1", m.KernelHits, m.KernelMisses)
+	}
+	promResp, err := http.Get(ts.URL + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer promResp.Body.Close()
+	prom, _ := io.ReadAll(promResp.Body)
+	for _, want := range []string{
+		"kernel_cache_hits_total 2",
+		"kernel_cache_misses_total 1",
+		"kernel_cache_entries 1",
+	} {
+		if !strings.Contains(string(prom), want) {
+			t.Errorf("prom exposition missing %q", want)
+		}
+	}
+}
+
+func TestKernelCacheDistinguishesRecipes(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	for _, req := range []string{
+		`{"topology":{"kind":"mesh","n":4},"trees":["htree"]}`,
+		`{"topology":{"kind":"mesh","n":4},"trees":["htree"],"equalize":true}`,
+		`{"topology":{"kind":"mesh","n":4},"trees":["htree"],"buffer_spacing":2}`,
+		`{"topology":{"kind":"mesh","n":4},"trees":["spine"]}`,
+	} {
+		resp, body := postJSON(t, ts.URL+"/v1/analyze", req)
+		if resp.StatusCode != 200 {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+	}
+	if got := s.metrics.kernelMisses.Value(); got != 4 {
+		t.Fatalf("kernel misses = %d, want 4 (every recipe differs)", got)
+	}
+}

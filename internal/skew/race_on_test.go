@@ -1,0 +1,8 @@
+//go:build race
+
+package skew
+
+// raceEnabled reports whether the race detector is compiled in; the
+// zero-allocation assertions skip under it because instrumentation
+// allocates.
+const raceEnabled = true

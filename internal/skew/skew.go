@@ -18,7 +18,6 @@ package skew
 import (
 	"context"
 	"fmt"
-	"math"
 
 	"repro/internal/clocktree"
 	"repro/internal/comm"
@@ -108,6 +107,17 @@ func (m Linear) Bound(d, s float64) float64 { return m.M*d + m.Eps*s }
 // LowerBound implements LowerBounder: adversarial variation achieves ε·s.
 func (m Linear) LowerBound(s float64) float64 { return m.Eps * s }
 
+// Validate checks the Section III parameter constraint 0 ≤ Eps ≤ M (the
+// delay band [M−Eps, M+Eps] must be non-negative). It is the single
+// validation point shared by every Monte-Carlo entry point, so the error
+// message cannot drift between them.
+func (m Linear) Validate() error {
+	if m.Eps < 0 || m.M < m.Eps {
+		return fmt.Errorf("skew: need 0 ≤ Eps ≤ M, got M=%g Eps=%g", m.M, m.Eps)
+	}
+	return nil
+}
+
 // PairSkew is the skew bound for one communicating pair.
 type PairSkew struct {
 	A, B comm.CellID
@@ -131,28 +141,16 @@ type Analysis struct {
 // Analyze computes the model's worst-case skew over all communicating
 // pairs of g clocked by tree. It returns an error if the tree does not
 // clock every cell of g.
+//
+// Analyze builds a throwaway Kernel; callers evaluating several models,
+// seeds, or trial counts against one (graph, tree) should build the
+// Kernel once and query it directly.
 func Analyze(g *comm.Graph, tree *clocktree.Tree, model Model) (Analysis, error) {
-	if !tree.Covers(g) {
-		return Analysis{}, fmt.Errorf("skew: tree %q does not clock every cell of %q", tree.Name, g.Name)
+	k, err := NewKernel(g, tree)
+	if err != nil {
+		return Analysis{}, err
 	}
-	out := Analysis{Model: model.Name(), Tree: tree.Name}
-	for _, p := range g.CommunicatingPairs() {
-		d := tree.CellDiffDist(p[0], p[1])
-		s := tree.CellPathLen(p[0], p[1])
-		sk := model.Bound(d, s)
-		out.Pairs++
-		if d > out.MaxD {
-			out.MaxD = d
-		}
-		if s > out.MaxS {
-			out.MaxS = s
-		}
-		if sk > out.MaxSkew {
-			out.MaxSkew = sk
-			out.WorstPair = PairSkew{A: p[0], B: p[1], D: d, S: s, Skew: sk}
-		}
-	}
-	return out, nil
+	return k.Analyze(model), nil
 }
 
 // GuaranteedMinSkew returns the model's guaranteed worst-case skew for the
@@ -163,13 +161,19 @@ func GuaranteedMinSkew(g *comm.Graph, tree *clocktree.Tree, model Model) float64
 	if !ok {
 		return 0
 	}
-	var worst float64
-	for _, p := range g.CommunicatingPairs() {
-		if v := lb.LowerBound(tree.CellPathLen(p[0], p[1])); v > worst {
-			worst = v
+	k, err := NewKernel(g, tree)
+	if err != nil {
+		// Preserve the pre-kernel contract: a non-covering tree panics in
+		// CellPathLen rather than returning an error from this helper.
+		var worst float64
+		for _, p := range g.CommunicatingPairs() {
+			if v := lb.LowerBound(tree.CellPathLen(p[0], p[1])); v > worst {
+				worst = v
+			}
 		}
+		return worst
 	}
-	return worst
+	return k.GuaranteedMinSkew(model)
 }
 
 // MonteCarlo draws random per-segment wire delays in [M−Eps, M+Eps] (each
@@ -181,46 +185,11 @@ func GuaranteedMinSkew(g *comm.Graph, tree *clocktree.Tree, model Model) float64
 // Linear model's upper bound and (statistically) exceed any fixed fraction
 // of the summation lower bound as trials grow.
 func MonteCarlo(g *comm.Graph, tree *clocktree.Tree, m Linear, trials int, rng *stats.RNG) (float64, error) {
-	if !tree.Covers(g) {
-		return 0, fmt.Errorf("skew: tree %q does not clock every cell of %q", tree.Name, g.Name)
+	k, err := NewKernel(g, tree)
+	if err != nil {
+		return 0, err
 	}
-	if m.Eps < 0 || m.M < m.Eps {
-		return 0, fmt.Errorf("skew: need 0 ≤ Eps ≤ M, got M=%g Eps=%g", m.M, m.Eps)
-	}
-	pairs := g.CommunicatingPairs()
-	var worst float64
-	for trial := 0; trial < trials; trial++ {
-		if w := monteCarloTrial(g, tree, m, pairs, rng.Fork(int64(trial))); w > worst {
-			worst = w
-		}
-	}
-	return worst, nil
-}
-
-// monteCarloTrial draws one random per-segment delay assignment from r
-// and returns the trial's worst arrival-time difference over pairs.
-func monteCarloTrial(g *comm.Graph, tree *clocktree.Tree, m Linear, pairs [][2]comm.CellID, r *stats.RNG) float64 {
-	arrival := make([]float64, tree.NumNodes())
-	// Arrival time = parent's arrival + edge length · random unit delay.
-	var walk func(v clocktree.NodeID)
-	walk = func(v clocktree.NodeID) {
-		for _, c := range tree.Children(v) {
-			unit := r.Uniform(m.M-m.Eps, m.M+m.Eps)
-			arrival[c] = arrival[v] + tree.EdgeLen(c)*unit
-			walk(c)
-		}
-	}
-	arrival[tree.Root()] = 0
-	walk(tree.Root())
-	var worst float64
-	for _, p := range pairs {
-		na, _ := tree.CellNode(p[0])
-		nb, _ := tree.CellNode(p[1])
-		if d := math.Abs(arrival[na] - arrival[nb]); d > worst {
-			worst = d
-		}
-	}
-	return worst
+	return k.MonteCarlo(m, trials, rng)
 }
 
 // MonteCarloParallel is MonteCarlo with the trials fanned out over a
@@ -231,19 +200,51 @@ func monteCarloTrial(g *comm.Graph, tree *clocktree.Tree, m Linear, pairs [][2]c
 // is identical to the sequential run at any worker count. A cancelled
 // ctx aborts the remaining trials and returns ctx's error.
 func MonteCarloParallel(ctx context.Context, workers int, g *comm.Graph, tree *clocktree.Tree, m Linear, trials int, rng *stats.RNG) (float64, error) {
+	k, err := NewKernel(g, tree)
+	if err != nil {
+		return 0, err
+	}
+	return k.MonteCarloParallel(ctx, workers, m, trials, rng)
+}
+
+// MonteCarloParallel is the kernel form of the package function: trials
+// are partitioned into contiguous chunks fanned out over the worker
+// pool, and each chunk borrows one arena from the kernel's pool for all
+// of its trials, so steady-state trials allocate nothing. The worst skew
+// is a max-reduction — order independent — so the result is identical
+// to the sequential run at any worker count and any chunking.
+func (k *Kernel) MonteCarloParallel(ctx context.Context, workers int, m Linear, trials int, rng *stats.RNG) (float64, error) {
+	// Chunk so each worker gets a few chunks (tail-latency smoothing)
+	// without creating so many that scheduling costs return.
+	chunkSize := 1
+	if workers > 1 {
+		chunkSize = (trials + workers*4 - 1) / (workers * 4)
+	}
+	chunks := 0
+	if chunkSize > 0 {
+		chunks = (trials + chunkSize - 1) / chunkSize
+	}
 	ctx, span := obs.Start(ctx, "skew.montecarlo",
-		obs.String("graph", g.Name), obs.String("tree", tree.Name),
-		obs.Int("trials", int64(trials)), obs.Int("workers", int64(workers)))
+		obs.String("graph", k.graph.Name), obs.String("tree", k.tree.Name),
+		obs.Int("trials", int64(trials)), obs.Int("workers", int64(workers)),
+		obs.Int("chunks", int64(chunks)))
 	defer span.End()
-	if !tree.Covers(g) {
-		return 0, fmt.Errorf("skew: tree %q does not clock every cell of %q", tree.Name, g.Name)
+	if err := m.Validate(); err != nil {
+		return 0, err
 	}
-	if m.Eps < 0 || m.M < m.Eps {
-		return 0, fmt.Errorf("skew: need 0 ≤ Eps ≤ M, got M=%g Eps=%g", m.M, m.Eps)
-	}
-	pairs := g.CommunicatingPairs()
-	results := runner.Map(ctx, workers, trials, func(_ context.Context, i int) (float64, error) {
-		return monteCarloTrial(g, tree, m, pairs, rng.Fork(int64(i))), nil
+	results := runner.MapChunks(ctx, workers, trials, chunkSize, func(ctx context.Context, lo, hi int) (float64, error) {
+		a := k.arenas.Get().(*mcArena)
+		defer k.arenas.Put(a)
+		var worst float64
+		for trial := lo; trial < hi; trial++ {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			if w := k.trial(m, rng.Fork(int64(trial)), a); w > worst {
+				worst = w
+			}
+		}
+		return worst, nil
 	})
 	if err := runner.Join(results); err != nil {
 		return 0, err

@@ -115,6 +115,21 @@ func (r *RNG) Uniform(lo, hi float64) float64 {
 	return lo + (hi-lo)*r.rand.Float64()
 }
 
+// UniformFill fills dst with samples from U[lo, hi). The draws come from
+// the same underlying stream as len(dst) successive Uniform calls — the
+// values are bit-identical — but the concurrent-use guard is taken once
+// for the whole batch instead of per sample, which matters in tight
+// loops like the skew Monte-Carlo trial that draws one delay per tree
+// edge.
+func (r *RNG) UniformFill(dst []float64, lo, hi float64) {
+	r.enter()
+	defer r.exit()
+	span := hi - lo
+	for i := range dst {
+		dst[i] = lo + span*r.rand.Float64()
+	}
+}
+
 // Normal returns a sample from N(mean, sd²).
 func (r *RNG) Normal(mean, sd float64) float64 {
 	r.enter()

@@ -369,3 +369,21 @@ func TestQuantileAtYield(t *testing.T) {
 		t.Errorf("yield 0.5 quantile = %g", q)
 	}
 }
+
+func TestUniformFillMatchesSequentialUniform(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	batch := make([]float64, 64)
+	a.UniformFill(batch, 0.5, 1.5)
+	for i, got := range batch {
+		if want := b.Uniform(0.5, 1.5); got != want {
+			t.Fatalf("sample %d: UniformFill %v != Uniform %v", i, got, want)
+		}
+	}
+	if x := a.Float64(); x != b.Float64() {
+		t.Error("streams diverged after the batch")
+	}
+}
+
+func TestUniformFillEmpty(t *testing.T) {
+	NewRNG(1).UniformFill(nil, 0, 1) // must not panic
+}
