@@ -6,6 +6,7 @@
 //	obscheck -trace out.json [-min-events 1] [-min-categories 1]
 //	obscheck -prom < exposition.txt
 //	obscheck -manifest run.json
+//	obscheck -scale BENCH_scale.json [-min-sizes 5]
 //
 // -trace parses a Chrome trace_event file (the -trace output of
 // cmd/experiments and cmd/planner), requires at least -min-events
@@ -14,8 +15,10 @@
 // text exposition (syncd's GET /metrics?format=prom) from stdin under
 // the strict 0.0.4 grammar, optionally requiring families named by
 // repeated -require flags. -manifest checks a run manifest for the
-// provenance fields the trajectory depends on. Exit status is non-zero
-// on any violation.
+// provenance fields the trajectory depends on. -scale round-trips a
+// scalesweep report through the strict scale.ReadReport validator and
+// requires every series to hold at least -min-sizes ok measurements.
+// Exit status is non-zero on any violation.
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 	"strings"
 
 	"repro/internal/obs"
+	"repro/internal/scale"
 )
 
 type requireList []string
@@ -43,18 +47,20 @@ func main() {
 	minCategories := flag.Int("min-categories", 1, "minimum distinct span categories the trace must hold")
 	promIn := flag.Bool("prom", false, "validate a Prometheus text exposition read from stdin")
 	manifestPath := flag.String("manifest", "", "validate a run manifest JSON file")
+	scalePath := flag.String("scale", "", "validate a scalesweep report JSON file")
+	minSizes := flag.Int("min-sizes", 1, "minimum ok-measured sizes every series must hold (with -scale)")
 	var require requireList
 	flag.Var(&require, "require", "metric family that must be present (repeatable; with -prom)")
 	flag.Parse()
 
 	modes := 0
-	for _, on := range []bool{*tracePath != "", *promIn, *manifestPath != ""} {
+	for _, on := range []bool{*tracePath != "", *promIn, *manifestPath != "", *scalePath != ""} {
 		if on {
 			modes++
 		}
 	}
 	if modes != 1 {
-		fail(fmt.Errorf("pick exactly one of -trace, -prom, -manifest"))
+		fail(fmt.Errorf("pick exactly one of -trace, -prom, -manifest, -scale"))
 	}
 
 	switch {
@@ -64,6 +70,8 @@ func main() {
 		checkProm(require)
 	case *manifestPath != "":
 		checkManifest(*manifestPath)
+	case *scalePath != "":
+		checkScale(*scalePath, *minSizes)
 	}
 }
 
@@ -129,6 +137,30 @@ func checkManifest(path string) {
 	}
 	fmt.Printf("manifest ok: %s on go %s, %d experiments, wall %.2fs\n",
 		m.Command, m.GoVersion, len(m.Experiments), m.WallSeconds)
+}
+
+func checkScale(path string, minSizes int) {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	r, err := scale.ReadReport(f)
+	if err != nil {
+		fail(err)
+	}
+	points, fits := 0, 0
+	for i := range r.Series {
+		s := &r.Series[i]
+		points += len(s.Points)
+		fits += len(s.Fits)
+		if ok := s.OKSizes(); ok < minSizes {
+			fail(fmt.Errorf("scale report %s: series %s/%s has %d ok sizes, need ≥ %d",
+				path, s.Engine, s.Topology, ok, minSizes))
+		}
+	}
+	fmt.Printf("scale ok: %d series, %d points, %d fits (%s/%s, max cells %d)\n",
+		len(r.Series), points, fits, r.GOOS, r.GOARCH, r.MaxCells)
 }
 
 func fail(err error) {

@@ -1,0 +1,167 @@
+// Command scalesweep finds the size ceiling: it sweeps every engine
+// entry point over a ladder of array sizes and topologies, records
+// per-op cost and memory at each size, fits growth exponents, and
+// writes a BENCH_scale.json-style report. With -baseline it compares
+// fitted growth classes against a committed report and exits non-zero
+// on asymptotic regressions for the gated engines.
+//
+// Usage:
+//
+//	go run ./cmd/scalesweep -sides 8,16,32,64,128,256 -out BENCH_scale.json
+//	go run ./cmd/scalesweep -sides 8,16,32,64 -topologies mesh,linear \
+//	    -baseline BENCH_scale.json -gate analyze -gate kernel_build -out scale-ci.json
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/scale"
+	"repro/internal/skew"
+)
+
+type stringList []string
+
+func (l *stringList) String() string { return strings.Join(*l, ",") }
+
+func (l *stringList) Set(v string) error {
+	for _, s := range strings.Split(v, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			*l = append(*l, s)
+		}
+	}
+	return nil
+}
+
+func parseSides(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad side %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func main() {
+	var (
+		sides      = flag.String("sides", "8,16,32,64,128,256", "comma-separated array sides (cells per point = side²)")
+		topologies = flag.String("topologies", "mesh,torus,linear,tree", "comma-separated topologies to sweep")
+		engines    stringList
+		gates      stringList
+		maxCells   = flag.Int("max-cells", 1<<21, "skip sizes with more cells than this")
+		timeout    = flag.Duration("timeout", 2*time.Minute, "per-(topology,size) deadline; expiry records timeout points and moves on")
+		minTime    = flag.Duration("min-time", 50*time.Millisecond, "minimum measurement time per engine per size")
+		maxIters   = flag.Int("iters", 1<<16, "max iterations per measurement")
+		mcTrials   = flag.Int("mc-trials", 4, "Monte-Carlo trials per iteration")
+		waves      = flag.Int("waves", 4, "hybrid/self-timed waves per iteration")
+		seed       = flag.Int64("seed", 1, "RNG seed for seeded engines")
+		maxPairs   = flag.Int64("max-kernel-pairs", 0, "kernel pair-count limit (0 = library default)")
+		maxBytes   = flag.Int64("max-kernel-bytes", 0, "kernel resident-bytes limit (0 = library default)")
+		out        = flag.String("out", "", "write the JSON report here ('-' or empty = stdout)")
+		baseline   = flag.String("baseline", "", "committed report to compare fitted growth classes against")
+		title      = flag.String("title", "", "override the report title")
+		quiet      = flag.Bool("q", false, "suppress per-size progress lines")
+	)
+	flag.Var(&engines, "engines", "comma-separated engines to run (default: all; repeatable)")
+	flag.Var(&gates, "gate", "engine whose fitted class must not exceed the baseline's (repeatable; with -baseline)")
+	flag.Parse()
+
+	sd, err := parseSides(*sides)
+	if err != nil {
+		fail("%v", err)
+	}
+	cfg := scale.Config{
+		Sides:       sd,
+		Topologies:  splitList(*topologies),
+		Engines:     engines,
+		MaxCells:    *maxCells,
+		SizeTimeout: *timeout,
+		MinTime:     *minTime,
+		MaxIters:    *maxIters,
+		MCTrials:    *mcTrials,
+		Waves:       *waves,
+		Seed:        *seed,
+		Limits:      skew.Limits{MaxPairs: *maxPairs, MaxBytes: *maxBytes},
+	}
+	if !*quiet {
+		cfg.Logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	}
+
+	report, err := scale.Sweep(context.Background(), cfg)
+	if err != nil {
+		fail("%v", err)
+	}
+	report.Command = strings.Join(os.Args, " ")
+	if *title != "" {
+		report.Title = *title
+	}
+	if err := report.Validate(); err != nil {
+		fail("internal error: generated report invalid: %v", err)
+	}
+
+	w := os.Stdout
+	if *out != "" && *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := scale.WriteReport(w, report); err != nil {
+		fail("write report: %v", err)
+	}
+	if *out != "" && *out != "-" {
+		fmt.Fprintf(os.Stderr, "scalesweep: wrote %s (%d series)\n", *out, len(report.Series))
+	}
+
+	if *baseline != "" {
+		if len(gates) == 0 {
+			fail("-baseline requires at least one -gate engine")
+		}
+		bf, err := os.Open(*baseline)
+		if err != nil {
+			fail("%v", err)
+		}
+		base, err := scale.ReadReport(bf)
+		bf.Close()
+		if err != nil {
+			fail("baseline %s: %v", *baseline, err)
+		}
+		violations := scale.CompareClasses(report, base, gates, scale.MetricNsPerOp)
+		if len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintf(os.Stderr, "scalesweep: GROWTH REGRESSION: %s\n", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "scalesweep: growth classes within baseline for gated engines %v\n", []string(gates))
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "scalesweep: "+format+"\n", args...)
+	os.Exit(1)
+}

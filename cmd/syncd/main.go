@@ -5,6 +5,7 @@
 // Usage:
 //
 //	syncd [-addr 127.0.0.1:8080] [-cache 1024] [-kernel-cache 256]
+//	      [-max-kernel-pairs 0] [-max-kernel-bytes 0]
 //	      [-workers 0] [-deadline 30s] [-max-deadline 2m] [-quiet] [-pprof]
 //
 // Endpoints:
@@ -38,12 +39,15 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/skew"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
 	cache := flag.Int("cache", 1024, "result cache entries")
 	kernelCache := flag.Int("kernel-cache", 256, "skew-kernel cache entries (precomputed graph+tree geometry)")
+	maxKernelPairs := flag.Int64("max-kernel-pairs", 0, "largest communicating-pair count a request may ask a kernel for (0 = skew.DefaultLimits; oversize requests get 413 array_too_large)")
+	maxKernelBytes := flag.Int64("max-kernel-bytes", 0, "kernel memory budget in bytes per request (0 = skew.DefaultLimits; oversize requests get 413 array_too_large)")
 	workers := flag.Int("workers", 0, "engine fan-out workers per request (0 = GOMAXPROCS)")
 	deadline := flag.Duration("deadline", 30*time.Second, "default per-request deadline")
 	maxDeadline := flag.Duration("max-deadline", 2*time.Minute, "cap on client-requested deadlines")
@@ -55,6 +59,7 @@ func main() {
 	cfg := service.Config{
 		CacheEntries:       *cache,
 		KernelCacheEntries: *kernelCache,
+		KernelLimits:       skew.Limits{MaxPairs: *maxKernelPairs, MaxBytes: *maxKernelBytes},
 		Workers:            *workers,
 		DefaultDeadline:    *deadline,
 		MaxDeadline:        *maxDeadline,

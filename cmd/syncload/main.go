@@ -325,9 +325,8 @@ func summarize(name string, os []outcome) endpointReport {
 			r.Coalesced++
 		}
 	}
-	r.P50Ms = round2(stats.Percentile(lats, 50))
-	r.P95Ms = round2(stats.Percentile(lats, 95))
-	r.P99Ms = round2(stats.Percentile(lats, 99))
+	qs := stats.Percentiles(lats, 50, 95, 99)
+	r.P50Ms, r.P95Ms, r.P99Ms = round2(qs[0]), round2(qs[1]), round2(qs[2])
 	r.MaxMs = round2(stats.Max(lats))
 	return r
 }

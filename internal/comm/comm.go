@@ -79,12 +79,45 @@ type Graph struct {
 // graphMemo holds the communicating-pair list, computed once on first
 // use. After that first use the edge set is frozen: the pair list is
 // what every analysis engine iterates, so a mutation that silently
-// missed it would corrupt results. numEdges records the edge count at
-// memoization time to detect (and panic on) late mutation.
+// missed it would corrupt results. numEdges and fingerprint record the
+// edge count and an FNV-1a content hash at memoization time to detect
+// (and panic on) late mutation — the count alone would miss a mutation
+// that rewires an edge in place.
 type graphMemo struct {
-	once     sync.Once
-	pairs    [][2]CellID
-	numEdges int
+	once        sync.Once
+	pairs       [][2]CellID
+	numEdges    int
+	fingerprint uint64
+}
+
+// edgeFingerprint hashes the edge set's content (endpoints and labels,
+// in order) with FNV-1a. It is O(edges) with no allocation — cheap
+// enough to recompute on every CommunicatingPairs call — and changes
+// under any in-place edge rewrite, including count-preserving ones.
+func (g *Graph) edgeFingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	word := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	for _, e := range g.Edges {
+		word(uint64(int64(e.From)))
+		word(uint64(int64(e.To)))
+		for i := 0; i < len(e.Label); i++ {
+			h ^= uint64(e.Label[i])
+			h *= prime64
+		}
+		h ^= 0xff // label terminator so ("ab","c") ≠ ("a","bc")
+		h *= prime64
+	}
+	return h
 }
 
 // NumCells returns the number of cells.
@@ -116,8 +149,9 @@ func (g *Graph) CellAt(row, col int) (Cell, bool) {
 // it, often many times per graph, and the map-and-sort enumeration
 // dominated their setup cost. The returned slice is shared — callers must
 // not modify it. After the first call the graph's edge set is frozen;
-// appending to Edges afterwards panics on the next call rather than
-// silently analyzing a stale pair list. (Graphs built as bare literals,
+// appending to Edges — or rewriting an edge in place, even preserving
+// the count — panics on the next call rather than silently analyzing a
+// stale pair list. (Graphs built as bare literals,
 // without the package constructors, skip memoization and recompute.)
 func (g *Graph) CommunicatingPairs() [][2]CellID {
 	if g.memo == nil {
@@ -126,10 +160,15 @@ func (g *Graph) CommunicatingPairs() [][2]CellID {
 	g.memo.once.Do(func() {
 		g.memo.pairs = g.communicatingPairsUncached()
 		g.memo.numEdges = len(g.Edges)
+		g.memo.fingerprint = g.edgeFingerprint()
 	})
 	if len(g.Edges) != g.memo.numEdges {
 		panic(fmt.Sprintf("comm: graph %q mutated after first CommunicatingPairs call (%d edges then, %d now)",
 			g.Name, g.memo.numEdges, len(g.Edges)))
+	}
+	if fp := g.edgeFingerprint(); fp != g.memo.fingerprint {
+		panic(fmt.Sprintf("comm: graph %q edges rewritten after first CommunicatingPairs call (content fingerprint %x then, %x now)",
+			g.Name, g.memo.fingerprint, fp))
 	}
 	return g.memo.pairs
 }

@@ -1,0 +1,126 @@
+// Growth-exponent fitting: given a measured metric (ns/op, bytes/op)
+// at a ladder of problem sizes, recover the free power-law exponent
+// and classify the trajectory against the canonical complexity shapes.
+// CI gates on the class so a path that drifts from ~n log n to ~n²
+// fails loudly even when every individual constant got faster.
+package scale
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Class names a canonical asymptotic shape.
+type Class string
+
+// The candidate shapes FitGrowth classifies against, in increasing
+// asymptotic order.
+const (
+	ClassConstant     Class = "constant"     // Θ(1)
+	ClassLogarithmic  Class = "logarithmic"  // Θ(log n)
+	ClassLinear       Class = "linear"       // Θ(n)
+	ClassLinearithmic Class = "linearithmic" // Θ(n log n)
+	ClassSuperlinear  Class = "superlinear"  // Θ(n^1.5)
+	ClassQuadratic    Class = "quadratic"    // Θ(n²)
+	ClassCubic        Class = "cubic"        // Θ(n³)
+)
+
+// classShapes pairs each class with log f(n), the shape it fits in log
+// space. Order matters: it is the asymptotic ranking FamilyRank builds
+// on, and ties in fit error resolve to the earlier (smaller) class.
+var classShapes = []struct {
+	class Class
+	logF  func(n float64) float64
+}{
+	{ClassConstant, func(n float64) float64 { return 0 }},
+	{ClassLogarithmic, func(n float64) float64 { return math.Log(math.Log2(n)) }},
+	{ClassLinear, math.Log},
+	{ClassLinearithmic, func(n float64) float64 { return math.Log(n * math.Log2(n)) }},
+	{ClassSuperlinear, func(n float64) float64 { return 1.5 * math.Log(n) }},
+	{ClassQuadratic, func(n float64) float64 { return 2 * math.Log(n) }},
+	{ClassCubic, func(n float64) float64 { return 3 * math.Log(n) }},
+}
+
+// FamilyRank buckets classes for CI comparison: constant and
+// logarithmic are family 0, linear and linearithmic family 1 (timing
+// noise cannot reliably separate n from n log n, and neither is a
+// regression from the other), then n^1.5, n², n³. A fitted class is a
+// regression exactly when its family rank exceeds the baseline's.
+func (c Class) FamilyRank() int {
+	switch c {
+	case ClassConstant, ClassLogarithmic:
+		return 0
+	case ClassLinear, ClassLinearithmic:
+		return 1
+	case ClassSuperlinear:
+		return 2
+	case ClassQuadratic:
+		return 3
+	case ClassCubic:
+		return 4
+	}
+	return -1
+}
+
+// valid reports whether c is one of the candidate classes.
+func (c Class) valid() bool { return c.FamilyRank() >= 0 }
+
+// Growth is the fitted trajectory of one (engine, metric) series.
+type Growth struct {
+	// Exponent is the free power-law exponent B of metric ≈ A·n^B
+	// (stats.FitPowerLaw), the number committed to BENCH_scale.json.
+	Exponent float64 `json:"exponent"`
+	// R2 is the power-law fit's coefficient of determination in log
+	// space.
+	R2 float64 `json:"r2"`
+	// Class is the best-fitting canonical shape.
+	Class Class `json:"class"`
+}
+
+// FitGrowth fits ys ≈ A·f(ns) over strictly positive points. ns are
+// problem sizes (cells), ys the measured metric. It needs at least two
+// usable points. Classification picks the shape with the smallest
+// root-mean-square log-space residual after an optimal scale factor —
+// a one-parameter fit per shape, so a clean n log n series beats both
+// the n and n² hypotheses rather than splitting the difference.
+func FitGrowth(ns, ys []float64) (Growth, error) {
+	if len(ns) != len(ys) {
+		return Growth{}, fmt.Errorf("scale: FitGrowth length mismatch %d vs %d", len(ns), len(ys))
+	}
+	var xs, vs []float64
+	for i := range ns {
+		if ns[i] > 1 && ys[i] > 0 { // n > 1 keeps log log n defined
+			xs = append(xs, ns[i])
+			vs = append(vs, ys[i])
+		}
+	}
+	if len(xs) < 2 {
+		return Growth{}, fmt.Errorf("scale: FitGrowth needs ≥ 2 usable points, got %d", len(xs))
+	}
+	pl, err := stats.FitPowerLaw(xs, vs)
+	if err != nil {
+		return Growth{}, err
+	}
+	g := Growth{Exponent: pl.B, R2: pl.R2, Class: classify(xs, vs)}
+	return g, nil
+}
+
+// classify returns the candidate shape with the smallest RMS log-space
+// residual. With residual r_i = log y_i − log f(n_i), the optimal
+// scale is exp(mean r), so the RMS error is just the residuals'
+// standard deviation.
+func classify(ns, ys []float64) Class {
+	best, bestErr := ClassConstant, math.Inf(1)
+	resid := make([]float64, len(ns))
+	for _, cand := range classShapes {
+		for i := range ns {
+			resid[i] = math.Log(ys[i]) - cand.logF(ns[i])
+		}
+		if rms := stats.StdDev(resid); rms < bestErr {
+			best, bestErr = cand.class, rms
+		}
+	}
+	return best
+}

@@ -1,0 +1,120 @@
+package scale
+
+import (
+	"math"
+	"testing"
+)
+
+// ladder returns the synthetic size ladder 2^lo .. 2^hi.
+func ladder(lo, hi int) []float64 {
+	var ns []float64
+	for e := lo; e <= hi; e++ {
+		ns = append(ns, float64(int(1)<<e))
+	}
+	return ns
+}
+
+// noisy perturbs y deterministically by up to ±5%, the kind of
+// run-to-run jitter a real measurement carries.
+func noisy(y float64, i int) float64 {
+	return y * (1 + 0.05*math.Sin(float64(7*i+1)))
+}
+
+func TestFitGrowthRecoversSyntheticSeries(t *testing.T) {
+	ns := ladder(7, 20) // 128 .. 1M cells
+	cases := []struct {
+		name    string
+		f       func(n float64) float64
+		class   Class
+		expLo   float64
+		expHi   float64
+		familyR int
+	}{
+		{"constant", func(n float64) float64 { return 42 }, ClassConstant, -0.05, 0.05, 0},
+		{"logarithmic", func(n float64) float64 { return 9 * math.Log2(n) }, ClassLogarithmic, 0.0, 0.2, 0},
+		{"linear", func(n float64) float64 { return 3 * n }, ClassLinear, 0.95, 1.05, 1},
+		{"linearithmic", func(n float64) float64 { return 2 * n * math.Log2(n) }, ClassLinearithmic, 1.0, 1.3, 1},
+		{"superlinear", func(n float64) float64 { return 0.7 * math.Pow(n, 1.5) }, ClassSuperlinear, 1.45, 1.55, 2},
+		{"quadratic", func(n float64) float64 { return 0.5 * n * n }, ClassQuadratic, 1.9, 2.1, 3},
+		{"cubic", func(n float64) float64 { return n * n * n / 64 }, ClassCubic, 2.9, 3.1, 4},
+	}
+	for _, tc := range cases {
+		for _, withNoise := range []bool{false, true} {
+			name := tc.name
+			if withNoise {
+				name += "/noisy"
+			}
+			t.Run(name, func(t *testing.T) {
+				ys := make([]float64, len(ns))
+				for i, n := range ns {
+					ys[i] = tc.f(n)
+					if withNoise {
+						ys[i] = noisy(ys[i], i)
+					}
+				}
+				g, err := FitGrowth(ns, ys)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if g.Class != tc.class {
+					t.Errorf("class = %q, want %q (exponent %.3f)", g.Class, tc.class, g.Exponent)
+				}
+				if g.Exponent < tc.expLo || g.Exponent > tc.expHi {
+					t.Errorf("exponent = %.3f, want within [%.2f, %.2f]", g.Exponent, tc.expLo, tc.expHi)
+				}
+				if g.Class.FamilyRank() != tc.familyR {
+					t.Errorf("FamilyRank(%q) = %d, want %d", g.Class, g.Class.FamilyRank(), tc.familyR)
+				}
+				// The free power law cannot track sub-polynomial shapes
+				// closely, so only check R2 from linear up.
+				if !withNoise && g.R2 < 0.99 && tc.class.FamilyRank() >= 1 {
+					t.Errorf("clean series fit R2 = %.4f, want ≥ 0.99", g.R2)
+				}
+			})
+		}
+	}
+}
+
+func TestFitGrowthErrors(t *testing.T) {
+	if _, err := FitGrowth([]float64{64, 128}, []float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := FitGrowth([]float64{64}, []float64{10}); err == nil {
+		t.Error("single point should error")
+	}
+	// Non-positive metrics are filtered; too few survivors is an error.
+	if _, err := FitGrowth([]float64{64, 128, 256}, []float64{0, -3, 10}); err == nil {
+		t.Error("only one usable point should error")
+	}
+	// n ≤ 1 points are filtered (log log n undefined) but the rest fit.
+	g, err := FitGrowth([]float64{1, 64, 128, 256}, []float64{5, 64, 128, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Class != ClassLinear {
+		t.Errorf("class = %q, want linear after filtering n=1", g.Class)
+	}
+}
+
+func TestFamilyRankOrderingAndValidity(t *testing.T) {
+	order := []Class{ClassConstant, ClassLogarithmic, ClassLinear, ClassLinearithmic,
+		ClassSuperlinear, ClassQuadratic, ClassCubic}
+	prev := -1
+	for _, c := range order {
+		if !c.valid() {
+			t.Errorf("%q should be valid", c)
+		}
+		if r := c.FamilyRank(); r < prev {
+			t.Errorf("FamilyRank(%q) = %d breaks monotone ordering (prev %d)", c, r, prev)
+		} else {
+			prev = r
+		}
+	}
+	// n and n log n share a family: neither is a regression from the other.
+	if ClassLinear.FamilyRank() != ClassLinearithmic.FamilyRank() {
+		t.Error("linear and linearithmic must share a family rank")
+	}
+	if Class("exponential").valid() || Class("exponential").FamilyRank() != -1 {
+		t.Error("unknown class must be invalid with rank -1")
+	}
+}

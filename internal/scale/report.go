@@ -1,0 +1,218 @@
+// The BENCH_scale.json document: schema, writer, and the strict
+// validator CI round-trips the committed trajectory through.
+package scale
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Point statuses.
+const (
+	StatusOK      = "ok"      // measured
+	StatusSkipped = "skipped" // size over the -max-cells guard; not attempted
+	StatusTimeout = "timeout" // per-size deadline expired mid-measurement
+	StatusError   = "error"   // the engine returned an error at this size
+)
+
+var validStatus = map[string]bool{
+	StatusOK: true, StatusSkipped: true, StatusTimeout: true, StatusError: true,
+}
+
+// Metric names fitted per series.
+const (
+	MetricNsPerOp    = "ns_per_op"
+	MetricBytesPerOp = "bytes_per_op"
+)
+
+// Point is one (engine, topology, size) measurement.
+type Point struct {
+	Side  int `json:"side"`  // array side; cells ≈ side²
+	Cells int `json:"cells"` // actual cell count at this size
+
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"` // for status "error"; or why skipped
+
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	Iters       int     `json:"iters,omitempty"` // measurement iterations
+
+	// PeakRSSBytes is the process high-water RSS after this point ran.
+	// It is process-global and monotone over the sweep — a ceiling
+	// marker, not a per-size delta (see EXPERIMENTS.md for caveats).
+	PeakRSSBytes int64 `json:"peak_rss_bytes,omitempty"`
+	// KernelBytes is skew.KernelBytes for this size's kernel; set only
+	// on kernel-backed engines.
+	KernelBytes int64 `json:"kernel_bytes,omitempty"`
+}
+
+// Series is one engine's trajectory over one topology.
+type Series struct {
+	Engine   string  `json:"engine"`
+	Topology string  `json:"topology"`
+	Points   []Point `json:"points"`
+	// Fits maps metric name → fitted growth, present when ≥ 2 sizes
+	// measured ok with a positive metric.
+	Fits map[string]Growth `json:"fits,omitempty"`
+}
+
+// Report is the whole sweep: the committed BENCH_scale.json document.
+type Report struct {
+	Title     string `json:"title"`
+	Command   string `json:"command"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+	MaxCells  int    `json:"max_cells"`
+	TimeoutMS int64  `json:"size_timeout_ms"`
+	MCTrials  int    `json:"mc_trials"`
+	Waves     int    `json:"waves"`
+	Seed      int64  `json:"seed"`
+
+	Series []Series `json:"series"`
+
+	Notes []string `json:"notes,omitempty"`
+}
+
+// WriteReport writes r as indented JSON.
+func WriteReport(w io.Writer, r *Report) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("scale: encoding report: %w", err)
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadReport decodes and validates a report: unknown fields rejected,
+// exactly one JSON value, and the structural invariants the CI gate
+// depends on checked. It is the obscheck-style validator the committed
+// BENCH_scale.json must round-trip through.
+func ReadReport(rd io.Reader) (*Report, error) {
+	dec := json.NewDecoder(rd)
+	dec.DisallowUnknownFields()
+	var r Report
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("scale: decoding report: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("scale: trailing data after report document")
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// Validate checks the report's structural invariants.
+func (r *Report) Validate() error {
+	if len(r.Series) == 0 {
+		return fmt.Errorf("scale: report has no series")
+	}
+	seen := map[string]bool{}
+	for i := range r.Series {
+		s := &r.Series[i]
+		if s.Engine == "" || s.Topology == "" {
+			return fmt.Errorf("scale: series %d missing engine or topology", i)
+		}
+		key := s.Engine + "/" + s.Topology
+		if seen[key] {
+			return fmt.Errorf("scale: duplicate series %s", key)
+		}
+		seen[key] = true
+		if len(s.Points) == 0 {
+			return fmt.Errorf("scale: series %s has no points", key)
+		}
+		prev := 0
+		for _, p := range s.Points {
+			if p.Side <= prev {
+				return fmt.Errorf("scale: series %s sides not strictly ascending at side %d", key, p.Side)
+			}
+			prev = p.Side
+			if p.Cells <= 0 {
+				return fmt.Errorf("scale: series %s side %d has non-positive cells %d", key, p.Side, p.Cells)
+			}
+			if !validStatus[p.Status] {
+				return fmt.Errorf("scale: series %s side %d has unknown status %q", key, p.Side, p.Status)
+			}
+			if p.Status == StatusOK && (p.NsPerOp <= 0 || p.Iters <= 0) {
+				return fmt.Errorf("scale: series %s side %d is ok but unmeasured (ns=%g iters=%d)",
+					key, p.Side, p.NsPerOp, p.Iters)
+			}
+			if p.Status == StatusError && p.Error == "" {
+				return fmt.Errorf("scale: series %s side %d is error with no message", key, p.Side)
+			}
+		}
+		for metric, g := range s.Fits {
+			if metric != MetricNsPerOp && metric != MetricBytesPerOp {
+				return fmt.Errorf("scale: series %s fits unknown metric %q", key, metric)
+			}
+			if !g.Class.valid() {
+				return fmt.Errorf("scale: series %s metric %s has unknown class %q", key, metric, g.Class)
+			}
+		}
+	}
+	return nil
+}
+
+// OKSizes returns how many points of s measured ok.
+func (s *Series) OKSizes() int {
+	n := 0
+	for _, p := range s.Points {
+		if p.Status == StatusOK {
+			n++
+		}
+	}
+	return n
+}
+
+// CompareClasses gates a fresh sweep against the committed baseline:
+// for every series in next whose engine is in gate (empty gate = all
+// engines) and that also exists in base with a fit for metric, the
+// fitted class's family rank must not exceed the baseline's. It
+// returns one violation message per regression.
+func CompareClasses(next, base *Report, gate []string, metric string) []string {
+	gated := func(engine string) bool {
+		if len(gate) == 0 {
+			return true
+		}
+		for _, g := range gate {
+			if g == engine {
+				return true
+			}
+		}
+		return false
+	}
+	baseFit := map[string]Growth{}
+	for _, s := range base.Series {
+		if g, ok := s.Fits[metric]; ok {
+			baseFit[s.Engine+"/"+s.Topology] = g
+		}
+	}
+	var violations []string
+	for _, s := range next.Series {
+		if !gated(s.Engine) {
+			continue
+		}
+		key := s.Engine + "/" + s.Topology
+		bg, ok := baseFit[key]
+		if !ok {
+			continue
+		}
+		ng, ok := s.Fits[metric]
+		if !ok {
+			continue
+		}
+		if ng.Class.FamilyRank() > bg.Class.FamilyRank() {
+			violations = append(violations,
+				fmt.Sprintf("%s %s grew %s (exp %.2f) vs baseline %s (exp %.2f)",
+					key, metric, ng.Class, ng.Exponent, bg.Class, bg.Exponent))
+		}
+	}
+	sort.Strings(violations)
+	return violations
+}

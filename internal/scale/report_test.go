@@ -1,0 +1,149 @@
+package scale
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// sampleReport builds a small, valid report by hand.
+func sampleReport() *Report {
+	return &Report{
+		Title: "test", Command: "scalesweep -test", GOOS: "linux", GOARCH: "amd64",
+		CPUs: 1, MaxCells: 1 << 20, TimeoutMS: 1000, MCTrials: 4, Waves: 4, Seed: 1,
+		Series: []Series{{
+			Engine: "analyze", Topology: "mesh",
+			Points: []Point{
+				{Side: 8, Cells: 64, Status: StatusOK, NsPerOp: 100, BytesPerOp: 64, Iters: 10},
+				{Side: 16, Cells: 256, Status: StatusOK, NsPerOp: 420, BytesPerOp: 256, Iters: 10},
+				{Side: 32, Cells: 1024, Status: StatusError, Error: "boom"},
+			},
+			Fits: map[string]Growth{
+				MetricNsPerOp: {Exponent: 1.04, R2: 0.999, Class: ClassLinear},
+			},
+		}},
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	r := sampleReport()
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Title != r.Title || len(got.Series) != 1 {
+		t.Fatalf("round trip mangled report: %+v", got)
+	}
+	s := got.Series[0]
+	if s.OKSizes() != 2 {
+		t.Errorf("OKSizes = %d, want 2", s.OKSizes())
+	}
+	if g := s.Fits[MetricNsPerOp]; g.Class != ClassLinear || g.Exponent != 1.04 {
+		t.Errorf("fit mangled: %+v", g)
+	}
+}
+
+func TestReadReportRejectsMalformed(t *testing.T) {
+	valid := func() *Report { return sampleReport() }
+	cases := []struct {
+		name    string
+		mutate  func(*Report)
+		rawJSON string // when set, fed directly instead of a mutated report
+		wantErr string
+	}{
+		{name: "unknown field", rawJSON: `{"title":"x","bogus_field":1}`, wantErr: "bogus_field"},
+		{name: "trailing data", rawJSON: `{"title":"x","series":[]} {"again":true}`, wantErr: ""},
+		{name: "no series", mutate: func(r *Report) { r.Series = nil }, wantErr: "no series"},
+		{name: "missing engine", mutate: func(r *Report) { r.Series[0].Engine = "" }, wantErr: "missing engine"},
+		{name: "duplicate series", mutate: func(r *Report) { r.Series = append(r.Series, r.Series[0]) }, wantErr: "duplicate"},
+		{name: "no points", mutate: func(r *Report) { r.Series[0].Points = nil }, wantErr: "no points"},
+		{name: "descending sides", mutate: func(r *Report) { r.Series[0].Points[1].Side = 4 }, wantErr: "ascending"},
+		{name: "bad cells", mutate: func(r *Report) { r.Series[0].Points[0].Cells = 0 }, wantErr: "cells"},
+		{name: "bad status", mutate: func(r *Report) { r.Series[0].Points[0].Status = "exploded" }, wantErr: "status"},
+		{name: "ok but unmeasured", mutate: func(r *Report) { r.Series[0].Points[0].Iters = 0 }, wantErr: "unmeasured"},
+		{name: "error without message", mutate: func(r *Report) { r.Series[0].Points[2].Error = "" }, wantErr: "no message"},
+		{name: "unknown fit metric", mutate: func(r *Report) {
+			r.Series[0].Fits["watts_per_op"] = Growth{Class: ClassLinear}
+		}, wantErr: "unknown metric"},
+		{name: "unknown fit class", mutate: func(r *Report) {
+			r.Series[0].Fits[MetricNsPerOp] = Growth{Class: "exponential"}
+		}, wantErr: "class"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if tc.rawJSON != "" {
+				buf.WriteString(tc.rawJSON)
+			} else {
+				r := valid()
+				tc.mutate(r)
+				if err := WriteReport(&buf, r); err != nil {
+					t.Fatal(err)
+				}
+			}
+			_, err := ReadReport(&buf)
+			if err == nil {
+				t.Fatal("ReadReport accepted a malformed report")
+			}
+			if tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// fitReport builds a one-series report with the given class for
+// CompareClasses tests.
+func fitReport(engine, topo string, class Class, exp float64) *Report {
+	return &Report{
+		Series: []Series{{
+			Engine: engine, Topology: topo,
+			Points: []Point{{Side: 8, Cells: 64, Status: StatusOK, NsPerOp: 1, Iters: 1}},
+			Fits:   map[string]Growth{MetricNsPerOp: {Exponent: exp, Class: class}},
+		}},
+	}
+}
+
+func TestCompareClasses(t *testing.T) {
+	base := fitReport("analyze", "mesh", ClassLinearithmic, 1.1)
+
+	// Family-rank increase is a violation.
+	next := fitReport("analyze", "mesh", ClassQuadratic, 2.0)
+	v := CompareClasses(next, base, []string{"analyze"}, MetricNsPerOp)
+	if len(v) != 1 || !strings.Contains(v[0], "analyze/mesh") {
+		t.Fatalf("want one analyze/mesh violation, got %v", v)
+	}
+
+	// Same family (n vs n log n) is not a violation in either direction.
+	next = fitReport("analyze", "mesh", ClassLinear, 0.98)
+	if v := CompareClasses(next, base, []string{"analyze"}, MetricNsPerOp); len(v) != 0 {
+		t.Fatalf("linear vs linearithmic baseline should pass, got %v", v)
+	}
+
+	// Improvement is never a violation.
+	next = fitReport("analyze", "mesh", ClassLogarithmic, 0.1)
+	if v := CompareClasses(next, base, []string{"analyze"}, MetricNsPerOp); len(v) != 0 {
+		t.Fatalf("improvement flagged: %v", v)
+	}
+
+	// Ungated engines are ignored even when they regress.
+	next = fitReport("analyze", "mesh", ClassCubic, 3.0)
+	if v := CompareClasses(next, base, []string{"montecarlo"}, MetricNsPerOp); len(v) != 0 {
+		t.Fatalf("ungated engine flagged: %v", v)
+	}
+
+	// Empty gate means every engine is gated.
+	if v := CompareClasses(next, base, nil, MetricNsPerOp); len(v) != 1 {
+		t.Fatalf("empty gate should gate all engines, got %v", v)
+	}
+
+	// Series absent from the baseline cannot be compared.
+	next = fitReport("hybrid", "torus", ClassCubic, 3.0)
+	if v := CompareClasses(next, base, nil, MetricNsPerOp); len(v) != 0 {
+		t.Fatalf("unknown-to-baseline series flagged: %v", v)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build darwin
+
+package scale
+
+// rssToBytes converts getrusage's ru_maxrss to bytes: already bytes on
+// Darwin.
+func rssToBytes(maxrss int64) int64 { return maxrss }

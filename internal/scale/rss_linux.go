@@ -1,0 +1,6 @@
+//go:build linux
+
+package scale
+
+// rssToBytes converts getrusage's ru_maxrss to bytes: KiB on Linux.
+func rssToBytes(maxrss int64) int64 { return maxrss * 1024 }

@@ -1,0 +1,6 @@
+//go:build !unix
+
+package scale
+
+// peakRSSBytes is unavailable off unix; points record 0.
+func peakRSSBytes() int64 { return 0 }

@@ -1,0 +1,7 @@
+//go:build unix && !linux && !darwin
+
+package scale
+
+// rssToBytes converts getrusage's ru_maxrss to bytes; the BSDs report
+// KiB like Linux.
+func rssToBytes(maxrss int64) int64 { return maxrss * 1024 }

@@ -1,0 +1,17 @@
+//go:build unix
+
+package scale
+
+import "syscall"
+
+// peakRSSBytes returns the process's high-water resident set size via
+// getrusage. Linux reports ru_maxrss in KiB; Darwin in bytes — the
+// sweep only ever compares values from one run on one platform, so the
+// linux convention is assumed on non-darwin unix.
+func peakRSSBytes() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return rssToBytes(ru.Maxrss)
+}

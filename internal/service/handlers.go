@@ -9,6 +9,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"sort"
 	"strings"
 
@@ -24,10 +25,13 @@ import (
 	"repro/internal/viz"
 )
 
-// httpError carries a status code chosen by the compute layer.
+// httpError carries a status code chosen by the compute layer, and
+// optionally a machine-readable reason token exposed alongside the
+// human-readable message in the error body.
 type httpError struct {
 	status int
 	msg    string
+	reason string
 }
 
 func (e *httpError) Error() string { return e.msg }
@@ -38,6 +42,14 @@ func badRequest(format string, args ...any) error {
 
 func unprocessable(err error) error {
 	return &httpError{status: 422, msg: err.Error()}
+}
+
+// tooLarge maps a skew.SizeError onto the wire: 413 with the
+// machine-readable reason "array_too_large", so clients can
+// distinguish "shrink your array or raise the server's limits" from
+// an ordinary malformed request.
+func tooLarge(err error) error {
+	return &httpError{status: http.StatusRequestEntityTooLarge, msg: err.Error(), reason: "array_too_large"}
 }
 
 // TopologySpec names a standard topology to construct server-side, as an
@@ -147,8 +159,12 @@ func (s *Server) kernelFor(g *comm.Graph, tree string, equalize bool, spacing fl
 	if err != nil {
 		return nil, err
 	}
-	k, err := skew.NewKernel(g, t)
+	k, err := skew.NewKernelWithLimits(g, t, s.cfg.KernelLimits)
 	if err != nil {
+		var se *skew.SizeError
+		if errors.As(err, &se) {
+			return nil, tooLarge(err)
+		}
 		return nil, unprocessable(err)
 	}
 	s.kernels.Put(key, k)
@@ -339,6 +355,13 @@ func (s *Server) computeAnalyze(ctx context.Context, req *AnalyzeRequest) (respo
 		out := TreeAnalysis{Tree: req.Trees[i]}
 		k, err := s.kernelFor(g, req.Trees[i], req.Equalize, req.BufferSpacing)
 		if err != nil {
+			// An oversize array fails the whole request with its typed
+			// status: inlining it like a mere builder mismatch would bury
+			// the 413 in a 200 body.
+			var he *httpError
+			if errors.As(err, &he) && he.status == http.StatusRequestEntityTooLarge {
+				return out, err
+			}
 			out.Error = err.Error()
 			return out, nil
 		}
@@ -372,7 +395,7 @@ func (s *Server) computeAnalyze(ctx context.Context, req *AnalyzeRequest) (respo
 		return out, nil
 	})
 	if err := runner.Join(results); err != nil {
-		return response{}, err
+		return response{}, firstTypedError(results, err)
 	}
 	resp := AnalyzeResponse{Graph: g.Name, Cells: g.NumCells(), Model: model.Name()}
 	for _, r := range results {
@@ -698,7 +721,7 @@ func faultsOrZero(c *faults.Config) faults.Config {
 
 // firstTypedError prefers a typed httpError from the task results over
 // the aggregate, so clients see the real status code.
-func firstTypedError(results []runner.Result[float64], agg error) error {
+func firstTypedError[T any](results []runner.Result[T], agg error) error {
 	for _, r := range results {
 		var he *httpError
 		if r.Err != nil && errors.As(r.Err, &he) {

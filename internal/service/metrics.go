@@ -17,7 +17,7 @@ const latencySamples = 4096
 
 // latencyVar is an expvar-compatible latency histogram: a ring of recent
 // samples whose String() reports count, mean, and p50/p95/p99 computed
-// with stats.Percentile.
+// with stats.Percentiles (one sort for the whole quantile batch).
 type latencyVar struct {
 	mu      sync.Mutex
 	samples []float64 // milliseconds, ring buffer
@@ -58,8 +58,8 @@ func (l *latencyVar) summary() (count int64, sum, p50, p95, p99 float64) {
 	if count == 0 {
 		return 0, 0, 0, 0, 0
 	}
-	return count, sum,
-		stats.Percentile(window, 50), stats.Percentile(window, 95), stats.Percentile(window, 99)
+	qs := stats.Percentiles(window, 50, 95, 99)
+	return count, sum, qs[0], qs[1], qs[2]
 }
 
 // String implements expvar.Var with a JSON object of summary quantiles.

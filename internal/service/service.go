@@ -36,6 +36,11 @@ type Config struct {
 	// (graph, tree) geometry shared across requests that differ only in
 	// model, trial count, or seed. Default 256.
 	KernelCacheEntries int
+	// KernelLimits bounds the size of any one skew kernel the server
+	// will build. An oversize request is answered with HTTP 413 and
+	// reason "array_too_large" instead of index corruption or an OOM
+	// kill. Zero fields take skew.DefaultLimits.
+	KernelLimits skew.Limits
 	// Workers bounds each request's engine fan-out (candidate trees,
 	// Monte-Carlo trials, simulation trials). Default GOMAXPROCS.
 	Workers int
@@ -345,7 +350,12 @@ func (s *Server) finish(w http.ResponseWriter, r *http.Request, endpoint string,
 	status := res.status
 	if err != nil {
 		status = statusOf(err)
-		body, _ := json.Marshal(map[string]string{"error": err.Error()})
+		doc := map[string]string{"error": err.Error()}
+		var he *httpError
+		if errors.As(err, &he) && he.reason != "" {
+			doc["reason"] = he.reason
+		}
+		body, _ := json.Marshal(doc)
 		res = response{status: status, contentType: "application/json", body: append(body, '\n')}
 	}
 	if status >= 400 {

@@ -60,12 +60,25 @@ type mcArena struct {
 // NewKernel validates that tree clocks every cell of g and precomputes
 // the pair geometry and edge schedule. Construction is
 // O(nodes + pairs); afterwards Analyze and each Monte-Carlo trial touch
-// only flat arrays.
+// only flat arrays. Sizes are checked against DefaultLimits before
+// anything is allocated: a tree or pair list that would overflow the
+// kernel's int32 indices, or blow the default memory budget, yields a
+// *SizeError instead of silent index truncation or an OOM kill.
 func NewKernel(g *comm.Graph, tree *clocktree.Tree) (*Kernel, error) {
+	return NewKernelWithLimits(g, tree, DefaultLimits)
+}
+
+// NewKernelWithLimits is NewKernel under caller-chosen size limits
+// (zero fields default). The count limits clamp to math.MaxInt32 —
+// int32 indexing is a representation ceiling no limit can raise.
+func NewKernelWithLimits(g *comm.Graph, tree *clocktree.Tree, lim Limits) (*Kernel, error) {
 	if !tree.Covers(g) {
 		return nil, fmt.Errorf("skew: tree %q does not clock every cell of %q", tree.Name, g.Name)
 	}
 	pairs := g.CommunicatingPairs()
+	if err := checkKernelSize(g.Name, tree.Name, tree.NumNodes(), len(pairs), lim); err != nil {
+		return nil, err
+	}
 	k := &Kernel{
 		graph: g, tree: tree, pairs: pairs,
 		pairA: make([]int32, len(pairs)),
@@ -125,6 +138,12 @@ func (k *Kernel) Tree() *clocktree.Tree { return k.tree }
 
 // Pairs returns the number of communicating pairs.
 func (k *Kernel) Pairs() int { return len(k.pairs) }
+
+// FootprintBytes returns the kernel's estimated resident size — the
+// KernelBytes estimate for its node and pair counts.
+func (k *Kernel) FootprintBytes() int64 {
+	return KernelBytes(k.tree.NumNodes(), len(k.pairs))
+}
 
 // Analyze evaluates model over every communicating pair using the
 // cached distances. It performs no tree or graph traversal.

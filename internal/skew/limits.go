@@ -1,0 +1,123 @@
+package skew
+
+import (
+	"fmt"
+	"math"
+)
+
+// Limits bounds the size of a Kernel NewKernel will agree to build.
+//
+// The kernel's flat arrays index tree nodes with int32 (pairA/pairB,
+// order, parent), so a tree with more than math.MaxInt32 nodes — or a
+// pair list longer than math.MaxInt32 — would silently truncate
+// indices and corrupt every subsequent query. Limits turns that cliff,
+// and the quadratic pair-array memory that precedes it, into a typed
+// error (*SizeError) callers and the HTTP service can surface instead
+// of corrupting results or dying on allocation.
+type Limits struct {
+	// MaxNodes bounds tree.NumNodes(). Values above math.MaxInt32 are
+	// clamped: int32 node indexing is a hard representation limit, not
+	// a policy choice.
+	MaxNodes int64
+	// MaxPairs bounds the communicating-pair count, likewise clamped
+	// to math.MaxInt32.
+	MaxPairs int64
+	// MaxBytes bounds KernelBytes(nodes, pairs), the estimated
+	// resident size of the kernel's arrays plus one Monte-Carlo arena.
+	MaxBytes int64
+}
+
+// DefaultLimits is what NewKernel enforces: the int32 representation
+// ceilings plus a 16 GiB kernel-memory budget. The budget is the
+// documented answer to "how big an array can one node certify" — a
+// mesh's pair count is linear in cells, so 16 GiB admits meshes past
+// 4096², while a dense synthetic graph hits the pair or byte ceiling
+// long before indices would truncate.
+var DefaultLimits = Limits{
+	MaxNodes: math.MaxInt32,
+	MaxPairs: math.MaxInt32,
+	MaxBytes: 16 << 30,
+}
+
+// withDefaults fills zero fields from DefaultLimits and clamps the
+// count limits to the int32 representation ceiling.
+func (l Limits) withDefaults() Limits {
+	if l.MaxNodes <= 0 {
+		l.MaxNodes = DefaultLimits.MaxNodes
+	}
+	if l.MaxPairs <= 0 {
+		l.MaxPairs = DefaultLimits.MaxPairs
+	}
+	if l.MaxBytes <= 0 {
+		l.MaxBytes = DefaultLimits.MaxBytes
+	}
+	if l.MaxNodes > math.MaxInt32 {
+		l.MaxNodes = math.MaxInt32
+	}
+	if l.MaxPairs > math.MaxInt32 {
+		l.MaxPairs = math.MaxInt32
+	}
+	return l
+}
+
+// SizeError reports a (graph, tree) pair too large for a Kernel under
+// the limits in force. It is returned by NewKernel/NewKernelWithLimits
+// before any kernel array is allocated, and the service maps it to
+// HTTP 413 with machine-readable reason "array_too_large".
+type SizeError struct {
+	Graph, Tree string
+	Nodes       int    // tree node count
+	Pairs       int    // communicating-pair count
+	Bytes       int64  // KernelBytes(Nodes, Pairs)
+	Field       string // which limit tripped: "nodes", "pairs", or "bytes"
+	Max         int64  // the limit's value
+}
+
+// Error implements error.
+func (e *SizeError) Error() string {
+	return fmt.Sprintf("skew: kernel for graph %q under tree %q is too large: %s %d exceeds limit %d (nodes=%d pairs=%d est %d bytes)",
+		e.Graph, e.Tree, e.Field, e.tripped(), e.Max, e.Nodes, e.Pairs, e.Bytes)
+}
+
+// tripped returns the offending quantity named by Field.
+func (e *SizeError) tripped() int64 {
+	switch e.Field {
+	case "nodes":
+		return int64(e.Nodes)
+	case "pairs":
+		return int64(e.Pairs)
+	default:
+		return e.Bytes
+	}
+}
+
+// KernelBytes estimates the resident size of a kernel built over a
+// tree with the given node count and a pair list of the given length:
+// the per-pair arrays (pair list, int32 endpoints, float64 d and s),
+// the per-node edge schedule (order, parent, length), and one
+// Monte-Carlo arena (units, arrival). The scale sweep records the same
+// number as each size's kernel-resident bytes.
+func KernelBytes(nodes, pairs int) int64 {
+	const perPair = 16 + 4 + 4 + 8 + 8 // pairs entry + pairA/pairB + d + s
+	const perNode = 4 + 4 + 8 + 8 + 8  // order + parent + length + units + arrival
+	return int64(pairs)*perPair + int64(nodes)*perNode
+}
+
+// checkKernelSize is the guard behind NewKernelWithLimits, separated
+// so tests can probe counts (e.g. above math.MaxInt32) that could
+// never be allocated for real.
+func checkKernelSize(graph, tree string, nodes, pairs int, lim Limits) error {
+	lim = lim.withDefaults()
+	e := &SizeError{Graph: graph, Tree: tree, Nodes: nodes, Pairs: pairs, Bytes: KernelBytes(nodes, pairs)}
+	switch {
+	case int64(nodes) > lim.MaxNodes:
+		e.Field, e.Max = "nodes", lim.MaxNodes
+	case int64(pairs) > lim.MaxPairs:
+		e.Field, e.Max = "pairs", lim.MaxPairs
+	case e.Bytes > lim.MaxBytes:
+		e.Field, e.Max = "bytes", lim.MaxBytes
+	default:
+		return nil
+	}
+	return e
+}

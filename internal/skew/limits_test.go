@@ -1,0 +1,122 @@
+package skew
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/clocktree"
+)
+
+// buildOrSizeError builds a kernel under lim and returns the SizeError
+// if construction was refused.
+func buildOrSizeError(t *testing.T, lim Limits) (*Kernel, *SizeError) {
+	t.Helper()
+	g := meshArray(t, 8)
+	tr, err := clocktree.HTree(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := NewKernelWithLimits(g, tr, lim)
+	if err == nil {
+		return k, nil
+	}
+	var se *SizeError
+	if !errors.As(err, &se) {
+		t.Fatalf("error is %T (%v), want *SizeError", err, err)
+	}
+	return nil, se
+}
+
+func TestNewKernelWithLimitsRefusesOversize(t *testing.T) {
+	cases := []struct {
+		name      string
+		lim       Limits
+		wantField string
+	}{
+		{"tiny node budget", Limits{MaxNodes: 8}, "nodes"},
+		{"tiny pair budget", Limits{MaxPairs: 4}, "pairs"},
+		{"tiny byte budget", Limits{MaxBytes: 256}, "bytes"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, se := buildOrSizeError(t, tc.lim)
+			if se == nil {
+				t.Fatal("kernel built despite limit")
+			}
+			if se.Field != tc.wantField {
+				t.Errorf("Field = %q, want %q (err: %v)", se.Field, tc.wantField, se)
+			}
+			if se.Nodes <= 0 || se.Pairs <= 0 || se.Bytes != KernelBytes(se.Nodes, se.Pairs) {
+				t.Errorf("SizeError counts inconsistent: %+v", se)
+			}
+			if se.Graph == "" || se.Tree == "" {
+				t.Errorf("SizeError missing graph/tree names: %+v", se)
+			}
+			for _, part := range []string{tc.wantField, "too large"} {
+				if !strings.Contains(se.Error(), part) {
+					t.Errorf("error %q does not mention %q", se.Error(), part)
+				}
+			}
+		})
+	}
+}
+
+func TestNewKernelDefaultLimitsAdmitNormalSizes(t *testing.T) {
+	g := meshArray(t, 8)
+	tr, err := clocktree.HTree(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := NewKernel(g, tr)
+	if err != nil {
+		t.Fatalf("NewKernel under default limits: %v", err)
+	}
+	want := KernelBytes(tr.NumNodes(), k.Pairs())
+	if got := k.FootprintBytes(); got != want {
+		t.Errorf("FootprintBytes = %d, want %d", got, want)
+	}
+	// Zero-valued Limits behaves exactly like DefaultLimits.
+	if _, err := NewKernelWithLimits(g, tr, Limits{}); err != nil {
+		t.Errorf("zero Limits should take defaults: %v", err)
+	}
+}
+
+func TestCheckKernelSizeInt32Ceiling(t *testing.T) {
+	// Counts past the int32 index ceiling must be refused even under an
+	// unbounded byte budget — the representation limit is not waivable.
+	huge := Limits{MaxNodes: math.MaxInt64, MaxPairs: math.MaxInt64, MaxBytes: math.MaxInt64}
+	err := checkKernelSize("g", "t", math.MaxInt32+1, 10, huge)
+	var se *SizeError
+	if !errors.As(err, &se) || se.Field != "nodes" {
+		t.Fatalf("nodes over int32: err = %v, want SizeError on nodes", err)
+	}
+	err = checkKernelSize("g", "t", 10, math.MaxInt32+1, huge)
+	if !errors.As(err, &se) || se.Field != "pairs" {
+		t.Fatalf("pairs over int32: err = %v, want SizeError on pairs", err)
+	}
+	// At exactly the ceiling the counts are representable; only the
+	// byte estimate can refuse them.
+	if err := checkKernelSize("g", "t", 4, 4, huge); err != nil {
+		t.Fatalf("small kernel refused: %v", err)
+	}
+}
+
+func TestCheckKernelSizePrecedence(t *testing.T) {
+	// When several limits trip at once the most fundamental wins:
+	// nodes, then pairs, then bytes.
+	lim := Limits{MaxNodes: 1, MaxPairs: 1, MaxBytes: 1}
+	var se *SizeError
+	if err := checkKernelSize("g", "t", 2, 2, lim); !errors.As(err, &se) || se.Field != "nodes" {
+		t.Fatalf("want nodes first, got %v", err)
+	}
+	lim.MaxNodes = 100
+	if err := checkKernelSize("g", "t", 2, 2, lim); !errors.As(err, &se) || se.Field != "pairs" {
+		t.Fatalf("want pairs second, got %v", err)
+	}
+	lim.MaxPairs = 100
+	if err := checkKernelSize("g", "t", 2, 2, lim); !errors.As(err, &se) || se.Field != "bytes" {
+		t.Fatalf("want bytes third, got %v", err)
+	}
+}

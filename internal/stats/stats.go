@@ -200,17 +200,43 @@ func Max(xs []float64) float64 {
 // between order statistics. p below 0 or above 100 clamps to the minimum
 // and maximum. Any NaN in xs propagates: the result is NaN, since NaN has
 // no place in a sorted order. It panics on an empty slice.
+//
+// Percentile copies and sorts xs on every call; callers extracting
+// several quantiles from one sample (p50/p90/p99 over a Monte-Carlo
+// run, latency summaries) should use Percentiles, which sorts once.
 func Percentile(xs []float64, p float64) float64 {
+	return Percentiles(xs, p)[0]
+}
+
+// Percentiles returns the percentile of xs at each p in ps, with the
+// same semantics as Percentile — linear interpolation between order
+// statistics, clamping below 0 and above 100, NaN anywhere in xs
+// making every result NaN, and a panic on an empty xs — but one copy
+// and one sort for the whole batch instead of one per quantile.
+func Percentiles(xs []float64, ps ...float64) []float64 {
 	if len(xs) == 0 {
 		panic("stats: Percentile of empty slice")
 	}
+	out := make([]float64, len(ps))
 	for _, x := range xs {
 		if math.IsNaN(x) {
-			return math.NaN()
+			for i := range out {
+				out[i] = math.NaN()
+			}
+			return out
 		}
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
+	for i, p := range ps {
+		out[i] = percentileSorted(sorted, p)
+	}
+	return out
+}
+
+// percentileSorted interpolates the p-th percentile of an
+// already-sorted, NaN-free, non-empty slice.
+func percentileSorted(sorted []float64, p float64) float64 {
 	if p <= 0 {
 		return sorted[0]
 	}
@@ -241,15 +267,16 @@ func Summarize(xs []float64) Summary {
 	if len(xs) == 0 {
 		return Summary{}
 	}
+	qs := Percentiles(xs, 50, 90, 99)
 	return Summary{
 		N:    len(xs),
 		Mean: Mean(xs),
 		Std:  StdDev(xs),
 		Min:  Min(xs),
 		Max:  Max(xs),
-		P50:  Percentile(xs, 50),
-		P90:  Percentile(xs, 90),
-		P99:  Percentile(xs, 99),
+		P50:  qs[0],
+		P90:  qs[1],
+		P99:  qs[2],
 	}
 }
 
