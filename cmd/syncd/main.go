@@ -5,14 +5,16 @@
 // Usage:
 //
 //	syncd [-addr 127.0.0.1:8080] [-cache 1024] [-kernel-cache 256]
-//	      [-max-kernel-pairs 0] [-max-kernel-bytes 0]
+//	      [-max-kernel-pairs 0] [-max-kernel-bytes 0] [-max-batch-configs 64]
 //	      [-workers 0] [-deadline 30s] [-max-deadline 2m] [-quiet] [-pprof]
 //
 // Endpoints:
 //
 //	POST /v1/plan        run the synchronization planner
 //	POST /v1/analyze     evaluate skew models over candidate clock trees
-//	POST /v1/simulate    clock-propagation or hybrid-handshake simulation
+//	POST /v1/simulate    clock-propagation or hybrid-handshake simulation;
+//	                     posting configs runs a batched sweep of N configs
+//	                     over one topology with a shared simulation kernel
 //	GET  /v1/layout.svg  render a topology (optionally with its clock tree)
 //	GET  /healthz        liveness
 //	GET  /metrics        counters, cache stats, latency quantiles
@@ -48,6 +50,7 @@ func main() {
 	kernelCache := flag.Int("kernel-cache", 256, "skew-kernel cache entries (precomputed graph+tree geometry)")
 	maxKernelPairs := flag.Int64("max-kernel-pairs", 0, "largest communicating-pair count a request may ask a kernel for (0 = skew.DefaultLimits; oversize requests get 413 array_too_large)")
 	maxKernelBytes := flag.Int64("max-kernel-bytes", 0, "kernel memory budget in bytes per request (0 = skew.DefaultLimits; oversize requests get 413 array_too_large)")
+	maxBatchConfigs := flag.Int("max-batch-configs", 64, "largest configs array a batched /v1/simulate request may carry")
 	workers := flag.Int("workers", 0, "engine fan-out workers per request (0 = GOMAXPROCS)")
 	deadline := flag.Duration("deadline", 30*time.Second, "default per-request deadline")
 	maxDeadline := flag.Duration("max-deadline", 2*time.Minute, "cap on client-requested deadlines")
@@ -60,6 +63,7 @@ func main() {
 		CacheEntries:       *cache,
 		KernelCacheEntries: *kernelCache,
 		KernelLimits:       skew.Limits{MaxPairs: *maxKernelPairs, MaxBytes: *maxKernelBytes},
+		MaxBatchConfigs:    *maxBatchConfigs,
 		Workers:            *workers,
 		DefaultDeadline:    *deadline,
 		MaxDeadline:        *maxDeadline,

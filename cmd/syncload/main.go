@@ -11,7 +11,7 @@
 // Usage:
 //
 //	syncload [-url http://127.0.0.1:8080] [-qps 50] [-duration 10s]
-//	         [-concurrency 16] [-mix plan=4,analyze=3,simulate=2,layout=1]
+//	         [-concurrency 16] [-mix plan=4,analyze=3,simulate=2,batch=1,layout=1]
 //	         [-variants 8] [-seed 1] [-json] [-cpuprofile load.pprof]
 //
 // With -json the report is a single typed document with a per-endpoint
@@ -66,7 +66,7 @@ func main() {
 	qps := flag.Float64("qps", 50, "offered load, requests per second")
 	duration := flag.Duration("duration", 10*time.Second, "how long to offer load")
 	concurrency := flag.Int("concurrency", 16, "maximum in-flight requests")
-	mix := flag.String("mix", "plan=4,analyze=3,simulate=2,layout=1", "endpoint weights")
+	mix := flag.String("mix", "plan=4,analyze=3,simulate=2,batch=1,layout=1", "endpoint weights")
 	variants := flag.Int("variants", 8, "distinct request bodies per endpoint")
 	seed := flag.Int64("seed", 1, "workload generation seed")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON instead of a table")
@@ -197,6 +197,15 @@ func buildPool(n int) map[string][]variant {
 			method: "POST", path: "/v1/simulate",
 			body: fmt.Sprintf(`{"topology":{"kind":"ring","n":%d},"tree":"spine","regime":"random","trials":16,"seed":%d,"params":{"m":1,"eps":0.2}}`, ring, i+1),
 		})
+		pool["batch"] = append(pool["batch"], variant{
+			method: "POST", path: "/v1/simulate",
+			body: fmt.Sprintf(`{"topology":{"kind":"mesh","n":%d},"configs":[`+
+				`{"regime":"nominal"},`+
+				`{"regime":"random","trials":16,"seed":%d,"params":{"m":1,"eps":0.2}},`+
+				`{"regime":"random","trials":16,"seed":%d,"params":{"m":1,"eps":0.2}},`+
+				`{"mode":"hybrid","seed":%d,"hybrid":{"element_size":3,"waves":16}}]}`,
+				side, i+1, i+2, i+1),
+		})
 		pool["layout"] = append(pool["layout"], variant{
 			method: "GET",
 			path:   fmt.Sprintf("/v1/layout.svg?kind=mesh&n=%d&tree=htree", side),
@@ -206,7 +215,7 @@ func buildPool(n int) map[string][]variant {
 }
 
 func parseMix(s string) (map[string]int, error) {
-	known := map[string]bool{"plan": true, "analyze": true, "simulate": true, "layout": true}
+	known := map[string]bool{"plan": true, "analyze": true, "simulate": true, "batch": true, "layout": true}
 	weights := map[string]int{}
 	for _, part := range strings.Split(s, ",") {
 		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
@@ -214,7 +223,7 @@ func parseMix(s string) (map[string]int, error) {
 			return nil, fmt.Errorf("mix entry %q is not name=weight", part)
 		}
 		if !known[name] {
-			return nil, fmt.Errorf("mix names unknown endpoint %q (want plan, analyze, simulate, layout)", name)
+			return nil, fmt.Errorf("mix names unknown endpoint %q (want plan, analyze, simulate, batch, layout)", name)
 		}
 		w, err := strconv.Atoi(val)
 		if err != nil || w < 0 {

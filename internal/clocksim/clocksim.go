@@ -125,49 +125,21 @@ func (a *Arrivals) Offsets(g *comm.Graph) (array.Offsets, error) {
 	return off, nil
 }
 
-// propagate computes arrival times with a per-edge unit-delay function
-// and an optional flat per-edge extra delay (nil means none).
-func propagate(tree *clocktree.Tree, p Params, unitDelay func(child clocktree.NodeID) float64, extra func(child clocktree.NodeID) float64) *Arrivals {
-	at := make([]float64, tree.NumNodes())
-	stack := []clocktree.NodeID{tree.Root()}
-	for len(stack) > 0 {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, c := range tree.Children(v) {
-			buf := 0.0
-			if tree.Node(c).Buffer {
-				buf = p.BufferDelay
-			}
-			at[c] = at[v] + tree.EdgeLen(c)*unitDelay(c) + buf
-			if extra != nil {
-				at[c] += extra(c)
-			}
-			stack = append(stack, c)
-		}
-	}
-	return &Arrivals{tree: tree, at: at}
-}
-
 // Nominal simulates distribution with every wire at exactly M per unit.
+//
+// Nominal (like every regime function below) builds a throwaway tree
+// Kernel; callers running many regimes, trials, or seeds against one
+// tree should build the Kernel once and query it directly. The
+// pre-kernel closure-traversal implementations are retained in
+// reference.go and the two paths agree bit for bit.
 func Nominal(tree *clocktree.Tree, p Params) (*Arrivals, error) {
-	if err := p.validate(); err != nil {
-		return nil, err
-	}
-	return propagate(tree, p, func(clocktree.NodeID) float64 { return p.M }, nil), nil
+	return newTreeKernel(tree).Nominal(p)
 }
 
 // Random simulates distribution with independent per-edge unit delays in
 // U[M−Eps, M+Eps].
 func Random(tree *clocktree.Tree, p Params, rng *stats.RNG) (*Arrivals, error) {
-	if err := p.validate(); err != nil {
-		return nil, err
-	}
-	if rng == nil {
-		return nil, fmt.Errorf("clocksim: Random needs an RNG")
-	}
-	return propagate(tree, p, func(clocktree.NodeID) float64 {
-		return rng.Uniform(p.M-p.Eps, p.M+p.Eps)
-	}, nil), nil
+	return newTreeKernel(tree).Random(p, rng)
 }
 
 // Jittered simulates distribution with independent per-edge unit delays
@@ -178,17 +150,7 @@ func Random(tree *clocktree.Tree, p Params, rng *stats.RNG) (*Arrivals, error) {
 // resulting skews can exceed every model's prediction, which is exactly
 // what the fault-sweep experiment measures. A nil injector is Random.
 func Jittered(tree *clocktree.Tree, p Params, rng *stats.RNG, inj *faults.Injector) (*Arrivals, error) {
-	if err := p.validate(); err != nil {
-		return nil, err
-	}
-	if rng == nil {
-		return nil, fmt.Errorf("clocksim: Jittered needs an RNG")
-	}
-	return propagate(tree, p, func(clocktree.NodeID) float64 {
-		return rng.Uniform(p.M-p.Eps, p.M+p.Eps)
-	}, func(c clocktree.NodeID) float64 {
-		return inj.EdgeJitter(uint64(c))
-	}), nil
+	return newTreeKernel(tree).Jittered(p, rng, inj)
 }
 
 // Adversarial simulates the worst-case-consistent assignment for a cell
@@ -197,30 +159,7 @@ func Jittered(tree *clocktree.Tree, p Params, rng *stats.RNG, inj *faults.Inject
 // skew is exactly Eps times their tree-path length — assumption A11's
 // lower bound, realized. All other edges run at the nominal M.
 func Adversarial(tree *clocktree.Tree, p Params, a, b comm.CellID) (*Arrivals, error) {
-	if err := p.validate(); err != nil {
-		return nil, err
-	}
-	na, ok := tree.CellNode(a)
-	if !ok {
-		return nil, fmt.Errorf("clocksim: cell %d not clocked by tree %q", a, tree.Name)
-	}
-	nb, ok := tree.CellNode(b)
-	if !ok {
-		return nil, fmt.Errorf("clocksim: cell %d not clocked by tree %q", b, tree.Name)
-	}
-	lca := tree.LCA(na, nb)
-	slow := pathEdgeSet(tree, na, lca)
-	fast := pathEdgeSet(tree, nb, lca)
-	return propagate(tree, p, func(c clocktree.NodeID) float64 {
-		switch {
-		case slow[c]:
-			return p.M + p.Eps
-		case fast[c]:
-			return p.M - p.Eps
-		default:
-			return p.M
-		}
-	}, nil), nil
+	return newTreeKernel(tree).Adversarial(p, a, b)
 }
 
 // pathEdgeSet marks the child endpoints of the edges on the path from
@@ -241,24 +180,7 @@ func pathEdgeSet(tree *clocktree.Tree, node, ancestor clocktree.NodeID) map[cloc
 // path shifts alternating events apart by RiseFallBias, so the worst
 // node sees a drift of RiseFallBias times its root-path buffer count.
 func MaxEventDrift(tree *clocktree.Tree, p Params) float64 {
-	buffers := make([]int, tree.NumNodes())
-	worst := 0
-	stack := []clocktree.NodeID{tree.Root()}
-	for len(stack) > 0 {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, c := range tree.Children(v) {
-			buffers[c] = buffers[v]
-			if tree.Node(c).Buffer {
-				buffers[c]++
-			}
-			if buffers[c] > worst {
-				worst = buffers[c]
-			}
-			stack = append(stack, c)
-		}
-	}
-	return math.Abs(p.RiseFallBias) * float64(worst)
+	return newTreeKernel(tree).MaxEventDrift(p)
 }
 
 // MinPipelinedPeriod returns the smallest period at which a 50%-duty

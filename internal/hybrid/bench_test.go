@@ -1,0 +1,103 @@
+package hybrid
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+)
+
+// The benchmarks here are the perf suite behind BENCH_hybrid.json: the
+// Reference* group measures the retained pre-kernel implementations
+// (the "before" column — the event-heap protocol simulation and the
+// row-allocating recurrence) and the package-method group the
+// kernel-backed paths every caller now gets.
+
+func benchSystem(b *testing.B, n int) *System {
+	b.Helper()
+	g, err := comm.Mesh(n, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := New(g, Config{
+		ElementSize:       4,
+		Handshake:         0.5,
+		LocalDistribution: 0.4,
+		CellDelay:         2,
+		HoldDelay:         0.5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func BenchmarkReferenceSimulateHandshake32x32(b *testing.B) {
+	s := benchSystem(b, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ReferenceSimulateHandshake(32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulateHandshake32x32(b *testing.B) {
+	s := benchSystem(b, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.SimulateHandshake(32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReferenceFiringTimes32x32(b *testing.B) {
+	s := benchSystem(b, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.ReferenceFiringTimes(32)
+	}
+}
+
+func BenchmarkFiringTimes32x32(b *testing.B) {
+	s := benchSystem(b, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.FiringTimes(32)
+	}
+}
+
+func BenchmarkReferenceCycleTime32x32(b *testing.B) {
+	s := benchSystem(b, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.ReferenceCycleTime(32)
+	}
+}
+
+func BenchmarkCycleTime32x32(b *testing.B) {
+	s := benchSystem(b, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.CycleTime(32)
+	}
+}
+
+// BenchmarkKernelCycleTimeSteadyState is the inner loop the CI
+// bench-smoke job gates on: CycleTime from a warm arena pool must
+// report 0 allocs/op.
+func BenchmarkKernelCycleTimeSteadyState(b *testing.B) {
+	s := benchSystem(b, 32)
+	_ = s.CycleTime(32) // warm the arena pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.CycleTime(32)
+	}
+}

@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/array"
 	"repro/internal/comm"
-	"repro/internal/des"
 	"repro/internal/faults"
 )
 
@@ -25,74 +24,17 @@ import (
 // most the clean times plus (wave+1)·Config.WorstMessageExtra — the
 // bounded-stall guarantee the propcheck suite verifies. A nil injector
 // reproduces SimulateHandshake exactly.
+//
+// The protocol now runs in closed form on the partition's Kernel — the
+// event-heap simulation is retained verbatim as
+// ReferenceSimulateHandshakeFaulty and the two agree bit for bit,
+// including the injector's per-message fault decisions.
 func (s *System) SimulateHandshakeFaulty(waves int, inj *faults.Injector) ([][]float64, error) {
 	if waves < 1 {
-		return nil, fmt.Errorf("hybrid: waves must be ≥ 1, got %d", waves)
+		return nil, errBadWaves(waves)
 	}
-	ne := len(s.elements)
-	total := ne + 1 // +1: host controller
-	// Neighbor lists over the full handshake network.
-	neighbors := make([][]int, total)
-	for e := 0; e < ne; e++ {
-		neighbors[e] = append(neighbors[e], s.adj[e]...)
-	}
-	for _, h := range s.hostAdj {
-		neighbors[h] = append(neighbors[h], ne)
-		neighbors[ne] = append(neighbors[ne], h)
-	}
-
 	workTime := s.cfg.LocalDistribution + s.cfg.CellDelay
-	out := make([][]float64, waves)
-	for k := range out {
-		out[k] = make([]float64, total)
-	}
-	// pending[v][k] counts done(k) messages still missing before v can
-	// release wave k+1 (its own plus one per neighbor).
-	pending := make([]map[int]int, total)
-	for v := range pending {
-		pending[v] = make(map[int]int)
-	}
-	need := func(v int) int { return len(neighbors[v]) + 1 }
-	// msgKey identifies the done(wave) message from v to o, so injected
-	// fault patterns depend only on (seed, wave, sender, receiver).
-	msgKey := func(wave, v, o int) uint64 {
-		return (uint64(wave)*uint64(total)+uint64(v))*uint64(total) + uint64(o)
-	}
-
-	var sim des.Sim
-	var finish func(v, wave int)
-	arrive := func(v, wave int) {
-		if _, ok := pending[v][wave]; !ok {
-			pending[v][wave] = need(v)
-		}
-		pending[v][wave]--
-		if pending[v][wave] == 0 {
-			delete(pending[v], wave)
-			if wave+1 < waves {
-				// Release wave+1: distribute the clock and compute.
-				sim.After(workTime, func() { finish(v, wave+1) })
-			}
-		}
-	}
-	finish = func(v, wave int) {
-		out[wave][v] = sim.Now()
-		// done(wave) to self and neighbors, one handshake time away; the
-		// neighbor messages may be dropped (retransmitted), delayed, or
-		// stalled in the receiver's synchronizer.
-		sim.After(s.cfg.Handshake, func() { arrive(v, wave) })
-		for _, o := range neighbors[v] {
-			o := o
-			sim.After(s.cfg.Handshake+inj.MessageExtra(msgKey(wave, v, o)), func() { arrive(o, wave) })
-		}
-	}
-	// Wave 0 needs no permissions beyond the reset handshake: every
-	// controller performs one req/ack turnaround and releases.
-	for v := 0; v < total; v++ {
-		v := v
-		sim.After(s.cfg.Handshake+workTime, func() { finish(v, 0) })
-	}
-	sim.Run(int64(waves+2) * int64(total+2) * int64(8+total))
-	return out, nil
+	return s.kernel.simulateFaulty(waves, s.cfg.Handshake, workTime, inj), nil
 }
 
 // ScheduleFrom derives an array.Schedule from externally supplied firing

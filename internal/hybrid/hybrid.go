@@ -70,6 +70,7 @@ type System struct {
 	elements  [][]comm.CellID
 	adj       [][]int // element → neighboring elements (deduplicated)
 	hostAdj   []int   // elements containing cells with host edges
+	kernel    *Kernel // flattened adjacency + arenas, shared across configs
 }
 
 // New tiles g's layout into ElementSize × ElementSize squares and builds
@@ -135,7 +136,27 @@ func New(g *comm.Graph, cfg Config) (*System, error) {
 			s.hostAdj = append(s.hostAdj, el)
 		}
 	}
+	s.kernel = newKernel(len(s.elements), s.adj, s.hostAdj)
 	return s, nil
+}
+
+// WithConfig returns a System sharing s's partition, adjacency, and
+// kernel but carrying different timing parameters. The partition
+// depends on ElementSize, so the new config must keep it; everything
+// else may change freely. This is what lets one kernel build amortize
+// across a parameter sweep: the batch /v1/simulate endpoint partitions
+// once and reuses the kernel for every config in the batch.
+func (s *System) WithConfig(cfg Config) (*System, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ElementSize != s.cfg.ElementSize {
+		return nil, fmt.Errorf("hybrid: WithConfig cannot change ElementSize (%g → %g); the partition depends on it",
+			s.cfg.ElementSize, cfg.ElementSize)
+	}
+	c := *s
+	c.cfg = cfg
+	return &c, nil
 }
 
 // NumElements returns the number of elements in the partition.
@@ -175,45 +196,12 @@ func (s *System) FiringTimes(waves int) [][]float64 {
 // a one-shot stall of X time units delays element e's neighbors only
 // from the next wave on, spreads at one element hop per wave, and never
 // grows beyond X.
+// The pre-kernel row-by-row implementation is retained as
+// ReferenceFiringTimesWithCost; the kernel path agrees with it bit for
+// bit (the differential tests and the propcheck invariant
+// "hybrid-kernel-matches-reference" hold it to tolerance 0).
 func (s *System) FiringTimesWithCost(waves int, extra func(element, wave int) float64) [][]float64 {
-	ne := len(s.elements)
-	out := make([][]float64, waves)
-	prev := make([]float64, ne+1) // +1: host
-	cost := s.cfg.WaveCost()
-	add := func(e, k int) float64 {
-		if extra == nil {
-			return 0
-		}
-		return extra(e, k)
-	}
-	for k := 0; k < waves; k++ {
-		cur := make([]float64, ne+1)
-		for e := 0; e < ne; e++ {
-			start := prev[e]
-			for _, o := range s.adj[e] {
-				if prev[o] > start {
-					start = prev[o]
-				}
-			}
-			for _, h := range s.hostAdj {
-				if h == e && prev[ne] > start {
-					start = prev[ne]
-				}
-			}
-			cur[e] = start + cost + add(e, k)
-		}
-		// Host waits for its adjacent elements.
-		hostStart := prev[ne]
-		for _, h := range s.hostAdj {
-			if prev[h] > hostStart {
-				hostStart = prev[h]
-			}
-		}
-		cur[ne] = hostStart + cost + add(ne, k)
-		out[k] = cur
-		prev = cur
-	}
-	return out
+	return s.kernel.firingTimes(waves, s.cfg.WaveCost(), extra)
 }
 
 // ElementHops returns the hop distances from element src over the full
@@ -258,19 +246,13 @@ func (s *System) ElementHops(src int) []int {
 // CycleTime returns the asymptotic per-wave interval of the handshake
 // network — the hybrid system's effective clock period. It equals
 // WaveCost regardless of the number of elements.
+// CycleTime runs on the kernel's ping-pong arena rows: steady state
+// allocates nothing.
 func (s *System) CycleTime(waves int) float64 {
 	if waves < 1 {
 		waves = 1
 	}
-	times := s.FiringTimes(waves)
-	last := times[len(times)-1]
-	var mx float64
-	for _, t := range last {
-		if t > mx {
-			mx = t
-		}
-	}
-	return mx / float64(waves)
+	return s.kernel.cycleTime(waves, s.cfg.WaveCost())
 }
 
 // Schedule derives an array.Schedule from the firing recurrence, suitable

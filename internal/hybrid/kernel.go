@@ -1,0 +1,254 @@
+package hybrid
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/faults"
+)
+
+// Kernel is the immutable per-partition precomputation behind a System's
+// firing-time paths. Built once in New — the partition's element
+// adjacency flattened to CSR index arrays — it turns both the wave
+// recurrence (FiringTimes) and the handshake protocol simulation
+// (SimulateHandshake) into tight loops over flat arrays:
+//
+//   - the element adjacency and the full handshake network (elements
+//     plus the host controller) as CSR neighbor lists, replacing
+//     per-wave slice-of-slice chasing and the linear host-adjacency
+//     scan every element paid on every wave;
+//   - the discrete-event handshake protocol collapsed to its exact
+//     closed form: controller v releases wave k+1 at
+//     max(F(v,k)+H, max_o F(o,k)+H+extra(k,o,v)) + work — the same
+//     float operations the event heap performs, in a flat
+//     sender-major sweep, so firing times are bit-identical to the
+//     retained reference simulation and the fault injector sees
+//     exactly the same message keys;
+//   - a sync.Pool of row arenas so steady-state queries (CycleTime)
+//     allocate nothing.
+//
+// Timing parameters stay out of the kernel: methods take the Config at
+// call time, which is what lets one kernel amortize across a whole
+// parameter sweep (see System.WithConfig and the /v1/simulate batch
+// API).
+type Kernel struct {
+	ne    int // elements, excluding the host
+	total int // ne + 1: the host controller is index ne
+
+	// Element-only adjacency (System.adj) in CSR form.
+	elemStart []int32
+	elemNbr   []int32
+	// Full handshake network — element adjacency plus host links, in the
+	// order the reference simulation builds its neighbor lists.
+	fullStart []int32
+	fullNbr   []int32
+
+	hostAdj   []int32 // elements adjacent to the host controller
+	isHostAdj []bool  // per-element membership in hostAdj
+
+	arenas sync.Pool // *hbArena
+}
+
+// hbArena is one worker's recurrence scratch: two ping-pong wave rows.
+type hbArena struct {
+	a, b []float64
+}
+
+// errBadWaves keeps kernel and reference error text identical.
+func errBadWaves(waves int) error {
+	return fmt.Errorf("hybrid: waves must be ≥ 1, got %d", waves)
+}
+
+// newKernel flattens the partition's adjacency. O(elements + edges).
+func newKernel(ne int, adj [][]int, hostAdj []int) *Kernel {
+	k := &Kernel{ne: ne, total: ne + 1}
+	k.isHostAdj = make([]bool, ne)
+	k.hostAdj = make([]int32, len(hostAdj))
+	for i, h := range hostAdj {
+		k.hostAdj[i] = int32(h)
+		k.isHostAdj[h] = true
+	}
+
+	k.elemStart = make([]int32, ne+1)
+	for e := 0; e < ne; e++ {
+		k.elemStart[e+1] = k.elemStart[e] + int32(len(adj[e]))
+	}
+	k.elemNbr = make([]int32, k.elemStart[ne])
+	for e := 0; e < ne; e++ {
+		copy(k.elemNbr[k.elemStart[e]:], int32sOf(adj[e]))
+	}
+
+	// Full network: per controller, element neighbors first, then the
+	// host link — the exact construction order of the reference
+	// simulation's neighbor lists.
+	k.fullStart = make([]int32, k.total+1)
+	for e := 0; e < ne; e++ {
+		n := len(adj[e])
+		if k.isHostAdj[e] {
+			n++
+		}
+		k.fullStart[e+1] = k.fullStart[e] + int32(n)
+	}
+	k.fullStart[k.total] = k.fullStart[ne] + int32(len(hostAdj))
+	k.fullNbr = make([]int32, k.fullStart[k.total])
+	for e := 0; e < ne; e++ {
+		at := k.fullStart[e]
+		at += int32(copy(k.fullNbr[at:], int32sOf(adj[e])))
+		if k.isHostAdj[e] {
+			k.fullNbr[at] = int32(ne)
+		}
+	}
+	copy(k.fullNbr[k.fullStart[ne]:], k.hostAdj)
+
+	k.arenas.New = func() any {
+		return &hbArena{
+			a: make([]float64, k.total),
+			b: make([]float64, k.total),
+		}
+	}
+	return k
+}
+
+func int32sOf(xs []int) []int32 {
+	out := make([]int32, len(xs))
+	for i, x := range xs {
+		out[i] = int32(x)
+	}
+	return out
+}
+
+// waveInto computes one recurrence wave from prev into cur with the
+// same float operations — and, for a stateful extra, the same call
+// order — as the reference: ascending elements, host last.
+func (k *Kernel) waveInto(cur, prev []float64, cost float64, wave int, extra func(element, wave int) float64) {
+	ne := k.ne
+	for e := 0; e < ne; e++ {
+		start := prev[e]
+		for _, o := range k.elemNbr[k.elemStart[e]:k.elemStart[e+1]] {
+			if prev[o] > start {
+				start = prev[o]
+			}
+		}
+		if k.isHostAdj[e] && prev[ne] > start {
+			start = prev[ne]
+		}
+		if extra == nil {
+			cur[e] = start + cost + 0
+		} else {
+			cur[e] = start + cost + extra(e, wave)
+		}
+	}
+	hostStart := prev[ne]
+	for _, h := range k.hostAdj {
+		if prev[h] > hostStart {
+			hostStart = prev[h]
+		}
+	}
+	if extra == nil {
+		cur[ne] = hostStart + cost + 0
+	} else {
+		cur[ne] = hostStart + cost + extra(ne, wave)
+	}
+}
+
+// firingTimes runs the recurrence for waves rows under cost, allocating
+// the result rows from one flat backing array.
+func (k *Kernel) firingTimes(waves int, cost float64, extra func(element, wave int) float64) [][]float64 {
+	out := make([][]float64, waves)
+	backing := make([]float64, waves*k.total)
+	ar := k.arenas.Get().(*hbArena)
+	prev := ar.a
+	for i := range prev {
+		prev[i] = 0
+	}
+	for w := 0; w < waves; w++ {
+		out[w] = backing[w*k.total : (w+1)*k.total : (w+1)*k.total]
+		k.waveInto(out[w], prev, cost, w, extra)
+		prev = out[w]
+	}
+	k.arenas.Put(ar)
+	return out
+}
+
+// cycleTime is the 0-alloc steady-state form of CycleTime: the same
+// recurrence values, kept in two ping-pong arena rows.
+func (k *Kernel) cycleTime(waves int, cost float64) float64 {
+	ar := k.arenas.Get().(*hbArena)
+	prev, cur := ar.a, ar.b
+	for i := range prev {
+		prev[i] = 0
+	}
+	for w := 0; w < waves; w++ {
+		k.waveInto(cur, prev, cost, w, nil)
+		prev, cur = cur, prev
+	}
+	var mx float64
+	for _, t := range prev {
+		if t > mx {
+			mx = t
+		}
+	}
+	k.arenas.Put(ar)
+	return mx / float64(waves)
+}
+
+// simulateFaulty is the handshake protocol in closed form. Controller v
+// fires wave 0 at H + work; thereafter the done(k) message from v
+// arrives at itself at F(v,k) + H and at each neighbor o at
+// F(v,k) + (H + extra(k,v,o)), and v fires wave k+1 a work time after
+// the last done(k) arrives. The float associations match the reference
+// event simulation operation for operation (After adds now + delta;
+// delta is H plus the injected extra, summed first), so results are
+// bit-identical. The injector is consulted once per (wave, sender,
+// receiver) — including the final wave, whose messages the reference
+// still sends — with the reference's exact keys; its decisions are pure
+// per key, so call order is free.
+func (k *Kernel) simulateFaulty(waves int, handshake, workTime float64, inj *faults.Injector) [][]float64 {
+	total := k.total
+	out := make([][]float64, waves)
+	backing := make([]float64, waves*total)
+	for w := range out {
+		out[w] = backing[w*total : (w+1)*total : (w+1)*total]
+	}
+	first := handshake + workTime
+	for v := 0; v < total; v++ {
+		out[0][v] = first
+	}
+	msgKey := func(wave, v, o int) uint64 {
+		return (uint64(wave)*uint64(total)+uint64(v))*uint64(total) + uint64(o)
+	}
+	for w := 0; w+1 < waves; w++ {
+		prev, next := out[w], out[w+1]
+		for v := 0; v < total; v++ {
+			next[v] = prev[v] + handshake // the controller's own done(w)
+		}
+		for v := 0; v < total; v++ {
+			fv := prev[v]
+			for _, o := range k.fullNbr[k.fullStart[v]:k.fullStart[v+1]] {
+				var a float64
+				if inj == nil {
+					a = fv + handshake
+				} else {
+					a = fv + (handshake + inj.MessageExtra(msgKey(w, v, int(o))))
+				}
+				if a > next[o] {
+					next[o] = a
+				}
+			}
+		}
+		for v := 0; v < total; v++ {
+			next[v] += workTime
+		}
+	}
+	if inj != nil {
+		// The final wave's done messages are still sent (and still
+		// faulted) even though no wave follows; consult the injector so
+		// its fault counts match the reference run exactly.
+		for v := 0; v < total; v++ {
+			for _, o := range k.fullNbr[k.fullStart[v]:k.fullStart[v+1]] {
+				inj.MessageExtra(msgKey(waves-1, v, int(o)))
+			}
+		}
+	}
+	return out
+}

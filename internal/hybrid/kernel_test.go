@@ -1,0 +1,192 @@
+package hybrid
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/faults"
+)
+
+func sameTimes(t *testing.T, name string, got, want [][]float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d waves vs %d", name, len(got), len(want))
+	}
+	for k := range got {
+		if len(got[k]) != len(want[k]) {
+			t.Fatalf("%s: wave %d width %d vs %d", name, k, len(got[k]), len(want[k]))
+		}
+		for v := range got[k] {
+			if got[k][v] != want[k][v] {
+				t.Errorf("%s: wave %d controller %d: %v != reference %v",
+					name, k, v, got[k][v], want[k][v])
+			}
+		}
+	}
+}
+
+func faultyInjector(t *testing.T, seed int64) *faults.Injector {
+	t.Helper()
+	inj, err := faults.New(faults.Config{
+		DropProb: 0.2, RetransmitTimeout: 3,
+		DelayProb: 0.3, MaxDelay: 1.5,
+		MetastableProb: 0.1, MetastableStall: 0.7,
+	}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inj
+}
+
+// systems yields partitions over different topologies and element
+// sizes, including non-square layouts and a host-edge-free ring.
+func systems(t *testing.T) map[string]*System {
+	t.Helper()
+	out := make(map[string]*System)
+	add := func(name string, g *comm.Graph, err error, cfg Config) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := New(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = s
+	}
+	cfg := defaultConfig()
+	mesh, err := comm.Mesh(9, 9)
+	add("mesh9", mesh, err, cfg)
+	lin, err := comm.Linear(17)
+	add("linear17", lin, err, cfg)
+	ring, err := comm.Ring(12)
+	add("ring12", ring, err, Config{
+		ElementSize: 3, Handshake: 1, LocalDistribution: 0,
+		CellDelay: 1.5, HoldDelay: 0.5,
+	})
+	hex, err := comm.Hex(5)
+	if err == nil {
+		add("hex5", hex, nil, cfg)
+	}
+	return out
+}
+
+// TestKernelMatchesReferenceRecurrence holds the kernel recurrence to
+// the retained row-by-row reference at tolerance 0, with and without
+// per-(element, wave) extra cost.
+func TestKernelMatchesReferenceRecurrence(t *testing.T) {
+	for name, s := range systems(t) {
+		for _, waves := range []int{1, 2, 7, 32} {
+			sameTimes(t, name, s.FiringTimes(waves), s.ReferenceFiringTimes(waves))
+
+			extra := func(e, k int) float64 {
+				return float64((e+3*k)%5) * 0.25
+			}
+			sameTimes(t, name+"/extra",
+				s.FiringTimesWithCost(waves, extra),
+				s.ReferenceFiringTimesWithCost(waves, extra))
+
+			if got, want := s.CycleTime(waves), s.ReferenceCycleTime(waves); got != want {
+				t.Errorf("%s: CycleTime(%d) %v != reference %v", name, waves, got, want)
+			}
+		}
+	}
+}
+
+// TestKernelMatchesReferenceHandshake holds the closed-form handshake
+// simulation to the retained event-heap reference at tolerance 0 —
+// clean and under drop/delay/metastable injection — and requires the
+// two paths to burn identical fault counts.
+func TestKernelMatchesReferenceHandshake(t *testing.T) {
+	for name, s := range systems(t) {
+		for _, waves := range []int{1, 2, 9} {
+			got, err := s.SimulateHandshake(waves)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := s.ReferenceSimulateHandshake(waves)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameTimes(t, name+"/clean", got, want)
+
+			for seed := int64(1); seed <= 3; seed++ {
+				injK := faultyInjector(t, seed)
+				injR := faultyInjector(t, seed)
+				got, err = s.SimulateHandshakeFaulty(waves, injK)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err = s.ReferenceSimulateHandshakeFaulty(waves, injR)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameTimes(t, name+"/faulty", got, want)
+				if gc, wc := injK.Counts(), injR.Counts(); gc != wc {
+					t.Errorf("%s: fault counts %+v != reference %+v", name, gc, wc)
+				}
+			}
+		}
+	}
+}
+
+// TestWithConfigSharesKernel pins the sweep-amortization contract: a
+// re-parameterized System shares the partition and kernel, produces the
+// same results as a fresh build, and rejects partition-changing or
+// invalid configs.
+func TestWithConfigSharesKernel(t *testing.T) {
+	g, err := comm.Mesh(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := New(g, defaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := defaultConfig()
+	cfg2.Handshake = 1.25
+	cfg2.CellDelay = 3
+	swept, err := base.WithConfig(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swept.kernel != base.kernel {
+		t.Fatal("WithConfig did not share the kernel")
+	}
+	fresh, err := New(g, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTimes(t, "swept", swept.FiringTimes(5), fresh.FiringTimes(5))
+	got, err := swept.SimulateHandshake(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.SimulateHandshake(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTimes(t, "swept/handshake", got, want)
+
+	bad := cfg2
+	bad.ElementSize = 2
+	if _, err := base.WithConfig(bad); err == nil {
+		t.Error("ElementSize change accepted")
+	}
+	bad = cfg2
+	bad.Handshake = 0
+	if _, err := base.WithConfig(bad); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+// TestSimulateWavesValidation pins the error contract.
+func TestSimulateWavesValidation(t *testing.T) {
+	s := meshSystem(t, 8, defaultConfig())
+	if _, err := s.SimulateHandshake(0); err == nil {
+		t.Error("waves=0 accepted")
+	}
+	if _, err := s.ReferenceSimulateHandshake(0); err == nil {
+		t.Error("reference waves=0 accepted")
+	}
+}

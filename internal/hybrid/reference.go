@@ -1,0 +1,165 @@
+package hybrid
+
+import (
+	"repro/internal/des"
+	"repro/internal/faults"
+)
+
+// This file retains the pre-kernel implementations verbatim as
+// executable reference oracles. The kernel-backed fast paths in
+// hybrid.go, faulty.go, and kernel.go must agree with these exactly —
+// zero tolerance — which the differential tests and the propcheck
+// invariant "hybrid-kernel-matches-reference" assert over random
+// layouts, element sizes, and fault configurations. The references
+// deliberately keep every pre-kernel cost: the recurrence re-scans the
+// host-adjacency list per element per wave and allocates a fresh row
+// per wave, and the handshake protocol runs as a real discrete-event
+// simulation with per-message closures and per-wave pending maps.
+
+// ReferenceFiringTimes is the pre-kernel FiringTimes.
+func (s *System) ReferenceFiringTimes(waves int) [][]float64 {
+	return s.ReferenceFiringTimesWithCost(waves, nil)
+}
+
+// ReferenceFiringTimesWithCost is the pre-kernel FiringTimesWithCost:
+// slice-of-slices rows, neighbor max via the raw adjacency lists, and a
+// linear host-adjacency scan for every element on every wave.
+func (s *System) ReferenceFiringTimesWithCost(waves int, extra func(element, wave int) float64) [][]float64 {
+	ne := len(s.elements)
+	out := make([][]float64, waves)
+	prev := make([]float64, ne+1) // +1: host
+	cost := s.cfg.WaveCost()
+	add := func(e, k int) float64 {
+		if extra == nil {
+			return 0
+		}
+		return extra(e, k)
+	}
+	for k := 0; k < waves; k++ {
+		cur := make([]float64, ne+1)
+		for e := 0; e < ne; e++ {
+			start := prev[e]
+			for _, o := range s.adj[e] {
+				if prev[o] > start {
+					start = prev[o]
+				}
+			}
+			for _, h := range s.hostAdj {
+				if h == e && prev[ne] > start {
+					start = prev[ne]
+				}
+			}
+			cur[e] = start + cost + add(e, k)
+		}
+		// Host waits for its adjacent elements.
+		hostStart := prev[ne]
+		for _, h := range s.hostAdj {
+			if prev[h] > hostStart {
+				hostStart = prev[h]
+			}
+		}
+		cur[ne] = hostStart + cost + add(ne, k)
+		out[k] = cur
+		prev = cur
+	}
+	return out
+}
+
+// ReferenceCycleTime is the pre-kernel CycleTime, built on the
+// reference recurrence.
+func (s *System) ReferenceCycleTime(waves int) float64 {
+	if waves < 1 {
+		waves = 1
+	}
+	times := s.ReferenceFiringTimes(waves)
+	last := times[len(times)-1]
+	var mx float64
+	for _, t := range last {
+		if t > mx {
+			mx = t
+		}
+	}
+	return mx / float64(waves)
+}
+
+// ReferenceSimulateHandshake is the zero-fault case of
+// ReferenceSimulateHandshakeFaulty.
+func (s *System) ReferenceSimulateHandshake(waves int) ([][]float64, error) {
+	return s.ReferenceSimulateHandshakeFaulty(waves, nil)
+}
+
+// ReferenceSimulateHandshakeFaulty is the pre-kernel
+// SimulateHandshakeFaulty: the handshake protocol as an actual
+// discrete-event simulation — per-message closures on the event heap,
+// per-controller pending maps, the works. The kernel's flat wave
+// recurrence must reproduce its firing times bit for bit and call the
+// injector with exactly the same message keys.
+func (s *System) ReferenceSimulateHandshakeFaulty(waves int, inj *faults.Injector) ([][]float64, error) {
+	if waves < 1 {
+		return nil, errBadWaves(waves)
+	}
+	ne := len(s.elements)
+	total := ne + 1 // +1: host controller
+	// Neighbor lists over the full handshake network.
+	neighbors := make([][]int, total)
+	for e := 0; e < ne; e++ {
+		neighbors[e] = append(neighbors[e], s.adj[e]...)
+	}
+	for _, h := range s.hostAdj {
+		neighbors[h] = append(neighbors[h], ne)
+		neighbors[ne] = append(neighbors[ne], h)
+	}
+
+	workTime := s.cfg.LocalDistribution + s.cfg.CellDelay
+	out := make([][]float64, waves)
+	for k := range out {
+		out[k] = make([]float64, total)
+	}
+	// pending[v][k] counts done(k) messages still missing before v can
+	// release wave k+1 (its own plus one per neighbor).
+	pending := make([]map[int]int, total)
+	for v := range pending {
+		pending[v] = make(map[int]int)
+	}
+	need := func(v int) int { return len(neighbors[v]) + 1 }
+	// msgKey identifies the done(wave) message from v to o, so injected
+	// fault patterns depend only on (seed, wave, sender, receiver).
+	msgKey := func(wave, v, o int) uint64 {
+		return (uint64(wave)*uint64(total)+uint64(v))*uint64(total) + uint64(o)
+	}
+
+	var sim des.Sim
+	var finish func(v, wave int)
+	arrive := func(v, wave int) {
+		if _, ok := pending[v][wave]; !ok {
+			pending[v][wave] = need(v)
+		}
+		pending[v][wave]--
+		if pending[v][wave] == 0 {
+			delete(pending[v], wave)
+			if wave+1 < waves {
+				// Release wave+1: distribute the clock and compute.
+				sim.After(workTime, func() { finish(v, wave+1) })
+			}
+		}
+	}
+	finish = func(v, wave int) {
+		out[wave][v] = sim.Now()
+		// done(wave) to self and neighbors, one handshake time away; the
+		// neighbor messages may be dropped (retransmitted), delayed, or
+		// stalled in the receiver's synchronizer.
+		sim.After(s.cfg.Handshake, func() { arrive(v, wave) })
+		for _, o := range neighbors[v] {
+			o := o
+			sim.After(s.cfg.Handshake+inj.MessageExtra(msgKey(wave, v, o)), func() { arrive(o, wave) })
+		}
+	}
+	// Wave 0 needs no permissions beyond the reset handshake: every
+	// controller performs one req/ack turnaround and releases.
+	for v := 0; v < total; v++ {
+		v := v
+		sim.After(s.cfg.Handshake+workTime, func() { finish(v, 0) })
+	}
+	sim.Run(int64(waves+2) * int64(total+2) * int64(8+total))
+	return out, nil
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/selftimed"
 	"repro/internal/skew"
 	"repro/internal/stats"
+	"repro/internal/wiresim"
 )
 
 // registry is the ordered list of mechanized paper invariants. Each entry
@@ -29,6 +30,30 @@ var registry = []Invariant{
 		Ref:   "Sections III–V (implementation)",
 		Doc:   "precomputed skew kernels reproduce the reference analysis and Monte-Carlo bit for bit",
 		Check: checkKernelMatchesReference,
+	},
+	{
+		Name:  "clocksim-kernel-matches-reference",
+		Ref:   "Section III (implementation)",
+		Doc:   "the clocksim kernel's regime skews reproduce the retained reference propagation bit for bit",
+		Check: checkClocksimKernelMatchesReference,
+	},
+	{
+		Name:  "hybrid-kernel-matches-reference",
+		Ref:   "Section VI (implementation)",
+		Doc:   "the hybrid kernel's firing times, cycle time, and handshake runs reproduce the reference recurrence bit for bit",
+		Check: checkHybridKernelMatchesReference,
+	},
+	{
+		Name:  "selftimed-kernel-matches-reference",
+		Ref:   "Sections I and VI (implementation)",
+		Doc:   "the self-timed kernel's elastic, faulty, and rigid runs reproduce the reference event queue bit for bit",
+		Check: checkSelftimedKernelMatchesReference,
+	},
+	{
+		Name:  "wiresim-kernel-matches-reference",
+		Ref:   "Section VII (implementation)",
+		Doc:   "the inverter-string prefix kernel's scalar queries and pipelined replay reproduce the reference walks and DES bit for bit",
+		Check: checkWiresimKernelMatchesReference,
 	},
 	{
 		Name:  "adversarial-achieves-linear-lowerbound",
@@ -172,6 +197,330 @@ func checkKernelMatchesReference(rng *stats.RNG) error {
 	if kmc != rmc {
 		return fmt.Errorf("%s on %s seed=%d trials=%d: kernel Monte-Carlo %v != reference %v",
 			g.Name, tree.Name, seed, trials, kmc, rmc)
+	}
+	return nil
+}
+
+// checkClocksimKernelMatchesReference pins the clocksim kernel's
+// regime fast paths to the retained reference propagation with zero
+// tolerance on a random (graph, tree, model): nominal, same-seed
+// random, same-(seed, fault-config) jittered, adversarial over a
+// random communicating pair, and the derived drift and period figures.
+func checkClocksimKernelMatchesReference(rng *stats.RNG) error {
+	g, err := AnyGraph(rng)
+	if err != nil {
+		return err
+	}
+	tree, err := TreeFor(rng, g)
+	if err != nil {
+		return err
+	}
+	m := LinearModel(rng)
+	p := clocksim.Params{M: m.M, Eps: m.Eps}
+	k, err := clocksim.NewKernel(g, tree)
+	if err != nil {
+		return err
+	}
+	refSkew := func(arr *clocksim.Arrivals, err error) (float64, error) {
+		if err != nil {
+			return 0, err
+		}
+		return arr.MaxCommSkew(g)
+	}
+	kn, err := k.NominalSkew(p)
+	if err != nil {
+		return err
+	}
+	rn, err := refSkew(clocksim.ReferenceNominal(tree, p))
+	if err != nil {
+		return err
+	}
+	if kn != rn {
+		return fmt.Errorf("%s on %s: kernel nominal skew %g != reference %g", g.Name, tree.Name, kn, rn)
+	}
+	seed := rng.Int63()
+	kr, err := k.RandomSkew(p, stats.NewRNG(seed))
+	if err != nil {
+		return err
+	}
+	rr, err := refSkew(clocksim.ReferenceRandom(tree, p, stats.NewRNG(seed)))
+	if err != nil {
+		return err
+	}
+	if kr != rr {
+		return fmt.Errorf("%s on %s seed=%d: kernel random skew %g != reference %g", g.Name, tree.Name, seed, kr, rr)
+	}
+	cfg := JitterFaults(rng)
+	faultSeed := rng.Int63()
+	injK, err := faults.New(cfg, faultSeed)
+	if err != nil {
+		return err
+	}
+	injR, err := faults.New(cfg, faultSeed)
+	if err != nil {
+		return err
+	}
+	kj, err := k.JitteredSkew(p, stats.NewRNG(seed), injK)
+	if err != nil {
+		return err
+	}
+	rj, err := refSkew(clocksim.ReferenceJittered(tree, p, stats.NewRNG(seed), injR))
+	if err != nil {
+		return err
+	}
+	if kj != rj {
+		return fmt.Errorf("%s on %s seed=%d fault seed=%d: kernel jittered skew %g != reference %g",
+			g.Name, tree.Name, seed, faultSeed, kj, rj)
+	}
+	if injK.Counts() != injR.Counts() {
+		return fmt.Errorf("%s on %s fault seed=%d: kernel fault tallies %+v != reference %+v",
+			g.Name, tree.Name, faultSeed, injK.Counts(), injR.Counts())
+	}
+	pairs := g.CommunicatingPairs()
+	if len(pairs) > 0 {
+		pair := pairs[rng.Intn(len(pairs))]
+		ka, err := k.AdversarialSkew(p, pair[0], pair[1])
+		if err != nil {
+			return err
+		}
+		ra, err := refSkew(clocksim.ReferenceAdversarial(tree, p, pair[0], pair[1]))
+		if err != nil {
+			return err
+		}
+		if ka != ra {
+			return fmt.Errorf("%s on %s pair (%d,%d): kernel adversarial skew %g != reference %g",
+				g.Name, tree.Name, pair[0], pair[1], ka, ra)
+		}
+	}
+	if kd, rd := k.MaxEventDrift(p), clocksim.ReferenceMaxEventDrift(tree, p); kd != rd {
+		return fmt.Errorf("%s on %s: kernel max event drift %g != reference %g", g.Name, tree.Name, kd, rd)
+	}
+	if kp, rp := k.MinPipelinedPeriod(p), clocksim.ReferenceMinPipelinedPeriod(tree, p); kp != rp {
+		return fmt.Errorf("%s on %s: kernel min pipelined period %g != reference %g", g.Name, tree.Name, kp, rp)
+	}
+	return nil
+}
+
+// checkHybridKernelMatchesReference pins the hybrid kernel's flat-array
+// wavefronts to the reference per-wave recurrence with zero tolerance:
+// firing times, cycle time, the simulated handshake protocol, and the
+// fault-injected protocol under identically seeded injectors.
+func checkHybridKernelMatchesReference(rng *stats.RNG) error {
+	s, _, err := randomSystem(rng)
+	if err != nil {
+		return err
+	}
+	waves := intIn(rng, 2, 8)
+	sameWaves := func(what string, got, want [][]float64) error {
+		if len(got) != len(want) {
+			return fmt.Errorf("%s: kernel returned %d waves, reference %d", what, len(got), len(want))
+		}
+		for k := range got {
+			for v := range got[k] {
+				if got[k][v] != want[k][v] {
+					return fmt.Errorf("%s wave %d element %d: kernel %g != reference %g",
+						what, k, v, got[k][v], want[k][v])
+				}
+			}
+		}
+		return nil
+	}
+	if err := sameWaves("FiringTimes", s.FiringTimes(waves), s.ReferenceFiringTimes(waves)); err != nil {
+		return err
+	}
+	if kc, rc := s.CycleTime(waves), s.ReferenceCycleTime(waves); kc != rc {
+		return fmt.Errorf("CycleTime(%d): kernel %g != reference %g", waves, kc, rc)
+	}
+	kh, err := s.SimulateHandshake(waves)
+	if err != nil {
+		return err
+	}
+	rh, err := s.ReferenceSimulateHandshake(waves)
+	if err != nil {
+		return err
+	}
+	if err := sameWaves("SimulateHandshake", kh, rh); err != nil {
+		return err
+	}
+	cfg := MessageFaults(rng)
+	faultSeed := rng.Int63()
+	injK, err := faults.New(cfg, faultSeed)
+	if err != nil {
+		return err
+	}
+	injR, err := faults.New(cfg, faultSeed)
+	if err != nil {
+		return err
+	}
+	kf, err := s.SimulateHandshakeFaulty(waves, injK)
+	if err != nil {
+		return err
+	}
+	rf, err := s.ReferenceSimulateHandshakeFaulty(waves, injR)
+	if err != nil {
+		return err
+	}
+	if err := sameWaves(fmt.Sprintf("SimulateHandshakeFaulty seed=%d", faultSeed), kf, rf); err != nil {
+		return err
+	}
+	if injK.Counts() != injR.Counts() {
+		return fmt.Errorf("fault seed=%d: kernel fault tallies %+v != reference %+v",
+			faultSeed, injK.Counts(), injR.Counts())
+	}
+	return nil
+}
+
+// checkSelftimedKernelMatchesReference pins the self-timed kernel's
+// flattened history ring to the reference event propagation with zero
+// tolerance: elastic, fault-injected elastic (identically seeded
+// injectors, identical tallies), and rigid runs on one random graph.
+func checkSelftimedKernelMatchesReference(rng *stats.RNG) error {
+	g, err := AnyGraph(rng)
+	if err != nil {
+		return err
+	}
+	d := SelfTimedDelays(rng)
+	depth := intIn(rng, 1, 4)
+	waves := intIn(rng, 2, 24)
+	seed := rng.Int63()
+	got, err := selftimed.RunElastic(g, waves, d, depth, stats.NewRNG(seed))
+	if err != nil {
+		return err
+	}
+	want, err := selftimed.ReferenceRunElastic(g, waves, d, depth, stats.NewRNG(seed))
+	if err != nil {
+		return err
+	}
+	if got != want {
+		return fmt.Errorf("%s depth=%d waves=%d seed=%d: kernel elastic %+v != reference %+v",
+			g.Name, depth, waves, seed, got, want)
+	}
+	cfg := MessageFaults(rng)
+	faultSeed := rng.Int63()
+	injK, err := faults.New(cfg, faultSeed)
+	if err != nil {
+		return err
+	}
+	injR, err := faults.New(cfg, faultSeed)
+	if err != nil {
+		return err
+	}
+	got, err = selftimed.RunElasticFaulty(g, waves, d, depth, stats.NewRNG(seed), injK)
+	if err != nil {
+		return err
+	}
+	want, err = selftimed.ReferenceRunElasticFaulty(g, waves, d, depth, stats.NewRNG(seed), injR)
+	if err != nil {
+		return err
+	}
+	if got != want {
+		return fmt.Errorf("%s depth=%d waves=%d seed=%d fault seed=%d: kernel faulty elastic %+v != reference %+v",
+			g.Name, depth, waves, seed, faultSeed, got, want)
+	}
+	if injK.Counts() != injR.Counts() {
+		return fmt.Errorf("%s fault seed=%d: kernel fault tallies %+v != reference %+v",
+			g.Name, faultSeed, injK.Counts(), injR.Counts())
+	}
+	got, err = selftimed.RunRigid(g, waves, d, stats.NewRNG(seed))
+	if err != nil {
+		return err
+	}
+	want, err = selftimed.ReferenceRunRigid(g, waves, d, stats.NewRNG(seed))
+	if err != nil {
+		return err
+	}
+	if got != want {
+		return fmt.Errorf("%s waves=%d seed=%d: kernel rigid %+v != reference %+v",
+			g.Name, waves, seed, got, want)
+	}
+	return nil
+}
+
+// checkWiresimKernelMatchesReference pins the inverter-string prefix
+// kernel to the reference walks and DES with zero tolerance on a
+// random string: every O(1) scalar query, plus pipelined runs at a
+// safe, a tight, and (with noise seeded identically) a jittered
+// period. Overtaking strings exercise the DES fallback transparently.
+func checkWiresimKernelMatchesReference(rng *stats.RNG) error {
+	cfg := wiresim.Config{
+		N:          intIn(rng, 1, 96),
+		StageDelay: rng.Uniform(0.5, 2),
+		OneShot:    rng.Intn(4) == 0,
+	}
+	// Biases stay under ±40% of the stage delay so every per-stage
+	// delay remains positive (NewString rejects swallowed stages).
+	cfg.EvenBias = rng.Uniform(-0.4, 0.4) * cfg.StageDelay
+	cfg.OddBias = rng.Uniform(-0.4, 0.4) * cfg.StageDelay
+	var strRNG *stats.RNG
+	if rng.Intn(2) == 0 {
+		cfg.NoiseSD = rng.Uniform(0, 0.05) * cfg.StageDelay
+		strRNG = rng.Fork(7)
+	}
+	s, err := wiresim.NewString(cfg, strRNG)
+	if err != nil {
+		return err
+	}
+	type scalar struct {
+		name      string
+		got, want float64
+	}
+	for _, q := range []scalar{
+		{"TraversalTime(Rising)", s.TraversalTime(wiresim.Rising), s.ReferenceTraversalTime(wiresim.Rising)},
+		{"TraversalTime(Falling)", s.TraversalTime(wiresim.Falling), s.ReferenceTraversalTime(wiresim.Falling)},
+		{"EquipotentialCycle", s.EquipotentialCycle(), s.ReferenceEquipotentialCycle()},
+		{"MaxDiscrepancy", s.MaxDiscrepancy(), s.ReferenceMaxDiscrepancy()},
+		{"MinPipelinedPeriod", s.MinPipelinedPeriod(), s.ReferenceMinPipelinedPeriod()},
+		{"Speedup", s.Speedup(), s.ReferenceSpeedup()},
+	} {
+		if q.got != q.want {
+			return fmt.Errorf("n=%d: kernel %s %g != reference %g", cfg.N, q.name, q.got, q.want)
+		}
+	}
+	cycles := intIn(rng, 1, 16)
+	for _, scale := range []float64{1.1, 0.9} {
+		period := s.MinPipelinedPeriod() * scale
+		got, err := s.PipelinedRun(period, cycles, 0, nil)
+		if err != nil {
+			return err
+		}
+		want, err := s.ReferencePipelinedRun(period, cycles, 0, nil)
+		if err != nil {
+			return err
+		}
+		if err := sameWiresimRun(got, want); err != nil {
+			return fmt.Errorf("n=%d period=%g cycles=%d: %w", cfg.N, period, cycles, err)
+		}
+	}
+	jitterSeed := rng.Int63()
+	jsd := rng.Uniform(0, 0.05) * cfg.StageDelay
+	if jsd > 0 {
+		period := s.MinPipelinedPeriod() * 1.2
+		got, err := s.PipelinedRun(period, cycles, jsd, stats.NewRNG(jitterSeed))
+		if err != nil {
+			return err
+		}
+		want, err := s.ReferencePipelinedRun(period, cycles, jsd, stats.NewRNG(jitterSeed))
+		if err != nil {
+			return err
+		}
+		if err := sameWiresimRun(got, want); err != nil {
+			return fmt.Errorf("n=%d jitter seed=%d: %w", cfg.N, jitterSeed, err)
+		}
+	}
+	return nil
+}
+
+// sameWiresimRun compares two pipelined run results at tolerance 0.
+func sameWiresimRun(got, want wiresim.RunResult) error {
+	if got.MinSpacing != want.MinSpacing || got.Violations != want.Violations ||
+		got.EdgesDelivered != want.EdgesDelivered || len(got.OutputSpacings) != len(want.OutputSpacings) {
+		return fmt.Errorf("kernel run %+v != reference %+v", got, want)
+	}
+	for i := range got.OutputSpacings {
+		if got.OutputSpacings[i] != want.OutputSpacings[i] {
+			return fmt.Errorf("output spacing %d: kernel %g != reference %g",
+				i, got.OutputSpacings[i], want.OutputSpacings[i])
+		}
 	}
 	return nil
 }

@@ -166,6 +166,24 @@ func allEngines() []engine {
 			Sink = w
 			return err
 		}},
+		{name: "clocksim_kernel", needsTree: true, run: func(cfg Config, env *sizeEnv) error {
+			// The batched-sweep shape: one kernel build amortized over
+			// MCTrials skew queries, like a /v1/simulate configs request.
+			k, err := clocksim.NewKernel(env.g, env.tree)
+			if err != nil {
+				return err
+			}
+			p := clocksim.Params{M: 1, Eps: 0.1}
+			rng := stats.NewRNG(cfg.Seed)
+			var w float64
+			for i := 0; i < cfg.MCTrials; i++ {
+				if w, err = k.RandomSkew(p, rng); err != nil {
+					return err
+				}
+			}
+			Sink = w
+			return nil
+		}},
 		{name: "hybrid", run: func(cfg Config, env *sizeEnv) error {
 			sys, err := hybrid.New(env.g, hybrid.Config{
 				ElementSize: 4, Handshake: 1, CellDelay: 2, HoldDelay: 0.5,

@@ -209,7 +209,7 @@ func TestSweepConfigErrors(t *testing.T) {
 func TestEngineAndTopologyNames(t *testing.T) {
 	names := EngineNames()
 	want := []string{"plan", "kernel_build", "analyze", "guaranteed_min_skew",
-		"montecarlo", "clocksim", "hybrid", "selftimed"}
+		"montecarlo", "clocksim", "clocksim_kernel", "hybrid", "selftimed"}
 	if len(names) != len(want) {
 		t.Fatalf("EngineNames = %v, want %v", names, want)
 	}

@@ -1,0 +1,103 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// FuzzSimulateBatch fuzzes the batch request decoder end to end:
+// arbitrary JSON through Unmarshal → applyDefaults → canonicalize →
+// (bounded) computeSimulate. The harness asserts three properties that
+// the HTTP layer relies on: defaults are idempotent, canonicalization
+// is deterministic (the cache key would otherwise split identical
+// requests), and no decodable request — malformed topology N, mixed
+// per-config topologies, hostile timeout_ms — can panic the compute
+// path or return a success with a malformed batch shape.
+func FuzzSimulateBatch(f *testing.F) {
+	f.Add([]byte(`{"topology":{"kind":"mesh","n":4},"configs":[
+		{"regime":"nominal"},
+		{"regime":"random","trials":4,"seed":2,"params":{"eps":0.2}},
+		{"mode":"hybrid","seed":3,"hybrid":{"element_size":3,"waves":4}}]}`))
+	f.Add([]byte(`{"topology":{"kind":"mesh","n":-7},"configs":[{"regime":"nominal"}]}`))
+	f.Add([]byte(`{"topology":{"kind":"ring","n":6},"configs":[
+		{"regime":"nominal","topology":{"kind":"linear","n":3}}]}`))
+	f.Add([]byte(`{"topology":{"kind":"linear","n":8},"timeout_ms":1,"configs":[
+		{"regime":"random","trials":8,"seed":1}]}`))
+	f.Add([]byte(`{"topology":{"kind":"torus","rows":3,"cols":4},"configs":[]}`))
+	f.Add([]byte(`{"configs":[{"regime":"nominal"}]}`))
+	f.Add([]byte(`{"topology":{"kind":"hex","n":9},"configs":[{"regime":"adversarial","pair":[0,99]},
+		{"regime":"jittered","trials":2,"seed":5,"faults":{"JitterProb":2,"MaxJitter":-1}}]}`))
+
+	s := NewServer(Config{MaxBatchConfigs: 8})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req SimulateRequest
+		if err := json.Unmarshal(data, &req); err != nil {
+			return
+		}
+		req.applyDefaults()
+		c1, err := canonicalize(&req)
+		if err != nil {
+			return
+		}
+		// Defaults must be idempotent, or cached replays of a defaulted
+		// request would diverge from the original.
+		req.applyDefaults()
+		c2, err := canonicalize(&req)
+		if err != nil || !bytes.Equal(c1, c2) {
+			t.Fatalf("applyDefaults is not idempotent:\n%s\n%s (err %v)", c1, c2, err)
+		}
+
+		// Bound the compute so the fuzzer explores decode space, not
+		// simulation runtime: small graphs, few trials, short waves.
+		g, err := req.build()
+		if err != nil || g.NumCells() > 64 {
+			return
+		}
+		if req.Trials > 16 {
+			return
+		}
+		for i := range req.Configs {
+			c := &req.Configs[i]
+			if c.Trials > 16 || (c.Hybrid != nil && c.Hybrid.Waves > 64) {
+				return
+			}
+		}
+		if req.Hybrid != nil && req.Hybrid.Waves > 64 {
+			return
+		}
+		// timeout_ms interaction: serve under the request's own deadline
+		// (capped for the fuzzer); cancellation must surface as an error,
+		// never a panic or a partial success.
+		deadline := 2 * time.Second
+		if req.TimeoutMS > 0 && time.Duration(req.TimeoutMS)*time.Millisecond < deadline {
+			deadline = time.Duration(req.TimeoutMS) * time.Millisecond
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), deadline)
+		defer cancel()
+		resp, err := s.computeSimulate(ctx, &req)
+		if err != nil {
+			return
+		}
+		if len(req.Configs) > 0 {
+			var out SimulateBatchResponse
+			if err := json.Unmarshal(resp.body, &out); err != nil {
+				t.Fatalf("batch success with undecodable body: %v\n%s", err, resp.body)
+			}
+			if out.Configs != len(req.Configs) || len(out.Results) != len(req.Configs) {
+				t.Fatalf("batch shape mismatch: %d configs in, %d/%d out",
+					len(req.Configs), out.Configs, len(out.Results))
+			}
+			for i, item := range out.Results {
+				if item.Index != i {
+					t.Fatalf("result %d carries index %d", i, item.Index)
+				}
+				if (item.Error == "") == (item.Result == nil) {
+					t.Fatalf("result %d must carry exactly one of error and result: %+v", i, item)
+				}
+			}
+		}
+	})
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/hybrid"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/skew"
 	"repro/internal/stats"
@@ -169,6 +170,68 @@ func (s *Server) kernelFor(g *comm.Graph, tree string, equalize bool, spacing fl
 	}
 	s.kernels.Put(key, k)
 	return k, nil
+}
+
+// clockKernelFor returns the cached clocksim kernel for (g, tree
+// recipe): the flat propagation schedule reused across regimes, seeds,
+// trial counts, and the configs of one batched simulate. It rides on
+// kernelFor so the built tree is shared with analyze and the skew size
+// limits (413 on oversize arrays) apply identically.
+func (s *Server) clockKernelFor(g *comm.Graph, tree string, equalize bool, spacing float64) (*clocksim.Kernel, error) {
+	canonical, err := canonicalize(&kernelKey{Graph: g, Tree: tree, Equalize: equalize, Spacing: spacing})
+	if err != nil {
+		return nil, err
+	}
+	key := cacheKey("simkernel", canonical)
+	if k, ok := s.simKernels.Get(key); ok {
+		s.metrics.simKernelHits.Add(1)
+		return k, nil
+	}
+	s.metrics.simKernelMisses.Add(1)
+	sk, err := s.kernelFor(g, tree, equalize, spacing)
+	if err != nil {
+		return nil, err
+	}
+	k, err := clocksim.NewKernel(g, sk.Tree())
+	if err != nil {
+		return nil, unprocessable(err)
+	}
+	s.simKernels.Put(key, k)
+	return k, nil
+}
+
+// hybridSystemKey is the canonical identity of one cached hybrid
+// system: the graph plus the element size, the only config field the
+// partition depends on. All other hybrid parameters are layered on per
+// request with WithConfig, sharing the cached recurrence kernel.
+type hybridSystemKey struct {
+	Graph       *comm.Graph `json:"graph"`
+	ElementSize float64     `json:"element_size"`
+}
+
+// hybridSystemFor returns a hybrid system for (g, cfg), reusing the
+// cached partition + kernel when one exists for (g, cfg.ElementSize).
+func (s *Server) hybridSystemFor(g *comm.Graph, cfg hybrid.Config) (*hybrid.System, error) {
+	canonical, err := canonicalize(&hybridSystemKey{Graph: g, ElementSize: cfg.ElementSize})
+	if err != nil {
+		return nil, err
+	}
+	key := cacheKey("hybridsys", canonical)
+	if base, ok := s.hybridSystems.Get(key); ok {
+		s.metrics.simKernelHits.Add(1)
+		sys, err := base.WithConfig(cfg)
+		if err != nil {
+			return nil, unprocessable(err)
+		}
+		return sys, nil
+	}
+	s.metrics.simKernelMisses.Add(1)
+	sys, err := hybrid.New(g, cfg)
+	if err != nil {
+		return nil, unprocessable(err)
+	}
+	s.hybridSystems.Put(key, sys)
+	return sys, nil
 }
 
 // ---------------------------------------------------------------- plan
@@ -425,11 +488,13 @@ type HybridSpec struct {
 	Waves             int     `json:"waves,omitempty"`
 }
 
-// SimulateRequest runs clock-propagation or hybrid-handshake simulation,
-// including the fault-injected variants.
-type SimulateRequest struct {
-	GraphInput
-	Mode          string          `json:"mode"` // "clock" (default) or "hybrid"
+// SimulateConfig is one simulation's parameters, independent of the
+// graph: mode, tree recipe, regime, trial count, seed, fault injection,
+// and hybrid knobs. A batched simulate carries several of these over
+// one topology so the engine precomputation is built once per recipe
+// and amortized across the sweep.
+type SimulateConfig struct {
+	Mode          string          `json:"mode,omitempty"` // "clock" (default) or "hybrid"
 	Tree          string          `json:"tree,omitempty"`
 	Equalize      bool            `json:"equalize,omitempty"`
 	BufferSpacing float64         `json:"buffer_spacing,omitempty"`
@@ -437,36 +502,41 @@ type SimulateRequest struct {
 	Trials        int             `json:"trials,omitempty"`
 	Seed          int64           `json:"seed,omitempty"`
 	Pair          *[2]int         `json:"pair,omitempty"` // adversarial target pair
-	Params        ClockParamsSpec `json:"params"`
+	Params        ClockParamsSpec `json:"params,omitempty"`
 	Faults        *faults.Config  `json:"faults,omitempty"`
 	Hybrid        *HybridSpec     `json:"hybrid,omitempty"`
-	TimeoutMS     int64           `json:"timeout_ms,omitempty"`
+
+	// Topology and Graph are accepted on batch items only so that
+	// posting one can be rejected crisply: every config of a batch runs
+	// over the request's single topology.
+	Topology *TopologySpec `json:"topology,omitempty"`
+	Graph    *comm.Graph   `json:"graph,omitempty"`
 }
 
-func (req *SimulateRequest) applyDefaults() {
-	if req.Mode == "" {
-		req.Mode = "clock"
+func (c *SimulateConfig) applyDefaults() {
+	if c.Mode == "" {
+		c.Mode = "clock"
 	}
-	if req.Tree == "" {
-		req.Tree = "htree"
+	if c.Tree == "" {
+		c.Tree = "htree"
 	}
-	if req.Regime == "" {
-		req.Regime = "nominal"
+	if c.Regime == "" {
+		c.Regime = "nominal"
 	}
-	if req.Trials == 0 {
-		req.Trials = 1
+	if c.Trials == 0 {
+		c.Trials = 1
 	}
-	if req.Seed == 0 {
-		req.Seed = 1
+	if c.Seed == 0 {
+		c.Seed = 1
 	}
-	if req.Params.M == 0 {
-		req.Params.M = 1
+	if c.Params.M == 0 {
+		c.Params.M = 1
 	}
-	if req.Mode == "hybrid" {
-		if req.Hybrid == nil {
-			req.Hybrid = &HybridSpec{}
+	if c.Mode == "hybrid" {
+		if c.Hybrid == nil {
+			c.Hybrid = &HybridSpec{}
 		}
-		h := req.Hybrid
+		h := c.Hybrid
 		if h.ElementSize == 0 {
 			h.ElementSize = 4
 		}
@@ -483,6 +553,53 @@ func (req *SimulateRequest) applyDefaults() {
 			h.Waves = 32
 		}
 	}
+}
+
+// SimulateRequest runs clock-propagation or hybrid-handshake simulation,
+// including the fault-injected variants. Two forms share the endpoint:
+// the single form, whose simulation fields sit directly on the request,
+// and the batch form, which posts configs — N SimulateConfigs evaluated
+// over the request's one topology (the single-form simulation fields
+// are ignored then). The batch form exists for parameter sweeps: one
+// kernel build per (tree recipe) serves every config that shares it.
+type SimulateRequest struct {
+	GraphInput
+	Mode          string           `json:"mode"` // "clock" (default) or "hybrid"
+	Tree          string           `json:"tree,omitempty"`
+	Equalize      bool             `json:"equalize,omitempty"`
+	BufferSpacing float64          `json:"buffer_spacing,omitempty"`
+	Regime        string           `json:"regime,omitempty"` // nominal | random | jittered | adversarial
+	Trials        int              `json:"trials,omitempty"`
+	Seed          int64            `json:"seed,omitempty"`
+	Pair          *[2]int          `json:"pair,omitempty"` // adversarial target pair
+	Params        ClockParamsSpec  `json:"params"`
+	Faults        *faults.Config   `json:"faults,omitempty"`
+	Hybrid        *HybridSpec      `json:"hybrid,omitempty"`
+	Configs       []SimulateConfig `json:"configs,omitempty"` // batch form
+	TimeoutMS     int64            `json:"timeout_ms,omitempty"`
+}
+
+// config lifts the single-form simulation fields into a SimulateConfig.
+func (req *SimulateRequest) config() SimulateConfig {
+	return SimulateConfig{
+		Mode: req.Mode, Tree: req.Tree,
+		Equalize: req.Equalize, BufferSpacing: req.BufferSpacing,
+		Regime: req.Regime, Trials: req.Trials, Seed: req.Seed,
+		Pair: req.Pair, Params: req.Params, Faults: req.Faults, Hybrid: req.Hybrid,
+	}
+}
+
+func (req *SimulateRequest) applyDefaults() {
+	if len(req.Configs) > 0 {
+		for i := range req.Configs {
+			req.Configs[i].applyDefaults()
+		}
+		return
+	}
+	c := req.config()
+	c.applyDefaults()
+	req.Mode, req.Tree, req.Regime = c.Mode, c.Tree, c.Regime
+	req.Trials, req.Seed, req.Params, req.Hybrid = c.Trials, c.Seed, c.Params, c.Hybrid
 }
 
 // SummaryJSON is a stats.Summary in response form.
@@ -537,107 +654,226 @@ type SimulateResponse struct {
 	Faults             *FaultsJSON    `json:"faults,omitempty"`
 }
 
+// SimulateBatchItem is one config's slot in a batch response: its index
+// in the posted configs, and either the simulation result or an inline
+// error (collect-all, like analyze's per-tree errors — one bad config
+// does not fail the sweep).
+type SimulateBatchItem struct {
+	Index  int               `json:"index"`
+	Error  string            `json:"error,omitempty"`
+	Result *SimulateResponse `json:"result,omitempty"`
+}
+
+// SimulateBatchResponse is the batch form's body.
+type SimulateBatchResponse struct {
+	Graph   string              `json:"graph"`
+	Cells   int                 `json:"cells"`
+	Configs int                 `json:"configs"`
+	Results []SimulateBatchItem `json:"results"`
+}
+
 func (s *Server) computeSimulate(ctx context.Context, req *SimulateRequest) (response, error) {
 	g, err := req.build()
 	if err != nil {
 		return response{}, err
 	}
-	if req.Trials < 1 || req.Trials > 1<<16 {
-		return response{}, badRequest("trials must be in [1, %d], got %d", 1<<16, req.Trials)
+	if len(req.Configs) > 0 {
+		return s.computeSimulateBatch(ctx, g, req)
 	}
-	if req.Faults != nil {
-		if err := req.Faults.Validate(); err != nil {
-			return response{}, badRequest("%v", err)
-		}
-	}
-	resp := SimulateResponse{Graph: g.Name, Cells: g.NumCells(), Mode: req.Mode}
-	switch req.Mode {
-	case "hybrid":
-		if err := s.simulateHybrid(ctx, g, req, &resp); err != nil {
-			return response{}, err
-		}
-	case "clock":
-		if err := s.simulateClock(ctx, g, req, &resp); err != nil {
-			return response{}, err
-		}
-	default:
-		return response{}, badRequest("unknown mode %q (want clock or hybrid)", req.Mode)
+	cfg := req.config()
+	resp, err := s.simulateOne(ctx, g, &cfg)
+	if err != nil {
+		return response{}, err
 	}
 	return marshalResponse(resp)
 }
 
-func (s *Server) simulateClock(ctx context.Context, g *comm.Graph, req *SimulateRequest, resp *SimulateResponse) error {
-	// The kernel cache doubles as a tree cache: a simulate that repeats
-	// an analyzed (graph, tree) recipe — or repeats itself with a new
-	// seed or regime — reuses the built tree.
-	k, err := s.kernelFor(g, req.Tree, req.Equalize, req.BufferSpacing)
+// computeSimulateBatch fans the configs out over the worker pool. The
+// engine caches make the fan-out cheap: every config sharing a (tree
+// recipe) or element size reuses one precomputed kernel, so a fresh
+// topology costs one build for the whole sweep.
+func (s *Server) computeSimulateBatch(ctx context.Context, g *comm.Graph, req *SimulateRequest) (response, error) {
+	if len(req.Configs) > s.cfg.MaxBatchConfigs {
+		return response{}, badRequest("batch carries %d configs, limit %d", len(req.Configs), s.cfg.MaxBatchConfigs)
+	}
+	ctx, span := obs.Start(ctx, "simulate.batch",
+		obs.Int("configs", int64(len(req.Configs))), obs.Int("cells", int64(g.NumCells())))
+	defer span.End()
+	// Warm the engine caches sequentially so every distinct recipe in
+	// the batch is built exactly once, no matter how the fan-out races:
+	// concurrent items would otherwise each miss and build the same
+	// kernel. Errors are ignored here — they are not cached, so the
+	// owning item re-derives and reports them inline.
+	type clockRecipe struct {
+		tree    string
+		eq      bool
+		spacing float64
+	}
+	seenClock := make(map[clockRecipe]bool)
+	seenHybrid := make(map[float64]bool)
+	for i := range req.Configs {
+		c := &req.Configs[i]
+		if c.Topology != nil || c.Graph != nil {
+			continue
+		}
+		switch c.Mode {
+		case "clock":
+			r := clockRecipe{c.Tree, c.Equalize, c.BufferSpacing}
+			if !seenClock[r] {
+				seenClock[r] = true
+				_, _ = s.clockKernelFor(g, c.Tree, c.Equalize, c.BufferSpacing)
+			}
+		case "hybrid":
+			if c.Hybrid != nil && !seenHybrid[c.Hybrid.ElementSize] {
+				seenHybrid[c.Hybrid.ElementSize] = true
+				_, _ = s.hybridSystemFor(g, hybrid.Config{
+					ElementSize:       c.Hybrid.ElementSize,
+					Handshake:         c.Hybrid.Handshake,
+					LocalDistribution: c.Hybrid.LocalDistribution,
+					CellDelay:         c.Hybrid.CellDelay,
+					HoldDelay:         c.Hybrid.HoldDelay,
+				})
+			}
+		}
+	}
+	results := runner.Map(ctx, s.cfg.Workers, len(req.Configs), func(ctx context.Context, i int) (SimulateBatchItem, error) {
+		item := SimulateBatchItem{Index: i}
+		r, err := s.simulateOne(ctx, g, &req.Configs[i])
+		if err != nil {
+			// Oversize arrays (413) and expired deadlines fail the whole
+			// request with their typed status; anything else is this one
+			// config's problem and reports inline.
+			var he *httpError
+			if errors.As(err, &he) && he.status == http.StatusRequestEntityTooLarge {
+				return item, err
+			}
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				return item, err
+			}
+			item.Error = err.Error()
+			return item, nil
+		}
+		item.Result = r
+		return item, nil
+	})
+	if err := runner.Join(results); err != nil {
+		return response{}, firstTypedError(results, err)
+	}
+	resp := SimulateBatchResponse{Graph: g.Name, Cells: g.NumCells(), Configs: len(req.Configs)}
+	for _, r := range results {
+		resp.Results = append(resp.Results, r.Value)
+	}
+	return marshalResponse(resp)
+}
+
+// simulateOne evaluates a single config against the shared graph. Both
+// the single form and every batch item funnel through here.
+func (s *Server) simulateOne(ctx context.Context, g *comm.Graph, cfg *SimulateConfig) (*SimulateResponse, error) {
+	if cfg.Topology != nil || cfg.Graph != nil {
+		return nil, badRequest("a batch config carries its own topology or graph; every config runs over the request's topology")
+	}
+	if cfg.Trials < 1 || cfg.Trials > 1<<16 {
+		return nil, badRequest("trials must be in [1, %d], got %d", 1<<16, cfg.Trials)
+	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return nil, badRequest("%v", err)
+		}
+	}
+	resp := &SimulateResponse{Graph: g.Name, Cells: g.NumCells(), Mode: cfg.Mode}
+	switch cfg.Mode {
+	case "hybrid":
+		if err := s.simulateHybrid(ctx, g, cfg, resp); err != nil {
+			return nil, err
+		}
+	case "clock":
+		if err := s.simulateClock(ctx, g, cfg, resp); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, badRequest("unknown mode %q (want clock or hybrid)", cfg.Mode)
+	}
+	return resp, nil
+}
+
+func (s *Server) simulateClock(ctx context.Context, g *comm.Graph, cfg *SimulateConfig, resp *SimulateResponse) error {
+	// One precomputed clocksim kernel serves every regime, seed, and
+	// trial count over this (graph, tree) recipe — across requests via
+	// the cache, and across the configs of one batch.
+	k, err := s.clockKernelFor(g, cfg.Tree, cfg.Equalize, cfg.BufferSpacing)
 	if err != nil {
 		return err
 	}
 	tree := k.Tree()
 	p := clocksim.Params{
-		M: req.Params.M, Eps: req.Params.Eps,
-		BufferDelay:   req.Params.BufferDelay,
-		MinSeparation: req.Params.MinSeparation,
-		RiseFallBias:  req.Params.RiseFallBias,
+		M: cfg.Params.M, Eps: cfg.Params.Eps,
+		BufferDelay:   cfg.Params.BufferDelay,
+		MinSeparation: cfg.Params.MinSeparation,
+		RiseFallBias:  cfg.Params.RiseFallBias,
 	}
 	var pair [2]comm.CellID
-	if req.Regime == "adversarial" {
+	if cfg.Regime == "adversarial" {
 		pairs := g.CommunicatingPairs()
 		if len(pairs) == 0 {
 			return unprocessable(fmt.Errorf("service: graph %q has no communicating pairs", g.Name))
 		}
 		pair = pairs[0]
-		if req.Pair != nil {
-			pair = [2]comm.CellID{comm.CellID(req.Pair[0]), comm.CellID(req.Pair[1])}
+		if cfg.Pair != nil {
+			pair = [2]comm.CellID{comm.CellID(cfg.Pair[0]), comm.CellID(cfg.Pair[1])}
 		}
 	}
-	rng := stats.NewRNG(req.Seed)
-	results := runner.Map(ctx, s.cfg.Workers, req.Trials, func(_ context.Context, i int) (float64, error) {
-		var arr *clocksim.Arrivals
-		var err error
-		switch req.Regime {
+	rng := stats.NewRNG(cfg.Seed)
+	results := runner.Map(ctx, s.cfg.Workers, cfg.Trials, func(_ context.Context, i int) (float64, error) {
+		switch cfg.Regime {
 		case "nominal":
-			arr, err = clocksim.Nominal(tree, p)
+			v, err := k.NominalSkew(p)
+			if err != nil {
+				return 0, unprocessable(err)
+			}
+			return v, nil
 		case "random":
-			arr, err = clocksim.Random(tree, p, rng.Fork(int64(i)))
+			v, err := k.RandomSkew(p, rng.Fork(int64(i)))
+			if err != nil {
+				return 0, unprocessable(err)
+			}
+			return v, nil
 		case "jittered":
 			// One injector per trial: an Injector is single-goroutine,
 			// and the keyed decisions make every trial's pattern
 			// identical for a given seed anyway.
-			inj, err := faults.New(faultsOrZero(req.Faults), req.Seed)
+			inj, err := faults.New(faultsOrZero(cfg.Faults), cfg.Seed)
 			if err != nil {
 				return 0, badRequest("%v", err)
 			}
-			arr, err2 := clocksim.Jittered(tree, p, rng.Fork(int64(i)), inj)
+			v, err2 := k.JitteredSkew(p, rng.Fork(int64(i)), inj)
 			if err2 != nil {
 				return 0, unprocessable(err2)
 			}
-			return arr.MaxCommSkew(g)
+			return v, nil
 		case "adversarial":
-			arr, err = clocksim.Adversarial(tree, p, pair[0], pair[1])
+			v, err := k.AdversarialSkew(p, pair[0], pair[1])
+			if err != nil {
+				return 0, unprocessable(err)
+			}
+			return v, nil
 		default:
-			return 0, badRequest("unknown regime %q (want nominal, random, jittered, or adversarial)", req.Regime)
+			return 0, badRequest("unknown regime %q (want nominal, random, jittered, or adversarial)", cfg.Regime)
 		}
-		if err != nil {
-			return 0, unprocessable(err)
-		}
-		return arr.MaxCommSkew(g)
 	})
 	if err := runner.Join(results); err != nil {
 		return firstTypedError(results, err)
 	}
 	summary := stats.Summarize(runner.Values(results))
 	resp.Tree = tree.Name
-	resp.Regime = req.Regime
-	resp.Trials = req.Trials
+	resp.Regime = cfg.Regime
+	resp.Trials = cfg.Trials
 	resp.CommSkew = summaryJSON(summary)
-	resp.MaxEventDrift = clocksim.MaxEventDrift(tree, p)
+	resp.MaxEventDrift = k.MaxEventDrift(p)
 	if p.MinSeparation > 0 {
-		resp.MinPipelinedPeriod = clocksim.MinPipelinedPeriod(tree, p)
+		resp.MinPipelinedPeriod = k.MinPipelinedPeriod(p)
 	}
-	if req.Regime == "jittered" {
-		inj, err := faults.New(faultsOrZero(req.Faults), req.Seed)
+	if cfg.Regime == "jittered" {
+		inj, err := faults.New(faultsOrZero(cfg.Faults), cfg.Seed)
 		if err == nil {
 			// Re-draw one trial's pattern solely to report its tallies.
 			for id := 0; id < tree.NumNodes(); id++ {
@@ -650,28 +886,31 @@ func (s *Server) simulateClock(ctx context.Context, g *comm.Graph, req *Simulate
 	return nil
 }
 
-func (s *Server) simulateHybrid(ctx context.Context, g *comm.Graph, req *SimulateRequest, resp *SimulateResponse) error {
-	h := req.Hybrid
+func (s *Server) simulateHybrid(ctx context.Context, g *comm.Graph, cfg *SimulateConfig, resp *SimulateResponse) error {
+	h := cfg.Hybrid
 	if h.Waves < 1 || h.Waves > 1<<12 {
 		return badRequest("hybrid waves must be in [1, %d], got %d", 1<<12, h.Waves)
 	}
-	cfg := hybrid.Config{
+	hcfg := hybrid.Config{
 		ElementSize:       h.ElementSize,
 		Handshake:         h.Handshake,
 		LocalDistribution: h.LocalDistribution,
 		CellDelay:         h.CellDelay,
 		HoldDelay:         h.HoldDelay,
 	}
-	sys, err := hybrid.New(g, cfg)
+	// The cached system carries the partition and recurrence kernel for
+	// (graph, element size); WithConfig layers this request's timing
+	// parameters on without rebuilding either.
+	sys, err := s.hybridSystemFor(g, hcfg)
 	if err != nil {
-		return unprocessable(err)
+		return err
 	}
 	if err := ctx.Err(); err != nil {
 		return err
 	}
 	var inj *faults.Injector
-	if req.Faults != nil && req.Faults.Enabled() {
-		inj, err = faults.New(*req.Faults, req.Seed)
+	if cfg.Faults != nil && cfg.Faults.Enabled() {
+		inj, err = faults.New(*cfg.Faults, cfg.Seed)
 		if err != nil {
 			return badRequest("%v", err)
 		}
@@ -686,7 +925,7 @@ func (s *Server) simulateHybrid(ctx context.Context, g *comm.Graph, req *Simulat
 		Elements:        sys.NumElements(),
 		MaxElementCells: sys.MaxElementCells(),
 		Waves:           h.Waves,
-		WaveCost:        cfg.WaveCost(),
+		WaveCost:        hcfg.WaveCost(),
 		CycleTime:       sys.CycleTime(h.Waves),
 		LastWaveSpread:  hi - lo,
 	}

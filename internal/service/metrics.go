@@ -89,6 +89,9 @@ type metrics struct {
 	kernelHits   expvar.Int // skew-kernel cache hits (precomputation reused)
 	kernelMisses expvar.Int // skew-kernel cache misses (tree + kernel built)
 
+	simKernelHits   expvar.Int // simulation-kernel cache hits (clocksim kernel or hybrid system reused)
+	simKernelMisses expvar.Int // simulation-kernel cache misses (engine precomputation built)
+
 	mu        sync.Mutex
 	latencies map[string]*latencyVar // endpoint → histogram
 
@@ -107,6 +110,8 @@ func newMetrics() *metrics {
 	m.vars.Set("in_flight", &m.inFlight)
 	m.vars.Set("kernel_cache_hits", &m.kernelHits)
 	m.vars.Set("kernel_cache_misses", &m.kernelMisses)
+	m.vars.Set("sim_kernel_cache_hits", &m.simKernelHits)
+	m.vars.Set("sim_kernel_cache_misses", &m.simKernelMisses)
 	m.vars.Set("cache_hit_ratio", expvar.Func(func() any {
 		h, n := m.hits.Value(), m.hits.Value()+m.misses.Value()+m.coalesced.Value()
 		if n == 0 {

@@ -35,9 +35,12 @@ func (s *Server) promFamilies() []obs.PromMetric {
 		counter("kernel_cache_hits_total", "Skew-kernel cache hits (precomputed geometry reused).", m.kernelHits.Value()),
 		counter("kernel_cache_misses_total", "Skew-kernel cache misses (tree and kernel built).", m.kernelMisses.Value()),
 		counter("kernel_cache_evictions_total", "Kernel cache entries displaced by the capacity bound.", s.kernels.Evictions()),
+		counter("sim_kernel_cache_hits_total", "Simulation-kernel cache hits (clocksim kernel or hybrid system reused).", m.simKernelHits.Value()),
+		counter("sim_kernel_cache_misses_total", "Simulation-kernel cache misses (engine precomputation built).", m.simKernelMisses.Value()),
 		gauge("in_flight", "Requests currently being served.", float64(m.inFlight.Value())),
 		gauge("cache_entries", "Entries currently in the result cache.", float64(s.cache.Len())),
 		gauge("kernel_cache_entries", "Entries currently in the skew-kernel cache.", float64(s.kernels.Len())),
+		gauge("sim_kernel_cache_entries", "Entries currently in the simulation-kernel caches.", float64(s.simKernels.Len()+s.hybridSystems.Len())),
 		gauge("uptime_seconds", "Seconds since the server started.", time.Since(m.start).Seconds()),
 	}
 	ps := runner.Stats()

@@ -23,6 +23,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/clocksim"
+	"repro/internal/hybrid"
 	"repro/internal/obs"
 	"repro/internal/skew"
 )
@@ -42,8 +44,12 @@ type Config struct {
 	// kill. Zero fields take skew.DefaultLimits.
 	KernelLimits skew.Limits
 	// Workers bounds each request's engine fan-out (candidate trees,
-	// Monte-Carlo trials, simulation trials). Default GOMAXPROCS.
+	// Monte-Carlo trials, simulation trials, batch configs). Default
+	// GOMAXPROCS.
 	Workers int
+	// MaxBatchConfigs bounds the configs array of one batched simulate
+	// request. Default 64.
+	MaxBatchConfigs int
 	// DefaultDeadline applies when a request carries no timeout_ms.
 	// Default 30s.
 	DefaultDeadline time.Duration
@@ -69,6 +75,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBatchConfigs <= 0 {
+		c.MaxBatchConfigs = 64
 	}
 	if c.DefaultDeadline <= 0 {
 		c.DefaultDeadline = 30 * time.Second
@@ -110,11 +119,18 @@ type Server struct {
 	cfg     Config
 	cache   *lru[response]
 	kernels *lru[*skew.Kernel]
-	flight  *flightGroup
-	metrics *metrics
-	mux     *http.ServeMux
-	logger  *log.Logger
-	nextReq atomic.Int64 // request-ID counter
+	// simKernels and hybridSystems are the simulation engines' analogue
+	// of the skew-kernel cache: immutable per-(graph, recipe)
+	// precomputations reused across regimes, seeds, trial counts, and
+	// batch sweeps. One batched simulate over a fresh topology builds
+	// each at most once.
+	simKernels    *lru[*clocksim.Kernel]
+	hybridSystems *lru[*hybrid.System]
+	flight        *flightGroup
+	metrics       *metrics
+	mux           *http.ServeMux
+	logger        *log.Logger
+	nextReq       atomic.Int64 // request-ID counter
 
 	// computeGate, when set (tests only), is called at the start of
 	// every cache-miss computation. Tests use it as a barrier to hold
@@ -126,12 +142,14 @@ type Server struct {
 func NewServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		cache:   newLRU[response](cfg.CacheEntries),
-		kernels: newLRU[*skew.Kernel](cfg.KernelCacheEntries),
-		flight:  newFlightGroup(),
-		metrics: newMetrics(),
-		mux:     http.NewServeMux(),
+		cfg:           cfg,
+		cache:         newLRU[response](cfg.CacheEntries),
+		kernels:       newLRU[*skew.Kernel](cfg.KernelCacheEntries),
+		simKernels:    newLRU[*clocksim.Kernel](cfg.KernelCacheEntries),
+		hybridSystems: newLRU[*hybrid.System](cfg.KernelCacheEntries),
+		flight:        newFlightGroup(),
+		metrics:       newMetrics(),
+		mux:           http.NewServeMux(),
 	}
 	if cfg.LogWriter != nil {
 		s.logger = log.New(cfg.LogWriter, "", 0)

@@ -130,6 +130,20 @@ func (r *RNG) UniformFill(dst []float64, lo, hi float64) {
 	}
 }
 
+// Float64Fill fills dst with samples from U[0, 1). The draws come from
+// the same underlying stream as len(dst) successive Float64 calls — the
+// values are bit-identical — but the concurrent-use guard is taken once
+// for the whole batch. Engine kernels use it to batch per-cell Bernoulli
+// decisions (compare each sample against p) without perturbing the
+// stream relative to the reference implementations.
+func (r *RNG) Float64Fill(dst []float64) {
+	r.enter()
+	defer r.exit()
+	for i := range dst {
+		dst[i] = r.rand.Float64()
+	}
+}
+
 // Normal returns a sample from N(mean, sd²).
 func (r *RNG) Normal(mean, sd float64) float64 {
 	r.enter()

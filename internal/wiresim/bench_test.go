@@ -1,0 +1,106 @@
+package wiresim
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// The benchmarks here are the perf suite behind BENCH_wiresim.json: the
+// Reference* group measures the retained pre-kernel implementations
+// (per-call stage walks and the event-heap DES) and the package-method
+// group the precomputed-prefix fast paths every caller now gets.
+
+func benchString(b *testing.B) *InverterString {
+	b.Helper()
+	s, err := NewString(SectionVIIConfig(), stats.NewRNG(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func BenchmarkReferenceMaxDiscrepancy2048(b *testing.B) {
+	s := benchString(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.ReferenceMaxDiscrepancy()
+	}
+}
+
+func BenchmarkMaxDiscrepancy2048(b *testing.B) {
+	s := benchString(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.MaxDiscrepancy()
+	}
+}
+
+func BenchmarkReferenceSpeedup2048(b *testing.B) {
+	s := benchString(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.ReferenceSpeedup()
+	}
+}
+
+func BenchmarkSpeedup2048(b *testing.B) {
+	s := benchString(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Speedup()
+	}
+}
+
+func BenchmarkReferencePipelinedRun2048(b *testing.B) {
+	s := benchString(b)
+	period := s.MinPipelinedPeriod() * 1.1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ReferencePipelinedRun(period, 16, 0, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPipelinedRun2048(b *testing.B) {
+	s := benchString(b)
+	period := s.MinPipelinedPeriod() * 1.1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.PipelinedRun(period, 16, 0, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWiresimStringBuild2048(b *testing.B) {
+	cfg := SectionVIIConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewString(cfg, stats.NewRNG(7)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKernelDiscrepancySteadyState is the inner loop the CI
+// bench-smoke job gates on: the precomputed discrepancy/period/speedup
+// queries must report 0 allocs/op.
+func BenchmarkKernelDiscrepancySteadyState(b *testing.B) {
+	s := benchString(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.MaxDiscrepancy()
+		_ = s.MinPipelinedPeriod()
+		_ = s.Speedup()
+	}
+}

@@ -1,0 +1,127 @@
+package wiresim
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// Table-driven edge cases for the RC-wire model: zero-length wires,
+// degenerate constants, and spacings longer than the wire itself.
+func TestRCWireEdgeCases(t *testing.T) {
+	good := RCWire{RPerUnit: 1, CPerUnit: 2, BufferDelay: 4}
+	cases := []struct {
+		name    string
+		w       RCWire
+		run     func(w RCWire) (float64, error)
+		want    float64
+		wantErr string
+	}{
+		{name: "zero-length-unbuffered", w: good,
+			run:  func(w RCWire) (float64, error) { return w.UnbufferedSettle(0) },
+			want: 0},
+		{name: "zero-length-buffered", w: good,
+			run:  func(w RCWire) (float64, error) { return w.BufferedDelay(0, 3) },
+			want: 0},
+		{name: "negative-length", w: good,
+			run:     func(w RCWire) (float64, error) { return w.UnbufferedSettle(-1) },
+			wantErr: "negative wire length"},
+		{name: "negative-length-buffered", w: good,
+			run:     func(w RCWire) (float64, error) { return w.BufferedDelay(-1, 3) },
+			wantErr: "negative wire length"},
+		{name: "zero-spacing", w: good,
+			run:     func(w RCWire) (float64, error) { return w.BufferedDelay(10, 0) },
+			wantErr: "spacing must be positive"},
+		{name: "spacing-longer-than-wire", w: good,
+			// One segment of the full length: 4 + 1·2·5²/2 = 29.
+			run:  func(w RCWire) (float64, error) { return w.BufferedDelay(5, 100) },
+			want: 29},
+		{name: "zero-resistance", w: RCWire{RPerUnit: 0, CPerUnit: 2, BufferDelay: 4},
+			run:     func(w RCWire) (float64, error) { return w.UnbufferedSettle(1) },
+			wantErr: "parameters must be positive"},
+		{name: "zero-capacitance", w: RCWire{RPerUnit: 1, CPerUnit: 0, BufferDelay: 4},
+			run:     func(w RCWire) (float64, error) { return w.OptimalSpacing() },
+			wantErr: "parameters must be positive"},
+		{name: "negative-buffer-delay", w: RCWire{RPerUnit: 1, CPerUnit: 2, BufferDelay: -1},
+			run:     func(w RCWire) (float64, error) { return w.BufferedDelay(10, 3) },
+			wantErr: "parameters must be positive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := tc.run(tc.w)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("want error containing %q, got %v", tc.wantErr, err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Fatalf("got %g, want %g", got, tc.want)
+			}
+		})
+	}
+}
+
+// Table-driven edge cases for the inverter string: the single-inverter
+// string and degenerate configs that must be rejected.
+func TestInverterStringEdgeCases(t *testing.T) {
+	t.Run("single-inverter", func(t *testing.T) {
+		s, err := NewString(Config{N: 1, StageDelay: 2, EvenBias: 0.5}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// One stage: rising traversal 2.5, falling 1.5, discrepancy 1.
+		if got := s.TraversalTime(Rising); got != 2.5 {
+			t.Errorf("rising traversal %g, want 2.5", got)
+		}
+		if got := s.TraversalTime(Falling); got != 1.5 {
+			t.Errorf("falling traversal %g, want 1.5", got)
+		}
+		if got := s.MaxDiscrepancy(); got != 1 {
+			t.Errorf("discrepancy %g, want 1", got)
+		}
+		if got := s.EquipotentialCycle(); got != 4 {
+			t.Errorf("equipotential cycle %g, want 4", got)
+		}
+		res, err := s.PipelinedRun(s.MinPipelinedPeriod(), 2, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Violations != 0 || res.EdgesDelivered != 4 {
+			t.Errorf("single-inverter run %+v, want 4 clean edges", res)
+		}
+	})
+	rejected := []struct {
+		name    string
+		cfg     Config
+		wantErr string
+	}{
+		{"zero-inverters", Config{N: 0, StageDelay: 1}, "need ≥ 1 inverter"},
+		{"negative-inverters", Config{N: -3, StageDelay: 1}, "need ≥ 1 inverter"},
+		{"zero-stage-delay", Config{N: 4, StageDelay: 0}, "stage delay must be positive"},
+		{"bias-swallows-stage", Config{N: 4, StageDelay: 1, EvenBias: 1.5}, "non-positive delay"},
+		{"noise-without-rng", Config{N: 4, StageDelay: 1, NoiseSD: 0.1}, "no RNG"},
+	}
+	for _, tc := range rejected {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewString(tc.cfg, nil); err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("want error containing %q, got %v", tc.wantErr, err)
+			}
+		})
+	}
+	t.Run("default-min-separation", func(t *testing.T) {
+		s, err := NewString(Config{N: 4, StageDelay: 1.5}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.MinSeparation != 3 {
+			t.Errorf("default MinSeparation %g, want 2·StageDelay = 3", s.MinSeparation)
+		}
+		if math.IsInf(s.MinPipelinedPeriod(), 1) || s.MinPipelinedPeriod() <= 0 {
+			t.Errorf("degenerate MinPipelinedPeriod %g", s.MinPipelinedPeriod())
+		}
+	})
+}

@@ -1,0 +1,195 @@
+package wiresim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// testStrings returns a spread of strings exercising the kernel's
+// precomputed prefixes: uniform, linearly-accumulating bias, matched
+// bias, fabrication noise, one-shot stages, the paper's chip, and the
+// single-inverter degenerate case.
+func testStrings(t *testing.T) map[string]*InverterString {
+	t.Helper()
+	out := make(map[string]*InverterString)
+	add := func(name string, cfg Config, rng *stats.RNG) {
+		t.Helper()
+		s, err := NewString(cfg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = s
+	}
+	add("uniform64", Config{N: 64, StageDelay: 1}, nil)
+	add("biased64", Config{N: 64, StageDelay: 1, EvenBias: 0.05, OddBias: -0.05}, nil)
+	add("matched64", Config{N: 64, StageDelay: 1, EvenBias: 0.05, OddBias: 0.05}, nil)
+	add("noisy128", Config{N: 128, StageDelay: 1, NoiseSD: 0.02}, stats.NewRNG(11))
+	add("oneshot64", Config{N: 64, StageDelay: 1, EvenBias: 0.05, OddBias: -0.05, OneShot: true}, nil)
+	add("chip", SectionVIIConfig(), stats.NewRNG(7))
+	add("single", Config{N: 1, StageDelay: 2}, nil)
+	add("odd33", Config{N: 33, StageDelay: 1, EvenBias: 0.1, OddBias: -0.02, NoiseSD: 0.01}, stats.NewRNG(3))
+	return out
+}
+
+func sameRunResult(t *testing.T, name string, got, want RunResult) {
+	t.Helper()
+	if got.MinSpacing != want.MinSpacing || got.Violations != want.Violations ||
+		got.EdgesDelivered != want.EdgesDelivered {
+		t.Fatalf("%s: kernel %+v != reference %+v", name, got, want)
+	}
+	if len(got.OutputSpacings) != len(want.OutputSpacings) {
+		t.Fatalf("%s: %d output spacings != reference %d", name, len(got.OutputSpacings), len(want.OutputSpacings))
+	}
+	for i := range got.OutputSpacings {
+		if got.OutputSpacings[i] != want.OutputSpacings[i] {
+			t.Fatalf("%s: output spacing %d: %g != reference %g", name, i, got.OutputSpacings[i], want.OutputSpacings[i])
+		}
+	}
+}
+
+// TestKernelMatchesReferenceScalars holds every O(1) lookup to the
+// retained reference loop at tolerance 0.
+func TestKernelMatchesReferenceScalars(t *testing.T) {
+	for name, s := range testStrings(t) {
+		if got, want := s.TraversalTime(Rising), s.ReferenceTraversalTime(Rising); got != want {
+			t.Errorf("%s: TraversalTime(Rising) %g != reference %g", name, got, want)
+		}
+		if got, want := s.TraversalTime(Falling), s.ReferenceTraversalTime(Falling); got != want {
+			t.Errorf("%s: TraversalTime(Falling) %g != reference %g", name, got, want)
+		}
+		if got, want := s.EquipotentialCycle(), s.ReferenceEquipotentialCycle(); got != want {
+			t.Errorf("%s: EquipotentialCycle %g != reference %g", name, got, want)
+		}
+		if got, want := s.MaxDiscrepancy(), s.ReferenceMaxDiscrepancy(); got != want {
+			t.Errorf("%s: MaxDiscrepancy %g != reference %g", name, got, want)
+		}
+		if got, want := s.MinPipelinedPeriod(), s.ReferenceMinPipelinedPeriod(); got != want {
+			t.Errorf("%s: MinPipelinedPeriod %g != reference %g", name, got, want)
+		}
+		if got, want := s.Speedup(), s.ReferenceSpeedup(); got != want {
+			t.Errorf("%s: Speedup %g != reference %g", name, got, want)
+		}
+	}
+}
+
+// TestKernelMatchesReferencePipelinedRun holds the fast launch-order
+// replay to the reference DES at tolerance 0, at safe periods (clean),
+// tight periods (violations), and barely-positive periods.
+func TestKernelMatchesReferencePipelinedRun(t *testing.T) {
+	for name, s := range testStrings(t) {
+		safe := s.MinPipelinedPeriod() * 1.1
+		for _, tc := range []struct {
+			label  string
+			period float64
+			cycles int
+		}{
+			{"safe", safe, 8},
+			{"tight", s.MinPipelinedPeriod() * 0.9, 8},
+			{"one-cycle", safe, 1},
+			{"long", safe, 64},
+		} {
+			got, err := s.PipelinedRun(tc.period, tc.cycles, 0, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := s.ReferencePipelinedRun(tc.period, tc.cycles, 0, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameRunResult(t, name+"/"+tc.label, got, want)
+		}
+	}
+}
+
+// TestKernelOvertakingFallsBackToDES drives a string whose rise/fall
+// delays differ so strongly that at a short period a later edge
+// overtakes its predecessor mid-string; the fast path must detect the
+// negative spacing and produce the DES's answer anyway.
+func TestKernelOvertakingFallsBackToDES(t *testing.T) {
+	s, err := NewString(Config{N: 16, StageDelay: 1, EvenBias: 0.9, OddBias: 0.9, MinSeparation: 0.05}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rising edges crawl (delay 1.9/stage at even boundaries) while
+	// falling edges sprint (0.1/stage), so a falling edge launched
+	// period/2 = 0.5 later passes the rising edge within stage one.
+	if _, ok := s.fastPipelinedRun(1.0, 4); ok {
+		t.Fatal("expected the fast path to refuse an overtaking run")
+	}
+	got, err := s.PipelinedRun(1.0, 4, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.ReferencePipelinedRun(1.0, 4, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRunResult(t, "overtaking", got, want)
+	if got.MinSpacing >= 0.5 {
+		t.Fatalf("expected edge compression below the 0.5 launch spacing, min spacing %g", got.MinSpacing)
+	}
+}
+
+// TestKernelJitteredRunMatchesReference pins the jitter path: both
+// sides run the same DES, so same-seed RNGs must agree exactly.
+func TestKernelJitteredRunMatchesReference(t *testing.T) {
+	s := testStrings(t)["biased64"]
+	period := s.MinPipelinedPeriod() * 1.1
+	got, err := s.PipelinedRun(period, 16, 0.05, stats.NewRNG(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.ReferencePipelinedRun(period, 16, 0.05, stats.NewRNG(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRunResult(t, "jittered", got, want)
+}
+
+// TestKernelRunValidationMatchesReference pins the two sides' error
+// contracts (order and text) to each other.
+func TestKernelRunValidationMatchesReference(t *testing.T) {
+	s := testStrings(t)["uniform64"]
+	cases := []struct {
+		name     string
+		period   float64
+		cycles   int
+		jitterSD float64
+		rng      *stats.RNG
+	}{
+		{"period", 0, 4, 0, nil},
+		{"cycles", 1, 0, 0, nil},
+		{"rng", 1, 4, 0.1, nil},
+	}
+	for _, c := range cases {
+		_, ke := s.PipelinedRun(c.period, c.cycles, c.jitterSD, c.rng)
+		_, re := s.ReferencePipelinedRun(c.period, c.cycles, c.jitterSD, c.rng)
+		if ke == nil || re == nil {
+			t.Fatalf("%s: expected errors, got kernel=%v reference=%v", c.name, ke, re)
+		}
+		if ke.Error() != re.Error() {
+			t.Errorf("%s: kernel error %q != reference %q", c.name, ke, re)
+		}
+	}
+}
+
+// TestPrefixesMatchStageSums sanity-checks the kernel arrays against
+// direct per-boundary accumulation for an asymmetric string.
+func TestPrefixesMatchStageSums(t *testing.T) {
+	s := testStrings(t)["odd33"]
+	var tr, tf float64
+	p := Rising
+	for i := 0; i < s.N(); i++ {
+		tr += s.stageDelay(i, p)
+		tf += s.stageDelay(i, p.Invert())
+		if s.cumRise[i+1] != tr || s.cumFall[i+1] != tf {
+			t.Fatalf("boundary %d: prefixes (%g, %g) != sums (%g, %g)", i+1, s.cumRise[i+1], s.cumFall[i+1], tr, tf)
+		}
+		if d := math.Abs(tr - tf); d > s.maxDisc {
+			t.Fatalf("boundary %d: discrepancy %g exceeds precomputed max %g", i+1, d, s.maxDisc)
+		}
+		p = p.Invert()
+	}
+}

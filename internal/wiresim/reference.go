@@ -1,0 +1,77 @@
+package wiresim
+
+import (
+	"math"
+
+	"repro/internal/stats"
+)
+
+// This file retains the pre-kernel implementations verbatim as
+// executable reference oracles. NewString now precomputes cumulative
+// rise/fall delay prefixes with exactly the incremental accumulation
+// these loops perform, so the O(1) fast paths in wiresim.go must agree
+// with these bit for bit — zero tolerance — which the differential
+// tests assert over biased, noisy, one-shot, and degenerate strings.
+// ReferencePipelinedRun always runs the full discrete-event simulation
+// of every edge through every stage; PipelinedRun's flat replay must
+// match it exactly and falls back to the same DES when edges overtake
+// or when per-traversal jitter makes the walk stateful.
+
+// ReferenceTraversalTime is the pre-kernel TraversalTime: one pass over
+// the stages, flipping polarity at every inverter.
+func (s *InverterString) ReferenceTraversalTime(launch Polarity) float64 {
+	var t float64
+	p := launch
+	for i := range s.rise {
+		t += s.stageDelay(i, p)
+		p = p.Invert()
+	}
+	return t
+}
+
+// ReferenceEquipotentialCycle is the pre-kernel EquipotentialCycle.
+func (s *InverterString) ReferenceEquipotentialCycle() float64 {
+	return s.ReferenceTraversalTime(Rising) + s.ReferenceTraversalTime(Falling)
+}
+
+// ReferenceMaxDiscrepancy is the pre-kernel MaxDiscrepancy: both launch
+// polarities walked together, tracking the worst cumulative gap.
+func (s *InverterString) ReferenceMaxDiscrepancy() float64 {
+	var dr, df, worst float64
+	p := Rising
+	for i := range s.rise {
+		dr += s.stageDelay(i, p)
+		df += s.stageDelay(i, p.Invert())
+		if d := math.Abs(dr - df); d > worst {
+			worst = d
+		}
+		p = p.Invert()
+	}
+	return worst
+}
+
+// ReferenceMinPipelinedPeriod is the pre-kernel MinPipelinedPeriod.
+func (s *InverterString) ReferenceMinPipelinedPeriod() float64 {
+	return 2 * (s.MinSeparation + s.ReferenceMaxDiscrepancy())
+}
+
+// ReferenceSpeedup is the pre-kernel Speedup.
+func (s *InverterString) ReferenceSpeedup() float64 {
+	return s.ReferenceEquipotentialCycle() / s.ReferenceMinPipelinedPeriod()
+}
+
+// ReferencePipelinedRun is the pre-kernel PipelinedRun: the discrete-
+// event simulation unconditionally, even when the string is
+// deterministic and no edge overtakes another.
+func (s *InverterString) ReferencePipelinedRun(period float64, cycles int, jitterSD float64, rng *stats.RNG) (RunResult, error) {
+	if period <= 0 {
+		return RunResult{}, errBadPeriod(period)
+	}
+	if cycles < 1 {
+		return RunResult{}, errBadCycles(cycles)
+	}
+	if jitterSD > 0 && rng == nil {
+		return RunResult{}, errJitterNeedsRNG()
+	}
+	return s.desPipelinedRun(period, cycles, jitterSD, rng), nil
+}

@@ -20,6 +20,7 @@ package wiresim
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/des"
 	"repro/internal/stats"
@@ -48,12 +49,47 @@ func (p Polarity) String() string {
 // InverterString models a chain of inverters used as a clock distribution
 // line. rise[i] (fall[i]) is the propagation delay of stage i for a rising
 // (falling) edge arriving at its input.
+//
+// The string is immutable after NewString, which precomputes a kernel
+// over it: cumulative delay prefixes for both launch polarities (built
+// with exactly the incremental accumulation the retained reference
+// loops perform, so lookups are bit-identical) and the accumulated
+// rise/fall discrepancy. TraversalTime, EquipotentialCycle,
+// MaxDiscrepancy, MinPipelinedPeriod, and Speedup are therefore O(1)
+// and allocation-free; the pre-kernel loops survive as the Reference*
+// methods in reference.go and zero-tolerance tests hold the two sides
+// equal.
 type InverterString struct {
 	rise, fall []float64
 	// MinSeparation is the smallest spacing two consecutive edges may
 	// have anywhere on the string before the later edge swallows the
 	// earlier one (a pulse collapses).
 	MinSeparation float64
+
+	// cumRise[j] (cumFall[j]) is the cumulative delay of an edge
+	// launched rising (falling) through the first j stages.
+	cumRise, cumFall []float64
+	maxDisc          float64
+	scratch          sync.Pool // *wsArena, PipelinedRun fast-path state
+}
+
+// wsArena is one worker's PipelinedRun scratch: the per-boundary
+// previous-arrival times. Reused via the string's pool so repeated runs
+// over one string allocate only their result slice.
+type wsArena struct {
+	last []float64
+}
+
+func errBadPeriod(period float64) error {
+	return fmt.Errorf("wiresim: period must be positive, got %g", period)
+}
+
+func errBadCycles(cycles int) error {
+	return fmt.Errorf("wiresim: need ≥ 1 cycle, got %d", cycles)
+}
+
+func errJitterNeedsRNG() error {
+	return fmt.Errorf("wiresim: jitterSD set but no RNG given")
 }
 
 // Config describes the physical parameters of an inverter string.
@@ -139,7 +175,32 @@ func NewString(cfg Config, rng *stats.RNG) (*InverterString, error) {
 			return nil, fmt.Errorf("wiresim: stage %d has non-positive delay (bias/noise too large)", i)
 		}
 	}
+	s.precompute()
 	return s, nil
+}
+
+// precompute builds the kernel over the finished stage delays: both
+// launch polarities' cumulative prefixes and the worst rise/fall gap.
+// The accumulation is the reference loops' own (tr += stageDelay in
+// stage order), so prefix lookups reproduce their sums bit for bit.
+func (s *InverterString) precompute() {
+	n := len(s.rise)
+	s.cumRise = make([]float64, n+1)
+	s.cumFall = make([]float64, n+1)
+	var tr, tf, worst float64
+	p := Rising
+	for i := 0; i < n; i++ {
+		tr += s.stageDelay(i, p)
+		tf += s.stageDelay(i, p.Invert())
+		s.cumRise[i+1] = tr
+		s.cumFall[i+1] = tf
+		if d := math.Abs(tr - tf); d > worst {
+			worst = d
+		}
+		p = p.Invert()
+	}
+	s.maxDisc = worst
+	s.scratch.New = func() any { return &wsArena{} }
 }
 
 // N returns the number of inverters.
@@ -156,15 +217,13 @@ func (s *InverterString) stageDelay(i int, p Polarity) float64 {
 
 // TraversalTime returns the total time for a single edge of the given
 // launch polarity to propagate through the whole string. The edge's
-// polarity flips at every inverter.
+// polarity flips at every inverter. O(1): the cumulative prefixes are
+// precomputed, bit-identical to ReferenceTraversalTime's loop.
 func (s *InverterString) TraversalTime(launch Polarity) float64 {
-	var t float64
-	p := launch
-	for i := range s.rise {
-		t += s.stageDelay(i, p)
-		p = p.Invert()
+	if launch == Rising {
+		return s.cumRise[len(s.rise)]
 	}
-	return t
+	return s.cumFall[len(s.rise)]
 }
 
 // EquipotentialCycle returns the cycle time of conventional single-phase
@@ -180,19 +239,10 @@ func (s *InverterString) EquipotentialCycle() float64 {
 // with polarity p through the first j stages. This is the accumulated
 // rise/fall discrepancy of Section VII: consecutive pipelined clock edges
 // launched T/2 apart arrive at stage j with spacing T/2 ± Δ_j, so the
-// discrepancy decides the minimum pipelined period.
+// discrepancy decides the minimum pipelined period. O(1): precomputed,
+// bit-identical to ReferenceMaxDiscrepancy's walk.
 func (s *InverterString) MaxDiscrepancy() float64 {
-	var dr, df, worst float64
-	p := Rising
-	for i := range s.rise {
-		dr += s.stageDelay(i, p)
-		df += s.stageDelay(i, p.Invert())
-		if d := math.Abs(dr - df); d > worst {
-			worst = d
-		}
-		p = p.Invert()
-	}
-	return worst
+	return s.maxDisc
 }
 
 // MinPipelinedPeriod returns the smallest clock period at which a 50%-duty
@@ -224,21 +274,98 @@ type RunResult struct {
 }
 
 // PipelinedRun simulates driving the string with a 50%-duty clock of the
-// given period for the given number of cycles, using a discrete-event
-// simulation of every edge through every stage. jitterSD, when positive,
+// given period for the given number of cycles. jitterSD, when positive,
 // adds fresh random noise to every stage traversal of every edge — the
 // time-varying behavior that violates assumption A8 and defeats pipelined
 // clocking (Section VI's starting point).
+//
+// Without jitter the stage delays are fixed, so each edge's arrival
+// times are a deterministic replay; PipelinedRun then walks the edges
+// in launch order over flat arrays instead of paying the event heap,
+// falling back to the reference discrete-event simulation the moment a
+// later edge overtakes an earlier one (where launch order stops being
+// arrival order). Either way the result is bit-identical to
+// ReferencePipelinedRun.
 func (s *InverterString) PipelinedRun(period float64, cycles int, jitterSD float64, rng *stats.RNG) (RunResult, error) {
 	if period <= 0 {
-		return RunResult{}, fmt.Errorf("wiresim: period must be positive, got %g", period)
+		return RunResult{}, errBadPeriod(period)
 	}
 	if cycles < 1 {
-		return RunResult{}, fmt.Errorf("wiresim: need ≥ 1 cycle, got %d", cycles)
+		return RunResult{}, errBadCycles(cycles)
 	}
 	if jitterSD > 0 && rng == nil {
-		return RunResult{}, fmt.Errorf("wiresim: jitterSD set but no RNG given")
+		return RunResult{}, errJitterNeedsRNG()
 	}
+	if jitterSD <= 0 {
+		if res, ok := s.fastPipelinedRun(period, cycles); ok {
+			return res, nil
+		}
+	}
+	return s.desPipelinedRun(period, cycles, jitterSD, rng), nil
+}
+
+// fastPipelinedRun is the deterministic fast path: every edge's arrival
+// times are accumulated with the DES's own float operations (launch +
+// per-stage additions), and the per-boundary spacing bookkeeping is
+// replayed in launch order. Reports ok=false — caller must run the DES
+// — if any spacing goes negative, i.e. an edge overtook its
+// predecessor and launch order is no longer arrival order.
+func (s *InverterString) fastPipelinedRun(period float64, cycles int) (RunResult, bool) {
+	n := s.N()
+	ar := s.scratch.Get().(*wsArena)
+	if cap(ar.last) < n+1 {
+		ar.last = make([]float64, n+1)
+	} else {
+		ar.last = ar.last[:n+1]
+	}
+	last := ar.last
+	for i := range last {
+		last[i] = math.Inf(-1)
+	}
+	res := RunResult{MinSpacing: math.Inf(1)}
+	lastOut := math.Inf(-1)
+	edges := 2 * cycles
+	res.OutputSpacings = make([]float64, 0, edges-1)
+	for k := 0; k < edges; k++ {
+		p := Rising
+		if k%2 == 1 {
+			p = Falling
+		}
+		t := float64(k) * period / 2
+		for i := 0; i <= n; i++ {
+			if spacing := t - last[i]; !math.IsInf(spacing, -1) {
+				if spacing < 0 {
+					s.scratch.Put(ar)
+					return RunResult{}, false
+				}
+				if spacing < res.MinSpacing {
+					res.MinSpacing = spacing
+				}
+				if spacing < s.MinSeparation-1e-15 {
+					res.Violations++
+				}
+			}
+			last[i] = t
+			if i == n {
+				res.EdgesDelivered++
+				if !math.IsInf(lastOut, -1) {
+					res.OutputSpacings = append(res.OutputSpacings, t-lastOut)
+				}
+				lastOut = t
+				break
+			}
+			t += s.stageDelay(i, p)
+			p = p.Invert()
+		}
+	}
+	s.scratch.Put(ar)
+	return res, true
+}
+
+// desPipelinedRun is the retained pre-kernel discrete-event simulation,
+// shared by ReferencePipelinedRun and PipelinedRun's jitter/fallback
+// paths. Inputs are assumed validated.
+func (s *InverterString) desPipelinedRun(period float64, cycles int, jitterSD float64, rng *stats.RNG) RunResult {
 	n := s.N()
 	res := RunResult{MinSpacing: math.Inf(1)}
 	lastArrival := make([]float64, n+1) // per stage boundary, time of previous edge
@@ -288,5 +415,5 @@ func (s *InverterString) PipelinedRun(period float64, cycles int, jitterSD float
 		inject(0, float64(k)*period/2, p)
 	}
 	sim.Run(int64(2*cycles) * int64(n+2) * 2)
-	return res, nil
+	return res
 }
