@@ -1,12 +1,15 @@
 // Command syncd serves the planning, analysis, and simulation engines
 // over HTTP with content-addressed result caching, request coalescing,
-// and graceful drain.
+// and graceful drain — standalone or as one node of a peer cluster.
 //
 // Usage:
 //
 //	syncd [-addr 127.0.0.1:8080] [-cache 1024] [-kernel-cache 256]
 //	      [-max-kernel-pairs 0] [-max-kernel-bytes 0] [-max-batch-configs 64]
 //	      [-workers 0] [-deadline 30s] [-max-deadline 2m] [-quiet] [-pprof]
+//	      [-peers http://h2:8080,http://h3:8080] [-self http://h1:8080]
+//	      [-replicas 128] [-hedge-after 0] [-health-interval 1s]
+//	      [-jobs] [-max-jobs 64] [-debug-delay 0]
 //
 // Endpoints:
 //
@@ -16,16 +19,38 @@
 //	                     posting configs runs a batched sweep of N configs
 //	                     over one topology with a shared simulation kernel
 //	GET  /v1/layout.svg  render a topology (optionally with its clock tree)
+//	POST /v1/jobs        start an async analysis or simulation job
+//	GET  /v1/jobs/{id}   poll a job; DELETE cancels it
+//	GET  /v1/jobs/{id}/stream  follow a job's progress and partial results
+//	                     as NDJSON (SSE with Accept: text/event-stream)
 //	GET  /healthz        liveness
 //	GET  /metrics        counters, cache stats, latency quantiles
 //	                     (expvar JSON; ?format=prom for Prometheus text)
+//
+// Cluster mode: -peers joins this node to a static peer group. The
+// members place each other on a consistent-hash ring over request
+// content addresses; any node accepts any request and forwards the ones
+// a peer owns, hedging the forward after -hedge-after (0 derives the
+// delay from observed peer latency percentiles; a negative value
+// disables hedging). Two extra endpoints appear:
+//
+//	GET  /v1/cluster/info   membership, health, and hedge state
+//	POST /v1/cluster/fill   accept a pushed cache entry from a peer
+//
+// Without -peers the daemon behaves exactly as a standalone server.
 //
 // With -pprof the net/http/pprof profiling endpoints are additionally
 // served under /debug/pprof/ (default off: profiling handlers expose
 // internals and should be opted into, not ambient).
 //
+// -debug-delay sleeps that long before serving every request. It exists
+// to stand in for a degraded node in hedging experiments (the committed
+// BENCH_cluster.json slow-peer scenario) and has no production use.
+//
 // On SIGINT/SIGTERM the daemon stops accepting connections, lets
-// in-flight requests finish (bounded by -drain-timeout), and exits 0.
+// in-flight requests finish (bounded by -drain-timeout), and exits 0. A
+// clustered node also pushes its warm result-cache entries to their
+// ring owners before exiting, so the survivors keep the cache.
 package main
 
 import (
@@ -37,9 +62,12 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
+	"repro/internal/jobs"
 	"repro/internal/service"
 	"repro/internal/skew"
 )
@@ -57,6 +85,15 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
 	quiet := flag.Bool("quiet", false, "suppress per-request log lines")
 	withPprof := flag.Bool("pprof", false, "serve net/http/pprof endpoints under /debug/pprof/")
+
+	peers := flag.String("peers", "", "comma-separated peer base URLs; empty runs standalone")
+	self := flag.String("self", "", "this node's base URL as peers reach it (default http://<addr> once the listener is bound)")
+	replicas := flag.Int("replicas", 0, "consistent-hash virtual nodes per member (0 = default)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "forwarded-request hedge delay: 0 adapts to observed peer latency, < 0 disables hedging")
+	healthInterval := flag.Duration("health-interval", time.Second, "peer health probe period")
+	withJobs := flag.Bool("jobs", true, "serve the async /v1/jobs API")
+	maxJobs := flag.Int("max-jobs", 64, "most jobs tracked at once (excess creates get 429)")
+	debugDelay := flag.Duration("debug-delay", 0, "sleep this long before serving each request (degraded-node stand-in for hedging experiments)")
 	flag.Parse()
 
 	cfg := service.Config{
@@ -67,6 +104,8 @@ func main() {
 		Workers:            *workers,
 		DefaultDeadline:    *deadline,
 		MaxDeadline:        *maxDeadline,
+		DisableJobs:        !*withJobs,
+		Jobs:               jobs.Config{MaxJobs: *maxJobs},
 	}
 	if !*quiet {
 		cfg.LogWriter = os.Stderr
@@ -77,7 +116,43 @@ func main() {
 		fmt.Fprintln(os.Stderr, "syncd:", err)
 		os.Exit(1)
 	}
-	var handler http.Handler = service.NewServer(cfg)
+
+	var s *service.Server
+	if *peers != "" {
+		selfURL := *self
+		if selfURL == "" {
+			selfURL = "http://" + ln.Addr().String()
+		}
+		cfg.Cluster = &service.ClusterConfig{
+			Self:           selfURL,
+			Peers:          splitPeers(*peers),
+			Replicas:       *replicas,
+			HealthInterval: *healthInterval,
+			HedgePolicy:    hedgePolicy(*hedgeAfter),
+		}
+		s, err = service.NewClusterServer(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "syncd:", err)
+			os.Exit(1)
+		}
+	} else {
+		s = service.NewServer(cfg)
+	}
+	defer s.Close()
+
+	var handler http.Handler = s
+	if *debugDelay > 0 {
+		inner := handler
+		d := *debugDelay
+		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			// Peer probes stay fast so a deliberately slow node is still
+			// seen as alive — slow is exactly what the hedge is for.
+			if r.URL.Path != "/healthz" {
+				time.Sleep(d)
+			}
+			inner.ServeHTTP(w, r)
+		})
+	}
 	if *withPprof {
 		// Explicit registrations on a private mux: importing net/http/pprof
 		// for its side effect would pollute http.DefaultServeMux and serve
@@ -113,9 +188,39 @@ func main() {
 			os.Exit(1)
 		}
 		<-serveErr // Serve has returned ErrServerClosed by now
+		if *peers != "" {
+			if n := s.DrainToPeers(ctx); n > 0 {
+				fmt.Fprintf(os.Stderr, "syncd: migrated %d cache entries to peers\n", n)
+			}
+		}
 		fmt.Fprintln(os.Stderr, "syncd: drained cleanly")
 	case err := <-serveErr:
 		fmt.Fprintln(os.Stderr, "syncd:", err)
 		os.Exit(1)
+	}
+}
+
+// splitPeers parses the -peers list, dropping empty entries so trailing
+// commas are harmless.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, strings.TrimRight(p, "/"))
+		}
+	}
+	return out
+}
+
+// hedgePolicy maps the -hedge-after flag: negative disables, zero
+// adapts to the observed peer latency distribution, positive is fixed.
+func hedgePolicy(d time.Duration) cluster.HedgePolicy {
+	switch {
+	case d < 0:
+		return cluster.HedgePolicy{}
+	case d == 0:
+		return cluster.HedgePolicy{Adaptive: true, Percentile: 95, Max: 2 * time.Second}
+	default:
+		return cluster.HedgePolicy{HedgeAfter: d}
 	}
 }

@@ -13,6 +13,14 @@
 //	syncload [-url http://127.0.0.1:8080] [-qps 50] [-duration 10s]
 //	         [-concurrency 16] [-mix plan=4,analyze=3,simulate=2,batch=1,layout=1]
 //	         [-variants 8] [-seed 1] [-json] [-cpuprofile load.pprof]
+//	         [-cluster http://h1:8080,http://h2:8080,http://h3:8080]
+//
+// With -cluster the workload round-robins across the listed nodes —
+// every node sees every kind of request, which is exactly the situation
+// consistent-hash routing exists for — and the report gains a per-node
+// breakdown of kernel builds, peer forwards, and cache fills scraped
+// from each node's /metrics, so a run shows whether the cluster built
+// each distinct kernel once or once per node.
 //
 // With -json the report is a single typed document with a per-endpoint
 // latency breakdown (requests, errors, cache hits, coalesced, p50/p95/
@@ -50,6 +58,7 @@ type shot struct {
 	method    string
 	path      string // path + query for GETs
 	body      string
+	base      string // node base URL this shot is aimed at
 	scheduled time.Time
 }
 
@@ -71,6 +80,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload generation seed")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON instead of a table")
 	cpuprofile := flag.String("cpuprofile", "", "write the generator's CPU profile (pprof format) to this file")
+	clusterURLs := flag.String("cluster", "", "comma-separated node base URLs; requests round-robin across them (overrides -url)")
 	flag.Parse()
 
 	if *qps <= 0 || *duration <= 0 || *concurrency < 1 || *variants < 1 {
@@ -90,6 +100,18 @@ func main() {
 				fail(err)
 			}
 		}()
+	}
+	bases := []string{*baseURL}
+	if *clusterURLs != "" {
+		bases = bases[:0]
+		for _, u := range strings.Split(*clusterURLs, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				bases = append(bases, strings.TrimRight(u, "/"))
+			}
+		}
+		if len(bases) == 0 {
+			fail(fmt.Errorf("-cluster %q names no nodes", *clusterURLs))
+		}
 	}
 	weights, err := parseMix(*mix)
 	if err != nil {
@@ -121,7 +143,7 @@ func main() {
 		go func() {
 			defer wg.Done()
 			for sh := range shots {
-				outcomes <- fire(client, *baseURL, sh)
+				outcomes <- fire(client, sh.base, sh)
 			}
 		}()
 	}
@@ -134,7 +156,8 @@ func main() {
 		}
 		ep := endpoints[i]
 		v := pool[ep][picks[i]]
-		shots <- shot{endpoint: ep, method: v.method, path: v.path, body: v.body, scheduled: scheduled}
+		shots <- shot{endpoint: ep, method: v.method, path: v.path, body: v.body,
+			base: bases[i%len(bases)], scheduled: scheduled}
 	}
 	close(shots)
 	wg.Wait()
@@ -145,28 +168,62 @@ func main() {
 	for o := range outcomes {
 		byEndpoint[o.endpoint] = append(byEndpoint[o.endpoint], o)
 	}
-	kHits, kMisses := kernelCacheStats(client, *baseURL)
-	render(byEndpoint, elapsed, *qps, *jsonOut, kHits, kMisses)
+	nodes := make([]nodeStats, 0, len(bases))
+	var kHits, kMisses int64
+	for _, b := range bases {
+		ns := scrapeNode(client, b)
+		kHits += ns.KernelCacheHits
+		kMisses += ns.KernelCacheMisses
+		nodes = append(nodes, ns)
+	}
+	if *clusterURLs == "" {
+		nodes = nil // single-node report keeps its original shape
+	}
+	render(byEndpoint, elapsed, *qps, *jsonOut, kHits, kMisses, nodes)
 }
 
-// kernelCacheStats scrapes the server's /metrics document for the
-// skew-kernel cache counters, so the report shows how much precomputed
-// geometry the workload reused. A failed scrape reports zeros rather
-// than failing the run — the load results are still valid.
-func kernelCacheStats(client *http.Client, base string) (hits, misses int64) {
+// nodeStats is one node's post-run counter scrape: the kernel-cache
+// counters every report carries, plus the cluster counters that show
+// whether routing did its job (forwards sum over the per-peer map).
+type nodeStats struct {
+	URL               string `json:"url"`
+	KernelCacheHits   int64  `json:"kernel_cache_hits"`
+	KernelCacheMisses int64  `json:"kernel_cache_misses"`
+	Forwards          int64  `json:"cluster_forwards"`
+	ForwardErrors     int64  `json:"cluster_forward_errors"`
+	Hedges            int64  `json:"cluster_hedges"`
+	HedgeWins         int64  `json:"cluster_hedge_wins"`
+	CacheFills        int64  `json:"cluster_cache_fills"`
+}
+
+// scrapeNode reads one node's /metrics document. A failed scrape
+// reports zeros rather than failing the run — the load results are
+// still valid.
+func scrapeNode(client *http.Client, base string) nodeStats {
+	ns := nodeStats{URL: base}
 	resp, err := client.Get(base + "/metrics")
 	if err != nil {
-		return 0, 0
+		return ns
 	}
 	defer resp.Body.Close()
 	var doc struct {
-		Hits   int64 `json:"kernel_cache_hits"`
-		Misses int64 `json:"kernel_cache_misses"`
+		Hits          int64            `json:"kernel_cache_hits"`
+		Misses        int64            `json:"kernel_cache_misses"`
+		Forwards      map[string]int64 `json:"cluster_forward_total"`
+		ForwardErrors int64            `json:"cluster_forward_errors_total"`
+		Hedges        int64            `json:"cluster_hedge_total"`
+		HedgeWins     int64            `json:"cluster_hedge_wins_total"`
+		CacheFills    int64            `json:"cluster_cache_fill_total"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
-		return 0, 0
+		return ns
 	}
-	return doc.Hits, doc.Misses
+	ns.KernelCacheHits, ns.KernelCacheMisses = doc.Hits, doc.Misses
+	ns.ForwardErrors, ns.Hedges, ns.HedgeWins, ns.CacheFills = doc.ForwardErrors, doc.Hedges, doc.HedgeWins, doc.CacheFills
+	for _, n := range doc.Forwards {
+		ns.Forwards += n
+	}
+	return ns
 }
 
 // variant is one concrete request in the pool.
@@ -184,6 +241,18 @@ func buildPool(n int) map[string][]variant {
 	pool := map[string][]variant{}
 	for i := 0; i < n; i++ {
 		side := 3 + i%4 // mesh sides 3..6
+		trials := 64
+		if i >= 8 {
+			// Variants past the original eight sweep distinct large
+			// meshes with very few trials, so a high -variants run is
+			// kernel-construction-heavy and carries a working set
+			// bigger than one node's -kernel-cache — the regime the
+			// cluster bench exercises. The first eight stay exactly as
+			// they always were, keeping default runs comparable across
+			// the committed BENCH_serve.json trajectory.
+			side = 88 + 4*(i-8)
+			trials = 4
+		}
 		ring := 8 + 2*(i%5)
 		pool["plan"] = append(pool["plan"], variant{
 			method: "POST", path: "/v1/plan",
@@ -191,7 +260,7 @@ func buildPool(n int) map[string][]variant {
 		})
 		pool["analyze"] = append(pool["analyze"], variant{
 			method: "POST", path: "/v1/analyze",
-			body: fmt.Sprintf(`{"topology":{"kind":"mesh","n":%d},"trees":["htree","spine"],"montecarlo_trials":64,"seed":%d}`, side, i+1),
+			body: fmt.Sprintf(`{"topology":{"kind":"mesh","n":%d},"trees":["htree","spine"],"montecarlo_trials":%d,"seed":%d}`, side, trials, i+1),
 		})
 		pool["simulate"] = append(pool["simulate"], variant{
 			method: "POST", path: "/v1/simulate",
@@ -315,8 +384,11 @@ type loadReport struct {
 	Overall     endpointReport   `json:"overall"`
 	// Server-side skew-kernel cache counters scraped from /metrics after
 	// the run (zero when the scrape fails or the server predates them).
+	// In -cluster mode these are sums over every node.
 	KernelCacheHits   int64 `json:"kernel_cache_hits"`
 	KernelCacheMisses int64 `json:"kernel_cache_misses"`
+	// Nodes is the per-node scrape, present only in -cluster mode.
+	Nodes []nodeStats `json:"nodes,omitempty"`
 }
 
 func summarize(name string, os []outcome) endpointReport {
@@ -347,7 +419,7 @@ func round2(v float64) float64 {
 	return f
 }
 
-func render(byEndpoint map[string][]outcome, elapsed time.Duration, offeredQPS float64, asJSON bool, kernelHits, kernelMisses int64) {
+func render(byEndpoint map[string][]outcome, elapsed time.Duration, offeredQPS float64, asJSON bool, kernelHits, kernelMisses int64, nodes []nodeStats) {
 	names := make([]string, 0, len(byEndpoint))
 	for n := range byEndpoint {
 		names = append(names, n)
@@ -367,6 +439,7 @@ func render(byEndpoint map[string][]outcome, elapsed time.Duration, offeredQPS f
 	rep.Errors = rep.Overall.Errors
 	rep.AchievedQPS = round2(float64(rep.Completed) / elapsed.Seconds())
 	rep.KernelCacheHits, rep.KernelCacheMisses = kernelHits, kernelMisses
+	rep.Nodes = nodes
 
 	if asJSON {
 		enc := json.NewEncoder(os.Stdout)
@@ -392,6 +465,10 @@ func render(byEndpoint map[string][]outcome, elapsed time.Duration, offeredQPS f
 		rep.OfferedQPS, rep.AchievedQPS, rep.Completed, rep.Errors, elapsed.Seconds())
 	if kernelHits+kernelMisses > 0 {
 		fmt.Printf("server kernel cache: %d hits, %d misses\n", kernelHits, kernelMisses)
+	}
+	for _, n := range nodes {
+		fmt.Printf("node %s: kernel %d/%d hit/miss, forwards %d (errors %d), hedges %d (won %d), cache fills %d\n",
+			n.URL, n.KernelCacheHits, n.KernelCacheMisses, n.Forwards, n.ForwardErrors, n.Hedges, n.HedgeWins, n.CacheFills)
 	}
 }
 

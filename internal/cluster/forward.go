@@ -1,0 +1,253 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ForwardedHeader marks a request as already relayed once. A node
+// receiving it always serves locally, so a forwarded request can never
+// bounce between peers — at most one network hop (plus the hedge copy)
+// per client request.
+const ForwardedHeader = "X-Syncd-Forwarded"
+
+// ServedByHeader names the peer that actually computed a forwarded
+// response, so clients and logs can attribute work across the cluster.
+const ServedByHeader = "X-Syncd-Served-By"
+
+// hedgeWindow bounds the latency reservoir behind the adaptive hedge
+// delay; percentiles are computed over the most recent window.
+const hedgeWindow = 512
+
+// minHedgeSamples is how many forward latencies the adaptive delay
+// wants before trusting its percentile over the configured floor.
+const minHedgeSamples = 16
+
+// HedgePolicy derives when the second (hedged) copy of a forward is
+// sent. With Adaptive set, the delay is the Percentile of recently
+// observed forward latencies (clamped to [HedgeAfter, Max]), so the
+// hedge fires only when the primary is slower than the cluster's recent
+// tail — the latency-percentile-derived delay of the classic
+// tail-at-scale hedged request. Without Adaptive the delay is the fixed
+// HedgeAfter, and HedgeAfter <= 0 disables hedging entirely.
+type HedgePolicy struct {
+	HedgeAfter time.Duration // fixed delay, and the adaptive floor
+	Adaptive   bool          // derive from observed latency percentiles
+	Percentile float64       // adaptive quantile, default 95
+	Max        time.Duration // adaptive cap, default 2s
+}
+
+func (p HedgePolicy) withDefaults() HedgePolicy {
+	if p.Percentile == 0 {
+		p.Percentile = 95
+	}
+	if p.Max <= 0 {
+		p.Max = 2 * time.Second
+	}
+	return p
+}
+
+// Forwarder relays requests to peers with hedging: the primary target
+// is tried immediately, and if it has not answered after the policy's
+// delay a second copy goes to the next target; the first response wins
+// and the loser's request context is cancelled. A target that fails at
+// the transport layer (connection refused, reset) triggers immediate
+// failover to the next untried target instead of waiting out the hedge
+// timer. Safe for concurrent use.
+type Forwarder struct {
+	client *http.Client
+	policy HedgePolicy
+
+	mu   sync.Mutex
+	lats [hedgeWindow]time.Duration // observed forward latencies, ring
+	latN int                        // total observations
+}
+
+// NewForwarder builds a Forwarder. client nil takes a default with a
+// 2-minute timeout (forwarded engine computations can be slow).
+func NewForwarder(client *http.Client, policy HedgePolicy) *Forwarder {
+	if client == nil {
+		client = &http.Client{Timeout: 2 * time.Minute}
+	}
+	return &Forwarder{client: client, policy: policy.withDefaults()}
+}
+
+// Result is one completed forward: the winning response (body fully
+// read) and how it was obtained.
+type Result struct {
+	Status      int
+	ContentType string
+	Body        []byte
+	Peer        string // target that produced the winning response
+	Hedged      bool   // a second copy was sent by the hedge timer
+	HedgeWon    bool   // ... and it answered first
+	Latency     time.Duration
+}
+
+// HedgeDelay returns the delay before the hedge copy is sent, derived
+// from the policy and (when adaptive) the observed latency reservoir.
+// It returns false when hedging is disabled.
+func (f *Forwarder) HedgeDelay() (time.Duration, bool) {
+	p := f.policy
+	if !p.Adaptive {
+		if p.HedgeAfter <= 0 {
+			return 0, false
+		}
+		return p.HedgeAfter, true
+	}
+	f.mu.Lock()
+	n := f.latN
+	if n > hedgeWindow {
+		n = hedgeWindow
+	}
+	window := make([]time.Duration, n)
+	copy(window, f.lats[:n])
+	total := f.latN
+	f.mu.Unlock()
+	if total < minHedgeSamples {
+		if p.HedgeAfter > 0 {
+			return p.HedgeAfter, true
+		}
+		return 50 * time.Millisecond, true
+	}
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	idx := int(float64(len(window)-1) * p.Percentile / 100)
+	d := window[idx]
+	if d < p.HedgeAfter {
+		d = p.HedgeAfter
+	}
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	if d > p.Max {
+		d = p.Max
+	}
+	return d, true
+}
+
+// observe records one successful forward latency into the reservoir.
+func (f *Forwarder) observe(d time.Duration) {
+	f.mu.Lock()
+	f.lats[f.latN%hedgeWindow] = d
+	f.latN++
+	f.mu.Unlock()
+}
+
+// attempt is one in-flight copy of the forward.
+type attempt struct {
+	peer   string
+	res    *Result
+	err    error
+	cancel context.CancelFunc
+}
+
+// Do relays (method, path, body, header) to targets[0], hedging to
+// targets[1] per the policy, and returns the first response. Any HTTP
+// response — success or error status — wins; only transport failures
+// fall through to the next target. When every target fails, the last
+// transport error is returned (the caller maps it to 502
+// peer_unreachable). Losing attempts are cancelled before Do returns;
+// their goroutines drain into a buffered channel and exit, so nothing
+// leaks even under heavy hedging.
+func (f *Forwarder) Do(ctx context.Context, method, path string, body []byte, header http.Header, targets []string) (*Result, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("cluster: forward with no targets")
+	}
+	start := time.Now()
+	results := make(chan *attempt, len(targets))
+	var attempts []*attempt
+	launch := func(peer string) {
+		actx, cancel := context.WithCancel(ctx)
+		a := &attempt{peer: peer, cancel: cancel}
+		attempts = append(attempts, a)
+		go func() {
+			a.res, a.err = f.send(actx, method, peer+path, body, header)
+			results <- a
+		}()
+	}
+	defer func() {
+		for _, a := range attempts {
+			a.cancel()
+		}
+	}()
+
+	launch(targets[0])
+	hedged := false
+	var hedgeC <-chan time.Time
+	if delay, ok := f.HedgeDelay(); ok && len(targets) > 1 {
+		t := time.NewTimer(delay)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+
+	failures := 0
+	var lastErr error
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-hedgeC:
+			hedgeC = nil
+			hedged = true
+			launch(targets[1])
+		case a := <-results:
+			if a.err == nil {
+				a.res.Peer = a.peer
+				a.res.Hedged = hedged
+				a.res.HedgeWon = hedged && a.peer != targets[0]
+				a.res.Latency = time.Since(start)
+				f.observe(a.res.Latency)
+				return a.res, nil
+			}
+			failures++
+			lastErr = a.err
+			if failures == len(attempts) {
+				if len(attempts) < len(targets) {
+					// Fail over immediately; disarm the hedge timer so it
+					// cannot launch the same target a second time.
+					hedgeC = nil
+					launch(targets[len(attempts)])
+					continue
+				}
+				return nil, fmt.Errorf("cluster: all %d forward targets unreachable: %w", len(targets), lastErr)
+			}
+		}
+	}
+}
+
+// send issues one HTTP copy and reads its body fully.
+func (f *Forwarder) send(ctx context.Context, method, url string, body []byte, header http.Header) (*Result, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return nil, err
+	}
+	for k, vs := range header {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	req.Header.Set(ForwardedHeader, "1")
+	if body != nil && req.Header.Get("Content-Type") == "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Status: resp.StatusCode, ContentType: resp.Header.Get("Content-Type"), Body: b}, nil
+}

@@ -1,0 +1,258 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// peerServer is a fake syncd peer: it answers with its name after an
+// optional delay, and records whether its in-flight request contexts
+// were cancelled.
+type peerServer struct {
+	name      string
+	delay     time.Duration
+	srv       *httptest.Server
+	hits      atomic.Int64
+	cancelled atomic.Int64
+}
+
+func newPeerServer(name string, delay time.Duration) *peerServer {
+	p := &peerServer{name: name, delay: delay}
+	p.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		p.hits.Add(1)
+		// Drain the body: the server's client-disconnect detection (which
+		// cancels r.Context()) only engages once the body is consumed.
+		io.Copy(io.Discard, r.Body)
+		select {
+		case <-time.After(p.delay):
+		case <-r.Context().Done():
+			p.cancelled.Add(1)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"served_by":"` + p.name + `"}`))
+	}))
+	return p
+}
+
+func (p *peerServer) Close()      { p.srv.Close() }
+func (p *peerServer) URL() string { return p.srv.URL }
+
+// A slow primary must trigger the hedge after the configured delay, the
+// fast secondary's response must win, and the slow loser's context must
+// be cancelled rather than left running to completion.
+func TestHedgeFiresAfterDelayAndWins(t *testing.T) {
+	slow := newPeerServer("slow", 2*time.Second)
+	defer slow.Close()
+	fast := newPeerServer("fast", 0)
+	defer fast.Close()
+
+	f := NewForwarder(nil, HedgePolicy{HedgeAfter: 30 * time.Millisecond})
+	start := time.Now()
+	res, err := f.Do(context.Background(), http.MethodPost, "/v1/plan", []byte(`{}`), nil,
+		[]string{slow.URL(), fast.URL()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if res.Peer != fast.URL() {
+		t.Fatalf("winner = %q, want the hedged fast peer %q", res.Peer, fast.URL())
+	}
+	if !res.Hedged || !res.HedgeWon {
+		t.Fatalf("want Hedged and HedgeWon, got %+v", res)
+	}
+	if elapsed < 30*time.Millisecond {
+		t.Fatalf("hedge fired after %v, before the 30ms delay", elapsed)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("hedged response took %v; the slow primary was not overtaken", elapsed)
+	}
+	if string(res.Body) != `{"served_by":"fast"}` {
+		t.Fatalf("body %q", res.Body)
+	}
+	// The loser must observe cancellation promptly (well before its own
+	// 2s sleep would finish).
+	deadline := time.Now().Add(2 * time.Second)
+	for slow.cancelled.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slow peer's request context was never cancelled")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// A fast primary must answer before the hedge timer, sending exactly
+// one request.
+func TestNoHedgeWhenPrimaryFast(t *testing.T) {
+	fast := newPeerServer("fast", 0)
+	defer fast.Close()
+	backup := newPeerServer("backup", 0)
+	defer backup.Close()
+
+	f := NewForwarder(nil, HedgePolicy{HedgeAfter: 200 * time.Millisecond})
+	res, err := f.Do(context.Background(), http.MethodPost, "/v1/plan", []byte(`{}`), nil,
+		[]string{fast.URL(), backup.URL()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hedged || res.HedgeWon || res.Peer != fast.URL() {
+		t.Fatalf("fast primary should win unhedged, got %+v", res)
+	}
+	if backup.hits.Load() != 0 {
+		t.Fatalf("backup was contacted %d times; hedge fired for a fast primary", backup.hits.Load())
+	}
+}
+
+// A dead primary fails over to the next target immediately, without
+// waiting for the hedge timer, and a fully dead target list reports a
+// transport error (the service maps it to 502 peer_unreachable).
+func TestFailoverOnTransportError(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close() // refuse connections from now on
+	alive := newPeerServer("alive", 0)
+	defer alive.Close()
+
+	f := NewForwarder(nil, HedgePolicy{HedgeAfter: 10 * time.Second})
+	start := time.Now()
+	res, err := f.Do(context.Background(), http.MethodPost, "/v1/plan", []byte(`{}`), nil,
+		[]string{dead.URL, alive.URL()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Peer != alive.URL() {
+		t.Fatalf("winner %q, want failover target", res.Peer)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("failover waited for the hedge timer instead of reacting to the transport error")
+	}
+
+	if _, err := f.Do(context.Background(), http.MethodPost, "/v1/plan", []byte(`{}`), nil,
+		[]string{dead.URL}); err == nil {
+		t.Fatal("all-dead target list must report an error")
+	}
+}
+
+// Peer HTTP error statuses are responses, not transport failures: a 422
+// from the owner must win as-is, not trigger failover to a peer that
+// would answer 200 (statuses must stay attributable to the owner).
+func TestErrorStatusWinsWithoutFailover(t *testing.T) {
+	erring := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(422)
+		w.Write([]byte(`{"error":"bad tree","reason":"unprocessable"}`))
+	}))
+	defer erring.Close()
+	backup := newPeerServer("backup", 0)
+	defer backup.Close()
+
+	f := NewForwarder(nil, HedgePolicy{HedgeAfter: 500 * time.Millisecond})
+	res, err := f.Do(context.Background(), http.MethodPost, "/v1/plan", []byte(`{}`), nil,
+		[]string{erring.URL, backup.URL()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != 422 || res.Peer != erring.URL {
+		t.Fatalf("owner's 422 must win, got %+v", res)
+	}
+	if backup.hits.Load() != 0 {
+		t.Fatal("backup contacted despite an HTTP response from the owner")
+	}
+}
+
+// Hedged forwards must not leak goroutines: after many hedged calls
+// whose losers are cancelled, the goroutine count returns to baseline.
+// Run under -race in CI.
+func TestHedgeNoGoroutineLeak(t *testing.T) {
+	slow := newPeerServer("slow", 30*time.Second)
+	defer slow.Close()
+	fast := newPeerServer("fast", 0)
+	defer fast.Close()
+
+	f := NewForwarder(nil, HedgePolicy{HedgeAfter: 5 * time.Millisecond})
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		if _, err := f.Do(context.Background(), http.MethodPost, "/v1/plan", []byte(`{}`), nil,
+			[]string{slow.URL(), fast.URL()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Losers drain asynchronously after cancel; poll for quiescence.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		now := runtime.NumGoroutine()
+		if now <= before+3 { // allow the transports' idle-connection keepers
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines %d -> %d after 20 hedged forwards; losers leaked", before, now)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// The adaptive policy derives its delay from the observed latency
+// percentile once enough samples exist, clamped by floor and cap.
+func TestAdaptiveHedgeDelay(t *testing.T) {
+	f := NewForwarder(nil, HedgePolicy{Adaptive: true, HedgeAfter: 2 * time.Millisecond, Percentile: 95})
+	if d, ok := f.HedgeDelay(); !ok || d != 2*time.Millisecond {
+		t.Fatalf("before samples, delay must fall back to the floor: %v %v", d, ok)
+	}
+	for i := 0; i < 100; i++ {
+		f.observe(10 * time.Millisecond)
+	}
+	d, ok := f.HedgeDelay()
+	if !ok {
+		t.Fatal("adaptive hedging must stay enabled")
+	}
+	if d < 9*time.Millisecond || d > 11*time.Millisecond {
+		t.Fatalf("adaptive delay %v, want ~p95 of the 10ms reservoir", d)
+	}
+
+	disabled := NewForwarder(nil, HedgePolicy{})
+	if _, ok := disabled.HedgeDelay(); ok {
+		t.Fatal("zero policy must disable hedging")
+	}
+}
+
+func TestHealthMarksDownAndRecovers(t *testing.T) {
+	var failing atomic.Bool
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if failing.Load() {
+			w.WriteHeader(500)
+			return
+		}
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer peer.Close()
+
+	h := NewHealth([]string{peer.URL, "http://self"}, "http://self", time.Hour, nil)
+	if !h.Alive(peer.URL) || !h.Alive("http://self") {
+		t.Fatal("peers must start alive")
+	}
+	failing.Store(true)
+	h.CheckNow(context.Background())
+	if !h.Alive(peer.URL) {
+		t.Fatal("one failed probe must not mark a peer down")
+	}
+	h.CheckNow(context.Background())
+	if h.Alive(peer.URL) {
+		t.Fatal("two consecutive failures must mark the peer down")
+	}
+	if d := h.Down(); len(d) != 1 || d[0] != peer.URL {
+		t.Fatalf("Down() = %v", d)
+	}
+	failing.Store(false)
+	h.CheckNow(context.Background())
+	if !h.Alive(peer.URL) {
+		t.Fatal("one success must recover the peer")
+	}
+	if h.Alive("http://self") != true {
+		t.Fatal("self is never probed and never down")
+	}
+}

@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzRingRoute drives the ring with arbitrary membership sizes,
+// replica counts, and keys, checking the routing contract on every
+// input: determinism across independently built rings (the process-
+// restart property), owner membership, distinct successors with the
+// owner first, and the consistent-hashing join guarantee that a key
+// only ever moves to the joining node. Seeds are replayable: every
+// failing input is a concrete (nodes, replicas, key, salt) tuple the
+// corpus preserves verbatim.
+func FuzzRingRoute(f *testing.F) {
+	f.Add(uint8(1), uint8(1), "k", uint8(0))
+	f.Add(uint8(3), uint8(64), "2af180c4f4b4b3c0", uint8(7))
+	f.Add(uint8(5), uint8(128), "sha256:deadbeef", uint8(255))
+	f.Add(uint8(16), uint8(8), "", uint8(1))
+	f.Add(uint8(2), uint8(255), "a-very-long-key-that-keeps-going-and-going", uint8(128))
+	f.Fuzz(func(t *testing.T, nNodes, replicas uint8, key string, salt uint8) {
+		n := int(nNodes)%16 + 1
+		nodes := make([]string, n)
+		for i := range nodes {
+			nodes[i] = fmt.Sprintf("http://10.0.%d.%d:8080", salt, i)
+		}
+		r1, err := NewRing(nodes, int(replicas))
+		if err != nil {
+			t.Fatalf("NewRing(%d nodes, %d replicas): %v", n, replicas, err)
+		}
+		r2, err := NewRing(nodes, int(replicas))
+		if err != nil {
+			t.Fatal(err)
+		}
+		owner := r1.Owner(key)
+		if owner != r2.Owner(key) {
+			t.Fatalf("owner of %q not deterministic: %q vs %q", key, owner, r2.Owner(key))
+		}
+		valid := map[string]bool{}
+		for _, m := range r1.Nodes() {
+			valid[m] = true
+		}
+		if !valid[owner] {
+			t.Fatalf("owner %q is not a ring member", owner)
+		}
+		succ := r1.Successors(key, n)
+		if len(succ) != n {
+			t.Fatalf("want %d distinct successors over %d nodes, got %d", n, n, len(succ))
+		}
+		if succ[0] != owner {
+			t.Fatalf("Successors[0] = %q, Owner = %q", succ[0], owner)
+		}
+		seen := map[string]bool{}
+		for _, s := range succ {
+			if seen[s] || !valid[s] {
+				t.Fatalf("successors not distinct ring members: %v", succ)
+			}
+			seen[s] = true
+		}
+		// Join: the key either stays put or moves to the joining node.
+		joiner := fmt.Sprintf("http://10.1.%d.1:8080", salt)
+		grown, err := r1.With(joiner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after := grown.Owner(key)
+		if after != owner && after != joiner {
+			t.Fatalf("join moved %q from %q to surviving node %q", key, owner, after)
+		}
+		// Leave restores the original owner exactly.
+		shrunk, err := grown.Without(joiner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shrunk.Owner(key) != owner {
+			t.Fatalf("leave did not restore owner of %q", key)
+		}
+	})
+}

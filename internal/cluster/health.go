@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// downAfter is how many consecutive failed probes mark a peer down; a
+// single success marks it up again. Two failures tolerate one dropped
+// probe without ejecting a healthy peer from routing.
+const downAfter = 2
+
+// Health tracks peer liveness by probing each peer's /healthz on an
+// interval. Peers start alive (optimistic: a static peer list must work
+// before the first probe completes), go down after downAfter
+// consecutive failures, and recover on the first success.
+type Health struct {
+	client   *http.Client
+	interval time.Duration
+	self     string
+
+	mu       sync.Mutex
+	failures map[string]int // consecutive probe failures per peer
+	down     map[string]bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewHealth builds a tracker for peers (self, if present in the list,
+// is never probed and never down). client nil takes a 2-second-timeout
+// default; interval <= 0 takes 1s.
+func NewHealth(peers []string, self string, interval time.Duration, client *http.Client) *Health {
+	if client == nil {
+		client = &http.Client{Timeout: 2 * time.Second}
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	h := &Health{
+		client:   client,
+		interval: interval,
+		self:     self,
+		failures: make(map[string]int, len(peers)),
+		down:     make(map[string]bool, len(peers)),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for _, p := range peers {
+		if p != self {
+			h.failures[p] = 0
+		}
+	}
+	return h
+}
+
+// Alive reports whether node is routable. Unknown nodes and self are
+// always alive, so a Health built from a stale peer list degrades to
+// optimistic routing rather than blackholing.
+func (h *Health) Alive(node string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return !h.down[node]
+}
+
+// Down returns the currently-down peers, for /v1/cluster/info.
+func (h *Health) Down() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []string
+	for p, d := range h.down {
+		if d {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// CheckNow probes every peer once, synchronously. The background loop
+// calls it on each tick; tests and the drain path call it directly.
+func (h *Health) CheckNow(ctx context.Context) {
+	h.mu.Lock()
+	peers := make([]string, 0, len(h.failures))
+	for p := range h.failures {
+		peers = append(peers, p)
+	}
+	h.mu.Unlock()
+	for _, p := range peers {
+		ok := h.probe(ctx, p)
+		h.mu.Lock()
+		if ok {
+			h.failures[p] = 0
+			h.down[p] = false
+		} else {
+			h.failures[p]++
+			if h.failures[p] >= downAfter {
+				h.down[p] = true
+			}
+		}
+		h.mu.Unlock()
+	}
+}
+
+func (h *Health) probe(ctx context.Context, peer string) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// Start launches the background probe loop. Stop ends it.
+func (h *Health) Start() {
+	go func() {
+		defer close(h.done)
+		t := time.NewTicker(h.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-h.stop:
+				return
+			case <-t.C:
+				ctx, cancel := context.WithTimeout(context.Background(), h.interval)
+				h.CheckNow(ctx)
+				cancel()
+			}
+		}
+	}()
+}
+
+// Stop ends the probe loop and waits for it to exit.
+func (h *Health) Stop() {
+	close(h.stop)
+	<-h.done
+}

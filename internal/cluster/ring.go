@@ -1,0 +1,182 @@
+// Package cluster turns a set of syncd processes into a peer group: a
+// consistent-hash ring assigns every content-addressed key an owning
+// node, a health tracker removes unreachable peers from consideration,
+// and a hedged forwarder relays requests to owners with a tail-latency
+// hedge to the next ring successor.
+//
+// The ring is the cluster's only coordination mechanism — there is no
+// membership gossip and no leader. Every node is configured with the
+// same static peer list and derives the identical ring from it, so the
+// key→owner mapping is a pure function of (peer list, replicas, key)
+// and agrees across processes and restarts without any communication.
+// This is the same move the paper makes for clock distribution: replace
+// a central authority with a deterministic rule every site can evaluate
+// locally.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// DefaultReplicas is the virtual-node count per physical node. 128
+// points per node keeps the largest/smallest ownership arc within a few
+// percent of the ideal 1/n share for small clusters.
+const DefaultReplicas = 128
+
+// Ring is an immutable consistent-hash ring over a set of node names
+// (URLs, in syncd's use). Construct with NewRing; methods are safe for
+// concurrent use because the ring never mutates — membership changes
+// build a new ring with With/Without.
+type Ring struct {
+	replicas int
+	nodes    []string // sorted, unique
+	points   []point  // sorted by hash; len = len(nodes)*replicas
+}
+
+// point is one virtual node: a position on the 64-bit hash circle owned
+// by nodes[node].
+type point struct {
+	hash uint64
+	node int32
+}
+
+// NewRing builds a ring with replicas virtual nodes per entry of nodes
+// (replicas <= 0 takes DefaultReplicas). Node names are deduplicated;
+// at least one is required.
+func NewRing(nodes []string, replicas int) (*Ring, error) {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	uniq := make([]string, 0, len(nodes))
+	seen := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		if n == "" {
+			return nil, fmt.Errorf("cluster: ring node name must be non-empty")
+		}
+		if !seen[n] {
+			seen[n] = true
+			uniq = append(uniq, n)
+		}
+	}
+	if len(uniq) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	sort.Strings(uniq)
+	r := &Ring{replicas: replicas, nodes: uniq, points: make([]point, 0, len(uniq)*replicas)}
+	for i, n := range uniq {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, point{hash: pointHash(n, v), node: int32(i)})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		p, q := r.points[a], r.points[b]
+		if p.hash != q.hash {
+			return p.hash < q.hash
+		}
+		// A 64-bit collision between virtual nodes is astronomically
+		// unlikely, but the tie-break keeps the ring a pure function of
+		// the node set even then.
+		return p.node < q.node
+	})
+	return r, nil
+}
+
+// pointHash places virtual node v of node n on the hash circle:
+// the first 8 bytes of SHA-256(n, 0x00, v) as a big-endian uint64.
+// SHA-256 of stable bytes makes the placement identical across
+// processes, architectures, and restarts — no seed, no map iteration,
+// no runtime hash randomization.
+func pointHash(n string, v int) uint64 {
+	h := sha256.New()
+	h.Write([]byte(n))
+	var buf [9]byte
+	binary.BigEndian.PutUint64(buf[1:], uint64(v))
+	h.Write(buf[:])
+	return binary.BigEndian.Uint64(h.Sum(nil)[:8])
+}
+
+// keyHash places a key on the same circle. Keys are already SHA-256
+// content addresses in syncd's use, but hashing again costs little and
+// keeps the ring correct for arbitrary strings.
+func keyHash(key string) uint64 {
+	sum := sha256.Sum256([]byte(key))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Nodes returns the ring's membership, sorted.
+func (r *Ring) Nodes() []string {
+	return append([]string(nil), r.nodes...)
+}
+
+// Replicas returns the virtual-node count per node.
+func (r *Ring) Replicas() int { return r.replicas }
+
+// Owner returns the node owning key: the node of the first virtual node
+// at or clockwise after the key's position.
+func (r *Ring) Owner(key string) string {
+	return r.nodes[r.points[r.successorIndex(keyHash(key))].node]
+}
+
+// Successors returns up to n distinct nodes in ring order starting at
+// key's owner. Successors(key, 1)[0] == Owner(key); the second entry is
+// the hedge target — the node that would own the key if the owner left.
+func (r *Ring) Successors(key string, n int) []string {
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	seen := make(map[int32]bool, n)
+	i := r.successorIndex(keyHash(key))
+	for range r.points {
+		p := r.points[i]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, r.nodes[p.node])
+			if len(out) == n {
+				break
+			}
+		}
+		i++
+		if i == len(r.points) {
+			i = 0
+		}
+	}
+	return out
+}
+
+// successorIndex returns the index of the first point with hash >= h,
+// wrapping to 0 past the top of the circle.
+func (r *Ring) successorIndex(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}
+
+// With returns a new ring with node added (a no-op copy if it is
+// already a member). The consistent-hashing contract — only keys whose
+// owner changes to the new node move; no key moves between two
+// surviving nodes — is checked by the ring-join-moves-bounded
+// invariant in internal/propcheck.
+func (r *Ring) With(node string) (*Ring, error) {
+	return NewRing(append(r.Nodes(), node), r.replicas)
+}
+
+// Without returns a new ring with node removed. Removing the last node
+// is an error: an empty ring owns nothing.
+func (r *Ring) Without(node string) (*Ring, error) {
+	kept := make([]string, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		if n != node {
+			kept = append(kept, n)
+		}
+	}
+	return NewRing(kept, r.replicas)
+}

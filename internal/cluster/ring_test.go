@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testNodes(n int) []string {
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("http://127.0.0.1:%d", 18080+i)
+	}
+	return nodes
+}
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("sha256-key-%06d", i)
+	}
+	return keys
+}
+
+// The ring must be a pure function of (node set, replicas): two rings
+// built independently — as two process restarts would — route every key
+// identically, and node order in the input must not matter.
+func TestRingDeterministicAcrossRestarts(t *testing.T) {
+	nodes := testNodes(5)
+	a, err := NewRing(nodes, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reversed input order simulates a differently-written peer flag.
+	rev := make([]string, len(nodes))
+	for i, n := range nodes {
+		rev[len(nodes)-1-i] = n
+	}
+	b, err := NewRing(rev, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(2000) {
+		if ao, bo := a.Owner(k), b.Owner(k); ao != bo {
+			t.Fatalf("owner of %q differs across identically-configured rings: %q vs %q", k, ao, bo)
+		}
+		as, bs := a.Successors(k, 3), b.Successors(k, 3)
+		if fmt.Sprint(as) != fmt.Sprint(bs) {
+			t.Fatalf("successors of %q differ: %v vs %v", k, as, bs)
+		}
+	}
+}
+
+func TestRingOwnerIsFirstSuccessor(t *testing.T) {
+	r, err := NewRing(testNodes(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(500) {
+		succ := r.Successors(k, 4)
+		if len(succ) != 4 {
+			t.Fatalf("want 4 distinct successors, got %v", succ)
+		}
+		if succ[0] != r.Owner(k) {
+			t.Fatalf("Successors[0] = %q, Owner = %q", succ[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("duplicate successor %q in %v", s, succ)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+// Joining one node must move only the keys that node now owns (no key
+// moves between two surviving nodes), and at most about twice the ideal
+// 1/n share of keys may move. Leaving must be the exact inverse.
+func TestRingJoinLeaveMovement(t *testing.T) {
+	keys := testKeys(20000)
+	base, err := NewRing(testNodes(4), DefaultReplicas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined, err := base.With("http://127.0.0.1:19000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for _, k := range keys {
+		before, after := base.Owner(k), joined.Owner(k)
+		if before != after {
+			moved++
+			if after != "http://127.0.0.1:19000" {
+				t.Fatalf("key %q moved %q -> %q, not to the joining node", k, before, after)
+			}
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	ideal := 1.0 / float64(len(joined.Nodes()))
+	if frac > 2*ideal {
+		t.Fatalf("join moved %.1f%% of keys, over the 2x ideal share bound %.1f%%", 100*frac, 200*ideal)
+	}
+	if moved == 0 {
+		t.Fatal("join moved no keys; new node owns nothing")
+	}
+
+	// Leave is the inverse: removing the node restores the old mapping.
+	left, err := joined.Without("http://127.0.0.1:19000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if left.Owner(k) != base.Owner(k) {
+			t.Fatalf("leave did not restore ownership of %q", k)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r, err := NewRing(testNodes(3), DefaultReplicas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	keys := testKeys(30000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	ideal := float64(len(keys)) / 3
+	for n, c := range counts {
+		if ratio := float64(c) / ideal; ratio < 0.5 || ratio > 1.5 {
+			t.Fatalf("node %q owns %d keys, %.2fx the ideal share — ring badly unbalanced: %v", n, c, ratio, counts)
+		}
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 8); err == nil {
+		t.Fatal("empty ring must be rejected")
+	}
+	if _, err := NewRing([]string{""}, 8); err == nil {
+		t.Fatal("empty node name must be rejected")
+	}
+	r, err := NewRing([]string{"a", "b", "a"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Nodes(); len(got) != 2 {
+		t.Fatalf("duplicates must collapse, got %v", got)
+	}
+	if _, err := r.Without("a"); err != nil {
+		t.Fatal(err)
+	}
+	one, _ := r.Without("a")
+	if _, err := one.Without("b"); err == nil {
+		t.Fatal("removing the last node must be rejected")
+	}
+}
+
+func TestRingSuccessorsClamped(t *testing.T) {
+	r, err := NewRing(testNodes(2), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Successors("k", 10); len(got) != 2 {
+		t.Fatalf("successors must clamp to membership size, got %v", got)
+	}
+	if got := r.Successors("k", 0); got != nil {
+		t.Fatalf("n=0 must return nil, got %v", got)
+	}
+}

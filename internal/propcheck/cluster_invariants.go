@@ -1,0 +1,99 @@
+package propcheck
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/stats"
+)
+
+// randomMembers draws a random peer group: 2–7 node URLs with random
+// host suffixes, so every instance exercises a different ring layout.
+func randomMembers(rng *stats.RNG) []string {
+	n := 2 + rng.Intn(6)
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("http://node-%d-%d:8080", i, rng.Intn(1<<30))
+	}
+	return nodes
+}
+
+// checkRingRebalanceBounded verifies the consistent-hash ring's two
+// load-bearing properties. Determinism: a ring rebuilt from the same
+// members in any order routes every key identically — a restarted
+// cluster resumes the same placement with no coordination. Bounded
+// movement: a join moves keys only to the joiner and a leave moves only
+// the leaver's keys, so membership churn relocates ~K/n keys instead of
+// reshuffling everything (the property that makes peer cache-fill and
+// drain migration worth doing).
+func checkRingRebalanceBounded(rng *stats.RNG) error {
+	nodes := randomMembers(rng)
+	ring, err := cluster.NewRing(nodes, 0)
+	if err != nil {
+		return err
+	}
+	const nkeys = 256
+	keys := make([]string, nkeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d-%d", i, rng.Int63())
+	}
+
+	shuffled := append([]string(nil), nodes...)
+	for i := len(shuffled) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	}
+	restarted, err := cluster.NewRing(shuffled, 0)
+	if err != nil {
+		return err
+	}
+	owners := make([]string, nkeys)
+	for i, k := range keys {
+		owners[i] = ring.Owner(k)
+		if got := restarted.Owner(k); got != owners[i] {
+			return fmt.Errorf("restart changed owner of %q: %s -> %s (member order must not matter)", k, owners[i], got)
+		}
+	}
+
+	joiner := fmt.Sprintf("http://joiner-%d:8080", rng.Intn(1<<30))
+	joined, err := ring.With(joiner)
+	if err != nil {
+		return err
+	}
+	moved := 0
+	for i, k := range keys {
+		got := joined.Owner(k)
+		if got == owners[i] {
+			continue
+		}
+		if got != joiner {
+			return fmt.Errorf("join of %s moved %q from %s to %s, not to the joiner", joiner, k, owners[i], got)
+		}
+		moved++
+	}
+	// The joiner's expected share is nkeys/(n+1); 4x that plus slack
+	// tolerates virtual-node variance while still failing a ring that
+	// reshuffles a constant fraction regardless of membership size.
+	if bound := 4*nkeys/(len(nodes)+1) + 16; moved > bound {
+		return fmt.Errorf("join moved %d of %d keys, bound %d for %d+1 members", moved, nkeys, bound, len(nodes))
+	}
+
+	leaver := nodes[rng.Intn(len(nodes))]
+	left, err := ring.Without(leaver)
+	if err != nil {
+		return err
+	}
+	for i, k := range keys {
+		got := left.Owner(k)
+		if owners[i] == leaver {
+			if got == leaver {
+				return fmt.Errorf("leave of %s left it owning %q", leaver, k)
+			}
+			continue
+		}
+		if got != owners[i] {
+			return fmt.Errorf("leave of %s moved unrelated key %q from %s to %s", leaver, k, owners[i], got)
+		}
+	}
+	return nil
+}

@@ -127,6 +127,12 @@ var registry = []Invariant{
 		Doc:   "clock jitter beyond the delay band only adds, bounded per root-path edge",
 		Check: checkJitteredArrivalsBounded,
 	},
+	{
+		Name:  "ring-rebalance-bounded",
+		Ref:   "cluster sharding (implementation)",
+		Doc:   "consistent-hash routing is member-order independent, and membership churn moves only the joiner's or leaver's keys",
+		Check: checkRingRebalanceBounded,
+	},
 }
 
 func checkAnalysisBoundsMonteCarlo(rng *stats.RNG) error {

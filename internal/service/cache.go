@@ -77,3 +77,23 @@ func (c *lru[V]) Len() int {
 	defer c.mu.Unlock()
 	return c.ll.Len()
 }
+
+// cachePair is one (key, value) snapshot returned by Entries.
+type cachePair[V any] struct {
+	Key string
+	Val V
+}
+
+// Entries returns a snapshot of the cache's contents, most recently
+// used first, without disturbing recency. Drain migration walks it to
+// push entries to their ring owners.
+func (c *lru[V]) Entries() []cachePair[V] {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]cachePair[V], 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*lruEntry[V])
+		out = append(out, cachePair[V]{Key: e.key, Val: e.val})
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// ErrorBody is the JSON body of every non-200 response: a human-readable
+// message plus a machine-readable reason token drawn from the Reason*
+// constants, so clients can branch on failure class without parsing
+// prose. The service never answers an error with any other shape.
+type ErrorBody struct {
+	Error  string `json:"error"`
+	Reason string `json:"reason"`
+}
+
+// Reason tokens. Stable API: clients switch on these strings.
+const (
+	ReasonBadRequest       = "bad_request"        // 400: malformed or invalid request
+	ReasonUnprocessable    = "unprocessable"      // 422: well-formed but inapplicable
+	ReasonArrayTooLarge    = "array_too_large"    // 413: kernel over the size limits
+	ReasonMethodNotAllowed = "method_not_allowed" // 405
+	ReasonDeadlineExceeded = "deadline_exceeded"  // 504: compute outlived its deadline
+	ReasonCanceled         = "canceled"           // 499: client went away
+	ReasonInternal         = "internal"           // 500: everything else
+	ReasonPeerUnreachable  = "peer_unreachable"   // 502: no forward target answered
+	ReasonJobExists        = "job_exists"         // 409: duplicate job ID
+	ReasonJobNotFound      = "job_not_found"      // 404: unknown job ID
+	ReasonTooManyJobs      = "too_many_jobs"      // 429: job manager at capacity
+)
+
+// reasonOf maps an error onto its reason token: a typed httpError's own
+// reason when it carries one, otherwise a default derived from the
+// status the error will be served with.
+func reasonOf(err error) string {
+	var he *httpError
+	if errors.As(err, &he) && he.reason != "" {
+		return he.reason
+	}
+	switch statusOf(err) {
+	case http.StatusBadRequest:
+		return ReasonBadRequest
+	case http.StatusUnprocessableEntity:
+		return ReasonUnprocessable
+	case http.StatusRequestEntityTooLarge:
+		return ReasonArrayTooLarge
+	case http.StatusMethodNotAllowed:
+		return ReasonMethodNotAllowed
+	case http.StatusGatewayTimeout:
+		return ReasonDeadlineExceeded
+	case 499:
+		return ReasonCanceled
+	case http.StatusBadGateway:
+		return ReasonPeerUnreachable
+	case http.StatusNotFound:
+		return ReasonJobNotFound
+	case http.StatusConflict:
+		return ReasonJobExists
+	case http.StatusTooManyRequests:
+		return ReasonTooManyJobs
+	default:
+		return ReasonInternal
+	}
+}
+
+// errorResponse renders an ErrorBody as a response value for the shared
+// finish path.
+func errorResponse(status int, msg, reason string) response {
+	b, _ := json.Marshal(ErrorBody{Error: msg, Reason: reason})
+	return response{status: status, contentType: "application/json", body: append(b, '\n')}
+}
+
+// writeError answers a request with an ErrorBody directly, for handlers
+// that sit outside the serveKeyed/finish flow (method guards, the job
+// and cluster endpoints).
+func writeError(w http.ResponseWriter, status int, msg, reason string) {
+	res := errorResponse(status, msg, reason)
+	w.Header().Set("Content-Type", res.contentType)
+	w.WriteHeader(res.status)
+	w.Write(res.body)
+}
+
+// statusOf maps compute errors to HTTP statuses: typed httpErrors carry
+// their own, deadline expiry is 504, client cancellation 499 (nginx's
+// convention), anything else 500.
+func statusOf(err error) int {
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.status
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout
+	}
+	if errors.Is(err, context.Canceled) {
+		return 499
+	}
+	return http.StatusInternalServerError
+}

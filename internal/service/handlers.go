@@ -7,11 +7,13 @@ package service
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/clocksim"
 	"repro/internal/clocktree"
@@ -38,11 +40,11 @@ type httpError struct {
 func (e *httpError) Error() string { return e.msg }
 
 func badRequest(format string, args ...any) error {
-	return &httpError{status: 400, msg: fmt.Sprintf(format, args...)}
+	return &httpError{status: 400, msg: fmt.Sprintf(format, args...), reason: ReasonBadRequest}
 }
 
 func unprocessable(err error) error {
-	return &httpError{status: 422, msg: err.Error()}
+	return &httpError{status: 422, msg: err.Error(), reason: ReasonUnprocessable}
 }
 
 // tooLarge maps a skew.SizeError onto the wire: 413 with the
@@ -50,7 +52,7 @@ func unprocessable(err error) error {
 // distinguish "shrink your array or raise the server's limits" from
 // an ordinary malformed request.
 func tooLarge(err error) error {
-	return &httpError{status: http.StatusRequestEntityTooLarge, msg: err.Error(), reason: "array_too_large"}
+	return &httpError{status: http.StatusRequestEntityTooLarge, msg: err.Error(), reason: ReasonArrayTooLarge}
 }
 
 // TopologySpec names a standard topology to construct server-side, as an
@@ -368,6 +370,43 @@ func (req *AnalyzeRequest) applyDefaults() {
 	}
 }
 
+// routeIdentity is the cheap ring-routing identity of a kernel: the
+// graph exactly as the request described it (topology spec or inline
+// graph) plus the tree recipe. Hashing the request's own description
+// instead of the built graph makes key derivation O(request size),
+// not O(cells) — microseconds against tens of milliseconds per
+// forwarded request on large meshes. Requests naming the same spec
+// and recipe still route together, which is all the ring needs; two
+// different specs for the same graph merely route apart and cost one
+// duplicate kernel, never a wrong answer.
+type routeIdentity struct {
+	Input    GraphInput `json:"input"`
+	Kind     string     `json:"kind"` // kernel family: "kernel" or "hybridsys"
+	Tree     string     `json:"tree,omitempty"`
+	Equalize bool       `json:"equalize,omitempty"`
+	Spacing  float64    `json:"spacing,omitempty"`
+	Size     float64    `json:"size,omitempty"` // hybrid element size
+}
+
+func (id *routeIdentity) key() (string, bool) {
+	canonical, err := canonicalize(id)
+	if err != nil {
+		return "", false
+	}
+	return cacheKey("route", canonical), true
+}
+
+// affinityKey routes an analyze request on the identity of its first
+// tree's kernel, so every request sharing that kernel — any model,
+// seed, or trial count — lands on the node that holds it.
+func (req *AnalyzeRequest) affinityKey() (string, bool) {
+	if len(req.Trees) == 0 {
+		return "", false
+	}
+	id := routeIdentity{Input: req.GraphInput, Kind: "kernel", Tree: req.Trees[0], Equalize: req.Equalize, Spacing: req.BufferSpacing}
+	return id.key()
+}
+
 // TreeAnalysis is one candidate tree's analysis. A builder that does not
 // apply to the posted graph (e.g. a ladder on a mesh) reports its error
 // inline rather than failing the whole request — collect-all, like the
@@ -602,6 +641,32 @@ func (req *SimulateRequest) applyDefaults() {
 	req.Trials, req.Seed, req.Params, req.Hybrid = c.Trials, c.Seed, c.Params, c.Hybrid
 }
 
+// affinityKey routes a simulate request on its engine precomputation:
+// the clocksim kernel's content address in clock mode, the hybrid
+// system's in hybrid mode. A batch routes on its first config's recipe —
+// sweeps share one recipe, so the whole batch lands where the kernel is.
+func (req *SimulateRequest) affinityKey() (string, bool) {
+	c := req.config()
+	if len(req.Configs) > 0 {
+		c = req.Configs[0]
+		if c.Topology != nil || c.Graph != nil {
+			return "", false
+		}
+	}
+	switch c.Mode {
+	case "hybrid":
+		size := 4.0
+		if c.Hybrid != nil && c.Hybrid.ElementSize != 0 {
+			size = c.Hybrid.ElementSize
+		}
+		id := routeIdentity{Input: req.GraphInput, Kind: "hybridsys", Size: size}
+		return id.key()
+	default:
+		id := routeIdentity{Input: req.GraphInput, Kind: "kernel", Tree: c.Tree, Equalize: c.Equalize, Spacing: c.BufferSpacing}
+		return id.key()
+	}
+}
+
 // SummaryJSON is a stats.Summary in response form.
 type SummaryJSON struct {
 	N    int     `json:"n"`
@@ -751,6 +816,7 @@ func (s *Server) computeSimulateBatch(ctx context.Context, g *comm.Graph, req *S
 				return item, err
 			}
 			item.Error = err.Error()
+			s.logBatchError(ctx, i, err)
 			return item, nil
 		}
 		item.Result = r
@@ -764,6 +830,24 @@ func (s *Server) computeSimulateBatch(ctx context.Context, g *comm.Graph, req *S
 		resp.Results = append(resp.Results, r.Value)
 	}
 	return marshalResponse(resp)
+}
+
+// logBatchError emits one structured log line per batch config that
+// failed inline, carrying the config's index so operators can locate the
+// offending config without diffing the 200 response body it is buried in.
+func (s *Server) logBatchError(ctx context.Context, index int, err error) {
+	if s.logger == nil {
+		return
+	}
+	line, _ := json.Marshal(map[string]any{
+		"time":         time.Now().UTC().Format(time.RFC3339Nano),
+		"event":        "batch_config_error",
+		"request_id":   requestIDFrom(ctx),
+		"endpoint":     "simulate",
+		"config_index": index,
+		"error":        err.Error(),
+	})
+	s.logger.Println(string(line))
 }
 
 // simulateOne evaluates a single config against the shared graph. Both

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/jobs"
 	"repro/internal/stats"
 )
 
@@ -92,6 +93,14 @@ type metrics struct {
 	simKernelHits   expvar.Int // simulation-kernel cache hits (clocksim kernel or hybrid system reused)
 	simKernelMisses expvar.Int // simulation-kernel cache misses (engine precomputation built)
 
+	forwards      *expvar.Map // requests forwarded to peers, keyed by peer URL
+	forwardErrors expvar.Int  // forwards with no reachable target (served 502)
+	hedges        expvar.Int  // forwards whose hedge copy was sent
+	hedgeWins     expvar.Int  // ... where the hedge copy answered first
+	cacheFill     expvar.Int  // local cache entries filled from a peer
+
+	jobsCreated expvar.Int // jobs accepted by POST /v1/jobs
+
 	mu        sync.Mutex
 	latencies map[string]*latencyVar // endpoint → histogram
 
@@ -112,6 +121,13 @@ func newMetrics() *metrics {
 	m.vars.Set("kernel_cache_misses", &m.kernelMisses)
 	m.vars.Set("sim_kernel_cache_hits", &m.simKernelHits)
 	m.vars.Set("sim_kernel_cache_misses", &m.simKernelMisses)
+	m.forwards = new(expvar.Map).Init()
+	m.vars.Set("cluster_forward_total", m.forwards)
+	m.vars.Set("cluster_forward_errors_total", &m.forwardErrors)
+	m.vars.Set("cluster_hedge_total", &m.hedges)
+	m.vars.Set("cluster_hedge_wins_total", &m.hedgeWins)
+	m.vars.Set("cluster_cache_fill_total", &m.cacheFill)
+	m.vars.Set("jobs_created", &m.jobsCreated)
 	m.vars.Set("cache_hit_ratio", expvar.Func(func() any {
 		h, n := m.hits.Value(), m.hits.Value()+m.misses.Value()+m.coalesced.Value()
 		if n == 0 {
@@ -123,6 +139,12 @@ func newMetrics() *metrics {
 		return time.Since(m.start).Seconds()
 	}))
 	return m
+}
+
+// registerJobs exposes the job manager's live state counts under the
+// "jobs" key of the metrics document.
+func (m *metrics) registerJobs(mgr *jobs.Manager) {
+	m.vars.Set("jobs", expvar.Func(func() any { return mgr.Stats() }))
 }
 
 // latency returns (creating on first use) the histogram for endpoint.

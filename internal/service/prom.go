@@ -2,9 +2,11 @@ package service
 
 import (
 	"bytes"
+	"expvar"
 	"sort"
 	"time"
 
+	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/runner"
 )
@@ -50,6 +52,43 @@ func (s *Server) promFamilies() []obs.PromMetric {
 		gauge("runner_busy_workers", "Worker-pool tasks executing right now.", float64(ps.BusyWorkers)),
 		gauge("runner_queue_depth", "Dispatched tasks waiting for a worker.", float64(ps.QueueDepth)),
 	)
+	if s.cluster != nil {
+		fwd := obs.PromMetric{
+			Name: "cluster_forward_total",
+			Help: "Requests forwarded to their owning peer, by peer.",
+			Type: "counter",
+		}
+		m.forwards.Do(func(kv expvar.KeyValue) {
+			if v, ok := kv.Value.(*expvar.Int); ok {
+				fwd.Samples = append(fwd.Samples, obs.PromSample{
+					Labels: obs.Label("peer", kv.Key), Value: float64(v.Value())})
+			}
+		})
+		if len(fwd.Samples) == 0 {
+			fwd.Samples = []obs.PromSample{{Value: 0}}
+		}
+		fams = append(fams, fwd,
+			counter("cluster_forward_errors_total", "Forwards with no reachable target (answered 502 peer_unreachable).", m.forwardErrors.Value()),
+			counter("cluster_hedge_total", "Forwards whose hedge copy was sent.", m.hedges.Value()),
+			counter("cluster_hedge_wins_total", "Forwards whose hedge copy answered first.", m.hedgeWins.Value()),
+			counter("cluster_cache_fill_total", "Local result-cache entries filled from a peer.", m.cacheFill.Value()),
+			gauge("cluster_peers_down", "Peers currently failing health probes.", float64(len(s.cluster.health.Down()))),
+		)
+	}
+	if s.jobs != nil {
+		states := obs.PromMetric{
+			Name: "jobs_by_state",
+			Help: "Tracked jobs by lifecycle state.",
+			Type: "gauge",
+		}
+		stats := s.jobs.Stats()
+		for _, st := range []jobs.State{jobs.Pending, jobs.Running, jobs.Done, jobs.Failed, jobs.Canceled} {
+			states.Samples = append(states.Samples, obs.PromSample{
+				Labels: obs.Label("state", string(st)), Value: float64(stats[st])})
+		}
+		fams = append(fams, states,
+			counter("jobs_created_total", "Jobs accepted by POST /v1/jobs.", m.jobsCreated.Value()))
+	}
 
 	lat := obs.PromMetric{
 		Name: "request_latency_ms",

@@ -13,7 +13,6 @@ package service
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -24,7 +23,9 @@ import (
 	"time"
 
 	"repro/internal/clocksim"
+	"repro/internal/cluster"
 	"repro/internal/hybrid"
+	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/skew"
 )
@@ -64,6 +65,17 @@ type Config struct {
 	// spans underneath it) into the given tracer. Default: tracing
 	// disabled, at zero per-request cost.
 	Tracer *obs.Tracer
+	// Cluster, when set, joins this server to a static peer group:
+	// requests are routed on a consistent-hash ring over content-
+	// addressed keys, forwarded to their owning node with hedging, and
+	// peer-computed results fill the local cache. Only honored by
+	// NewClusterServer; nil keeps single-node behavior byte-identical.
+	Cluster *ClusterConfig
+	// DisableJobs turns off the async /v1/jobs API. Default: enabled.
+	DisableJobs bool
+	// Jobs parameterizes the async job manager (zero fields take the
+	// jobs package defaults).
+	Jobs jobs.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -132,6 +144,12 @@ type Server struct {
 	logger        *log.Logger
 	nextReq       atomic.Int64 // request-ID counter
 
+	// cluster is non-nil only for servers built with NewClusterServer;
+	// every nil check below is the single-node fast path.
+	cluster *clusterState
+	// jobs is the async job manager behind /v1/jobs (nil when disabled).
+	jobs *jobs.Manager
+
 	// computeGate, when set (tests only), is called at the start of
 	// every cache-miss computation. Tests use it as a barrier to hold
 	// computations open while concurrent identical requests pile up.
@@ -160,7 +178,45 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/analyze", post(decoded(s, "analyze", func(r *AnalyzeRequest) { r.applyDefaults() }, timeoutOfAnalyze, s.computeAnalyze)))
 	s.mux.HandleFunc("/v1/simulate", post(decoded(s, "simulate", func(r *SimulateRequest) { r.applyDefaults() }, timeoutOfSimulate, s.computeSimulate)))
 	s.mux.HandleFunc("/v1/layout.svg", s.handleLayout)
+	if !cfg.DisableJobs {
+		s.jobs = jobs.NewManager(cfg.Jobs)
+		s.metrics.registerJobs(s.jobs)
+		s.mux.HandleFunc("/v1/jobs", s.handleJobs)
+		s.mux.HandleFunc("/v1/jobs/{id}", s.handleJob)
+		s.mux.HandleFunc("/v1/jobs/{id}/stream", s.handleJobStream)
+	}
 	return s
+}
+
+// NewClusterServer builds a Server joined to the peer group described by
+// cfg.Cluster (which must be non-nil). The returned server additionally
+// serves /v1/cluster/info and /v1/cluster/fill, and routes cacheable
+// requests across the ring.
+func NewClusterServer(cfg Config) (*Server, error) {
+	if cfg.Cluster == nil {
+		return nil, fmt.Errorf("service: NewClusterServer needs Config.Cluster")
+	}
+	s := NewServer(cfg)
+	cs, err := newClusterState(*cfg.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	s.cluster = cs
+	s.mux.HandleFunc("/v1/cluster/info", s.handleClusterInfo)
+	s.mux.HandleFunc("/v1/cluster/fill", s.handleClusterFill)
+	return s, nil
+}
+
+// Close releases the server's background resources: the cluster health
+// probe loop and the job manager (cancelling any running jobs). The
+// HTTP handler itself holds no connections and needs no other shutdown.
+func (s *Server) Close() {
+	if s.cluster != nil {
+		s.cluster.stop()
+	}
+	if s.jobs != nil {
+		s.jobs.Close()
+	}
 }
 
 // requestIDKey carries the request's ID through its context.
@@ -212,11 +268,30 @@ func post(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			w.Header().Set("Allow", http.MethodPost)
-			http.Error(w, `{"error":"method not allowed; use POST"}`, http.StatusMethodNotAllowed)
+			writeError(w, http.StatusMethodNotAllowed, "method not allowed; use POST", ReasonMethodNotAllowed)
 			return
 		}
 		h(w, r)
 	}
+}
+
+// forwardSpec is everything serveKeyed needs to relay a request to its
+// owning peer: the ring routing key (a kernel-affinity key when the
+// endpoint has one, so every request sharing a kernel lands on the same
+// node) and the raw request to replay.
+type forwardSpec struct {
+	routeKey string
+	method   string
+	path     string
+	body     []byte
+}
+
+// affinityKeyer lets a request type override the ring routing key with
+// the content address of the kernel it will need, instead of its full
+// result key. Routing on kernel affinity is what makes each distinct
+// kernel build happen exactly once cluster-wide.
+type affinityKeyer interface {
+	affinityKey() (string, bool)
 }
 
 // decoded adapts one typed compute function into the shared serving
@@ -225,9 +300,14 @@ func post(h http.HandlerFunc) http.HandlerFunc {
 func decoded[R any](s *Server, endpoint string, defaults func(*R), timeoutMS func(*R) int64, compute func(context.Context, *R) (response, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		var req R
-		body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-		dec := json.NewDecoder(body)
-		if err := dec.Decode(&req); err != nil {
+		// The body is read fully (rather than streamed into the decoder)
+		// so cluster mode can replay the identical bytes to a peer.
+		raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+		if err != nil {
+			s.finish(w, r, endpoint, time.Now(), response{}, badRequest("decoding request: %v", err), "")
+			return
+		}
+		if err := json.Unmarshal(raw, &req); err != nil {
 			s.finish(w, r, endpoint, time.Now(), response{}, badRequest("decoding request: %v", err), "")
 			return
 		}
@@ -238,7 +318,16 @@ func decoded[R any](s *Server, endpoint string, defaults func(*R), timeoutMS fun
 			return
 		}
 		key := cacheKey(endpoint, canonical)
-		s.serveKeyed(w, r, endpoint, key, timeoutMS(&req), func(ctx context.Context) (response, error) {
+		var fwd *forwardSpec
+		if s.cluster != nil {
+			fwd = &forwardSpec{routeKey: key, method: http.MethodPost, path: r.URL.Path, body: raw}
+			if ak, ok := any(&req).(affinityKeyer); ok {
+				if rk, ok := ak.affinityKey(); ok {
+					fwd.routeKey = rk
+				}
+			}
+		}
+		s.serveKeyed(w, r, endpoint, key, timeoutMS(&req), fwd, func(ctx context.Context) (response, error) {
 			return compute(ctx, &req)
 		})
 	}
@@ -249,7 +338,7 @@ func decoded[R any](s *Server, endpoint string, defaults func(*R), timeoutMS fun
 // whole request; the compute's engine spans nest underneath, and a
 // coalesced follower's span names the leader request whose computation
 // it shared.
-func (s *Server) serveKeyed(w http.ResponseWriter, r *http.Request, endpoint, key string, timeoutMS int64, compute func(context.Context) (response, error)) {
+func (s *Server) serveKeyed(w http.ResponseWriter, r *http.Request, endpoint, key string, timeoutMS int64, fwd *forwardSpec, compute func(context.Context) (response, error)) {
 	start := time.Now()
 	reqID := requestIDFrom(r.Context())
 	rctx, span := obs.Start(r.Context(), "serve."+endpoint, obs.String("request_id", reqID))
@@ -273,6 +362,18 @@ func (s *Server) serveKeyed(w http.ResponseWriter, r *http.Request, endpoint, ke
 	}
 	ctx, cancel := context.WithTimeout(rctx, deadline)
 	defer cancel()
+
+	// Cluster routing, after the local cache and before any computation:
+	// a request owned by a peer is forwarded (with hedging) and its 200
+	// fills the local cache, so each distinct key computes on exactly one
+	// node. Requests already forwarded once always serve locally — the
+	// ForwardedHeader guard is what bounds relaying at one hop.
+	if s.cluster != nil && fwd != nil && r.Header.Get(cluster.ForwardedHeader) == "" {
+		if targets := s.cluster.targets(fwd.routeKey); len(targets) > 0 {
+			s.serveForwarded(ctx, w, r, endpoint, key, start, span, fwd, targets)
+			return
+		}
+	}
 
 	res, err, coalesced, leader := s.flight.Do(ctx, key, reqID, func() (response, error) {
 		if s.computeGate != nil {
@@ -302,7 +403,7 @@ func (s *Server) serveKeyed(w http.ResponseWriter, r *http.Request, endpoint, ke
 func (s *Server) handleLayout(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
-		http.Error(w, `{"error":"method not allowed; use GET"}`, http.StatusMethodNotAllowed)
+		writeError(w, http.StatusMethodNotAllowed, "method not allowed; use GET", ReasonMethodNotAllowed)
 		return
 	}
 	req, err := layoutRequestFromQuery(r)
@@ -316,7 +417,9 @@ func (s *Server) handleLayout(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := cacheKey("layout", canonical)
-	s.serveKeyed(w, r, "layout", key, 0, func(ctx context.Context) (response, error) {
+	// Layouts stay local in cluster mode: they build no kernel, so there
+	// is no affinity to exploit and nothing worth a network hop.
+	s.serveKeyed(w, r, "layout", key, 0, nil, func(ctx context.Context) (response, error) {
 		return s.computeLayout(ctx, req)
 	})
 }
@@ -368,13 +471,7 @@ func (s *Server) finish(w http.ResponseWriter, r *http.Request, endpoint string,
 	status := res.status
 	if err != nil {
 		status = statusOf(err)
-		doc := map[string]string{"error": err.Error()}
-		var he *httpError
-		if errors.As(err, &he) && he.reason != "" {
-			doc["reason"] = he.reason
-		}
-		body, _ := json.Marshal(doc)
-		res = response{status: status, contentType: "application/json", body: append(body, '\n')}
+		res = errorResponse(status, err.Error(), reasonOf(err))
 	}
 	if status >= 400 {
 		s.metrics.errors.Add(1)
@@ -403,21 +500,4 @@ func (s *Server) finish(w http.ResponseWriter, r *http.Request, endpoint string,
 		})
 		s.logger.Println(string(line))
 	}
-}
-
-// statusOf maps compute errors to HTTP statuses: typed httpErrors carry
-// their own, deadline expiry is 504, client cancellation 499 (nginx's
-// convention), anything else 500.
-func statusOf(err error) int {
-	var he *httpError
-	if errors.As(err, &he) {
-		return he.status
-	}
-	if errors.Is(err, context.DeadlineExceeded) {
-		return http.StatusGatewayTimeout
-	}
-	if errors.Is(err, context.Canceled) {
-		return 499
-	}
-	return http.StatusInternalServerError
 }

@@ -1,0 +1,160 @@
+#!/usr/bin/env bash
+# cluster_bench.sh regenerates BENCH_cluster.json: a 3-node syncd
+# cluster against a single node on the kernel-heavy analyze mix, plus
+# the slow-peer hedging scenario. See EXPERIMENTS.md ("Cluster
+# benchmark") for the methodology and the gates the committed file is
+# held to.
+#
+# The kernel-heavy scenarios run with -variants 24 (twenty mesh sides,
+# forty distinct skew kernels counting both trees) against -cache 12
+# and -kernel-cache 24: one node holds half the result working set and
+# recomputes the other half — at large mesh sides a recompute is tens
+# of milliseconds even with a warm kernel — while three nodes with
+# consistent-hash routing hold every result at its ring owner, serve
+# repeats as ~1ms cache hits (local or one cheap forward hop), and
+# build each of the forty kernels exactly once cluster-wide.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QPS=${QPS:-120}
+DUR=${DUR:-15s}
+HEDGE_QPS=${HEDGE_QPS:-20}
+HEDGE_DUR=${HEDGE_DUR:-20s}
+KCACHE=24
+RCACHE=12
+VARIANTS=24
+OUT=${OUT:-BENCH_cluster.json}
+
+SYNCD=$(mktemp -d)/syncd
+SYNCLOAD=$(mktemp -d)/syncload
+go build -o "$SYNCD" ./cmd/syncd
+go build -o "$SYNCLOAD" ./cmd/syncload
+
+WORK=$(mktemp -d)
+PIDS=()
+cleanup() {
+  for p in "${PIDS[@]:-}"; do kill "$p" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+# boot <log> <flags...> — start a node, echo nothing; the caller reads
+# the bound URL from the log with waiturl.
+boot() {
+  local log=$1; shift
+  "$SYNCD" -quiet -cache $RCACHE -kernel-cache $KCACHE "$@" >"$log" 2>/dev/null &
+  PIDS+=($!)
+}
+waiturl() {
+  local log=$1
+  for _ in $(seq 1 100); do grep -q 'listening on' "$log" 2>/dev/null && break; sleep 0.1; done
+  sed -n 's/^listening on //p' "$log"
+}
+stopall() {
+  for p in "${PIDS[@]:-}"; do kill "$p" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+  PIDS=()
+}
+
+echo "== scenario 1: single node, kernel-heavy analyze mix" >&2
+boot "$WORK/single.log" -addr 127.0.0.1:0
+BASE=$(waiturl "$WORK/single.log")
+"$SYNCLOAD" -url "$BASE" -qps "$QPS" -duration "$DUR" -mix analyze=1 \
+  -variants $VARIANTS -seed 1 -json >"$WORK/single.json"
+stopall
+
+echo "== scenario 2: 3-node cluster, same offered load round-robined" >&2
+P1=18081 P2=18082 P3=18083
+U1="http://127.0.0.1:$P1" U2="http://127.0.0.1:$P2" U3="http://127.0.0.1:$P3"
+boot "$WORK/c1.log" -addr 127.0.0.1:$P1 -self "$U1" -peers "$U2,$U3" -hedge-after -1s
+boot "$WORK/c2.log" -addr 127.0.0.1:$P2 -self "$U2" -peers "$U1,$U3" -hedge-after -1s
+boot "$WORK/c3.log" -addr 127.0.0.1:$P3 -self "$U3" -peers "$U1,$U2" -hedge-after -1s
+waiturl "$WORK/c1.log" >/dev/null; waiturl "$WORK/c2.log" >/dev/null; waiturl "$WORK/c3.log" >/dev/null
+"$SYNCLOAD" -cluster "$U1,$U2,$U3" -qps "$QPS" -duration "$DUR" -mix analyze=1 \
+  -variants $VARIANTS -seed 1 -json >"$WORK/cluster.json"
+stopall
+
+# Slow-peer hedging: node 3 stands in for a degraded machine
+# (-debug-delay). All load enters node 1; requests node 3 owns either
+# wait out the delay (hedging off) or race a hedge to the next ring
+# successor (hedging on). The small-mesh plan mix keeps compute out of
+# the latencies so the delta is the routing policy itself, and -cache 2
+# keeps results from sticking at the entry node so requests forward —
+# and hedge — for the whole run instead of only during warmup.
+hedge_run() { # <hedge-flag> <out>
+  boot "$WORK/h1.log" -addr 127.0.0.1:$P1 -self "$U1" -peers "$U2,$U3" -hedge-after "$1" -cache 2
+  boot "$WORK/h2.log" -addr 127.0.0.1:$P2 -self "$U2" -peers "$U1,$U3" -hedge-after "$1" -cache 2
+  boot "$WORK/h3.log" -addr 127.0.0.1:$P3 -self "$U3" -peers "$U1,$U2" -hedge-after "$1" -cache 2 -debug-delay 150ms
+  waiturl "$WORK/h1.log" >/dev/null; waiturl "$WORK/h2.log" >/dev/null; waiturl "$WORK/h3.log" >/dev/null
+  "$SYNCLOAD" -url "$U1" -qps "$HEDGE_QPS" -duration "$HEDGE_DUR" -mix plan=1 \
+    -variants 8 -seed 1 -json >"$2"
+  # Scrape node 1's hedge counters before tearing the cluster down.
+  curl -sf "$U1/metrics" >"$2.metrics" || echo '{}' >"$2.metrics"
+  stopall
+}
+echo "== scenario 3a: slow peer, hedging off" >&2
+hedge_run -1s "$WORK/hedge_off.json"
+echo "== scenario 3b: slow peer, hedge after 30ms" >&2
+hedge_run 30ms "$WORK/hedge_on.json"
+
+python3 - "$WORK" "$OUT" <<'PY'
+import json, sys
+work, out = sys.argv[1], sys.argv[2]
+def load(p):
+    with open(p) as f: return json.load(f)
+single  = load(f"{work}/single.json")
+cluster = load(f"{work}/cluster.json")
+hoff    = load(f"{work}/hedge_off.json")
+hon     = load(f"{work}/hedge_on.json")
+hon_m   = load(f"{work}/hedge_on.json.metrics")
+
+gain = round(cluster["achieved_qps"] / single["achieved_qps"], 2)
+builds = sum(n["kernel_cache_misses"] for n in cluster["nodes"])
+fills  = sum(n["cluster_cache_fills"] for n in cluster["nodes"])
+# 20 mesh sides x 2 trees: every recipe the -variants 24 analyze pool names.
+recipes = 40
+doc = {
+    "title": "syncd cluster: 3 nodes vs 1 on the kernel-heavy analyze mix, plus slow-peer hedging",
+    "generated_by": "scripts/cluster_bench.sh",
+    "config": {
+        "kernel_cache": 24, "result_cache": 4, "variants": 24,
+        "distinct_kernel_recipes": recipes,
+        "mix": "analyze=1", "hedge_mix": "plan=1",
+        "slow_peer_debug_delay_ms": 150, "hedge_after_ms": 30,
+    },
+    "single_node": single,
+    "cluster_3node": cluster,
+    "hedge_slow_peer": {"hedge_off": hoff, "hedge_on": hon},
+    "summary": {
+        "single_achieved_qps": single["achieved_qps"],
+        "cluster_achieved_qps": cluster["achieved_qps"],
+        "throughput_gain": gain,
+        "cluster_kernel_builds": builds,
+        "distinct_kernel_recipes": recipes,
+        "cluster_cache_fills": fills,
+        "hedge_off_p99_ms": hoff["overall"]["p99_ms"],
+        "hedge_on_p99_ms": hon["overall"]["p99_ms"],
+        "hedges_sent": hon_m.get("cluster_hedge_total", 0),
+        "hedge_wins": hon_m.get("cluster_hedge_wins_total", 0),
+    },
+}
+ok = True
+if gain < 2.0:
+    print(f"GATE FAIL: throughput gain {gain} < 2.0", file=sys.stderr); ok = False
+if builds != recipes:
+    print(f"GATE FAIL: {builds} kernel builds cluster-wide, want exactly {recipes}", file=sys.stderr); ok = False
+if fills == 0:
+    print("GATE FAIL: no cross-peer cache fills", file=sys.stderr); ok = False
+if single["errors"] or cluster["errors"] or hoff["errors"] or hon["errors"]:
+    print("GATE FAIL: errors in a scenario", file=sys.stderr); ok = False
+if hon["overall"]["p99_ms"] >= hoff["overall"]["p99_ms"]:
+    print(f"GATE FAIL: hedging did not improve p99 "
+          f"({hon['overall']['p99_ms']} vs {hoff['overall']['p99_ms']})", file=sys.stderr); ok = False
+doc["summary"]["gates_passed"] = ok
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"wrote {out}: gain {gain}x, {builds}/{recipes} kernel builds, "
+      f"p99 {hoff['overall']['p99_ms']}ms -> {hon['overall']['p99_ms']}ms hedged")
+sys.exit(0 if ok else 1)
+PY
