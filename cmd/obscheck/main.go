@@ -4,9 +4,10 @@
 // Usage:
 //
 //	obscheck -trace out.json [-min-events 1] [-min-categories 1]
-//	obscheck -prom < exposition.txt
+//	obscheck -prom [-min-exemplars 0] < exposition.txt
 //	obscheck -manifest run.json
 //	obscheck -scale BENCH_scale.json [-min-sizes 5]
+//	obscheck -merge n0.json,n1.json,n2.json [-o merged.json] [-min-cross 1]
 //
 // -trace parses a Chrome trace_event file (the -trace output of
 // cmd/experiments and cmd/planner), requires at least -min-events
@@ -14,11 +15,18 @@
 // categories, and prints a one-line summary. -prom parses a Prometheus
 // text exposition (syncd's GET /metrics?format=prom) from stdin under
 // the strict 0.0.4 grammar, optionally requiring families named by
-// repeated -require flags. -manifest checks a run manifest for the
+// repeated -require flags; -min-exemplars additionally requires that
+// many samples carrying OpenMetrics exemplars (the trace-ID-bearing
+// histogram buckets). -manifest checks a run manifest for the
 // provenance fields the trajectory depends on. -scale round-trips a
 // scalesweep report through the strict scale.ReadReport validator and
 // requires every series to hold at least -min-sizes ok measurements.
-// Exit status is non-zero on any violation.
+// -merge stitches per-node Chrome trace files (comma-separated, node
+// names taken from the file base names) into one cluster-wide timeline
+// keyed by trace ID, estimating per-node clock offsets from
+// parent/child span containment; it requires at least -min-cross
+// cross-node parented spans and writes the merged trace to -o when
+// given. Exit status is non-zero on any violation.
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/obs"
@@ -49,29 +58,35 @@ func main() {
 	manifestPath := flag.String("manifest", "", "validate a run manifest JSON file")
 	scalePath := flag.String("scale", "", "validate a scalesweep report JSON file")
 	minSizes := flag.Int("min-sizes", 1, "minimum ok-measured sizes every series must hold (with -scale)")
+	mergePaths := flag.String("merge", "", "comma-separated per-node trace files to merge into one timeline")
+	mergeOut := flag.String("o", "", "write the merged trace here (with -merge)")
+	minCross := flag.Int("min-cross", 1, "minimum cross-node parented spans the merged trace must hold (with -merge)")
+	minExemplars := flag.Int("min-exemplars", 0, "minimum samples carrying exemplars (with -prom)")
 	var require requireList
 	flag.Var(&require, "require", "metric family that must be present (repeatable; with -prom)")
 	flag.Parse()
 
 	modes := 0
-	for _, on := range []bool{*tracePath != "", *promIn, *manifestPath != "", *scalePath != ""} {
+	for _, on := range []bool{*tracePath != "", *promIn, *manifestPath != "", *scalePath != "", *mergePaths != ""} {
 		if on {
 			modes++
 		}
 	}
 	if modes != 1 {
-		fail(fmt.Errorf("pick exactly one of -trace, -prom, -manifest, -scale"))
+		fail(fmt.Errorf("pick exactly one of -trace, -prom, -manifest, -scale, -merge"))
 	}
 
 	switch {
 	case *tracePath != "":
 		checkTrace(*tracePath, *minEvents, *minCategories)
 	case *promIn:
-		checkProm(require)
+		checkProm(require, *minExemplars)
 	case *manifestPath != "":
 		checkManifest(*manifestPath)
 	case *scalePath != "":
 		checkScale(*scalePath, *minSizes)
+	case *mergePaths != "":
+		checkMerge(strings.Split(*mergePaths, ","), *mergeOut, *minCross)
 	}
 }
 
@@ -97,14 +112,19 @@ func checkTrace(path string, minEvents, minCategories int) {
 		len(doc.TraceEvents), len(complete), strings.Join(cats, ","))
 }
 
-func checkProm(require []string) {
+func checkProm(require []string, minExemplars int) {
 	fams, err := obs.ParseProm(os.Stdin)
 	if err != nil {
 		fail(err)
 	}
-	samples := 0
+	samples, exemplars := 0, 0
 	for _, f := range fams {
 		samples += len(f.Samples)
+		for _, s := range f.Samples {
+			if s.Exemplar != nil {
+				exemplars++
+			}
+		}
 	}
 	if samples == 0 {
 		fail(fmt.Errorf("exposition holds no samples"))
@@ -114,7 +134,62 @@ func checkProm(require []string) {
 			fail(fmt.Errorf("required family %s missing from exposition", name))
 		}
 	}
-	fmt.Printf("prom ok: %d families, %d samples\n", len(fams), samples)
+	if exemplars < minExemplars {
+		fail(fmt.Errorf("exposition holds %d exemplar-bearing samples, need ≥ %d", exemplars, minExemplars))
+	}
+	fmt.Printf("prom ok: %d families, %d samples, %d exemplars\n", len(fams), samples, exemplars)
+}
+
+// checkMerge stitches per-node traces into one document and gates on
+// the cross-node seam count — the proof that trace propagation actually
+// crossed the wire during the run.
+func checkMerge(paths []string, out string, minCross int) {
+	var nodes []obs.NamedTrace
+	for _, p := range paths {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		f, err := os.Open(p)
+		if err != nil {
+			fail(err)
+		}
+		doc, err := obs.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fail(fmt.Errorf("trace %s: %w", p, err))
+		}
+		nodes = append(nodes, obs.NamedTrace{Name: strings.TrimSuffix(filepath.Base(p), ".json"), Doc: doc})
+	}
+	merged, stats, err := obs.MergeTraces(nodes)
+	if err != nil {
+		fail(err)
+	}
+	if stats.CrossNodeSpans < minCross {
+		fail(fmt.Errorf("merged trace has %d cross-node parented spans, need ≥ %d", stats.CrossNodeSpans, minCross))
+	}
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fail(err)
+		}
+		enc := json.NewEncoder(f)
+		if err := enc.Encode(merged); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
+	offsets := make([]string, 0, len(stats.OffsetsUS))
+	for _, n := range nodes {
+		if us, ok := stats.OffsetsUS[n.Name]; ok {
+			offsets = append(offsets, fmt.Sprintf("%s%+.0fus", n.Name, us))
+		}
+	}
+	fmt.Printf("merge ok: %d nodes, %d spans, %d traces, %d cross-node spans, offsets %s\n",
+		stats.Nodes, stats.Spans, stats.Traces, stats.CrossNodeSpans, strings.Join(offsets, ","))
 }
 
 func checkManifest(path string) {

@@ -10,6 +10,8 @@
 //	      [-peers http://h2:8080,http://h3:8080] [-self http://h1:8080]
 //	      [-replicas 128] [-hedge-after 0] [-health-interval 1s]
 //	      [-jobs] [-max-jobs 64] [-debug-delay 0]
+//	      [-trace out.json] [-manifest run.json]
+//	      [-flight-spans 512] [-flight-slow 250ms] [-no-flight]
 //
 // Endpoints:
 //
@@ -26,6 +28,19 @@
 //	GET  /healthz        liveness
 //	GET  /metrics        counters, cache stats, latency quantiles
 //	                     (expvar JSON; ?format=prom for Prometheus text)
+//	GET  /debug/flightrecorder  the always-on flight recorder: recent
+//	                     request span trees plus slow/error captures
+//	                     (?trace_id= and ?attr=k=v filter)
+//
+// Observability: every request is traced. The flight recorder keeps the
+// last -flight-spans completed spans in a ring and captures the full
+// span tree of any request slower than -flight-slow or ending in error,
+// with no export configured — -no-flight turns it off. -trace retains
+// every span and writes one Chrome trace_event file on shutdown; in a
+// cluster the per-node files merge into a single cross-node timeline
+// with `obscheck -merge`. -manifest writes a provenance manifest on
+// shutdown with the span summary and the flight recorder's final
+// snapshot folded in.
 //
 // Cluster mode: -peers joins this node to a static peer group. The
 // members place each other on a consistent-hash ring over request
@@ -68,6 +83,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/skew"
 )
@@ -94,8 +110,15 @@ func main() {
 	withJobs := flag.Bool("jobs", true, "serve the async /v1/jobs API")
 	maxJobs := flag.Int("max-jobs", 64, "most jobs tracked at once (excess creates get 429)")
 	debugDelay := flag.Duration("debug-delay", 0, "sleep this long before serving each request (degraded-node stand-in for hedging experiments)")
+
+	tracePath := flag.String("trace", "", "write a Chrome trace_event file of every span on shutdown (enables span retention)")
+	manifestPath := flag.String("manifest", "", "write a run manifest JSON (span summary + flight recorder snapshot) on shutdown")
+	flightSpans := flag.Int("flight-spans", 0, "flight recorder span-ring capacity (0 = default)")
+	flightSlow := flag.Duration("flight-slow", 0, "request latency above which the flight recorder captures the span tree (0 = default)")
+	noFlight := flag.Bool("no-flight", false, "disable the always-on flight recorder")
 	flag.Parse()
 
+	start := time.Now()
 	cfg := service.Config{
 		CacheEntries:       *cache,
 		KernelCacheEntries: *kernelCache,
@@ -106,9 +129,20 @@ func main() {
 		MaxDeadline:        *maxDeadline,
 		DisableJobs:        !*withJobs,
 		Jobs:               jobs.Config{MaxJobs: *maxJobs},
+		FlightSpans:        *flightSpans,
+		FlightSlow:         *flightSlow,
+		DisableFlight:      *noFlight,
 	}
 	if !*quiet {
 		cfg.LogWriter = os.Stderr
+	}
+	// -trace asks for a full span export, so the tracer must retain
+	// spans; without it the server's internal tracer keeps nothing and
+	// serves only the flight recorder.
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.NewTracer()
+		cfg.Tracer = tracer
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -193,10 +227,49 @@ func main() {
 				fmt.Fprintf(os.Stderr, "syncd: migrated %d cache entries to peers\n", n)
 			}
 		}
+		writeShutdownArtifacts(s, tracer, *tracePath, *manifestPath, start)
 		fmt.Fprintln(os.Stderr, "syncd: drained cleanly")
 	case err := <-serveErr:
 		fmt.Fprintln(os.Stderr, "syncd:", err)
 		os.Exit(1)
+	}
+}
+
+// writeShutdownArtifacts exports the run's observability artifacts
+// after a clean drain: the full Chrome trace (with -trace) and the run
+// manifest folding in the flight recorder's final snapshot (with
+// -manifest). Export failures are reported but never change the exit
+// status — losing a trace must not turn a clean drain into a crash.
+func writeShutdownArtifacts(s *service.Server, tracer *obs.Tracer, tracePath, manifestPath string, start time.Time) {
+	if tracePath != "" && tracer != nil {
+		f, err := os.Create(tracePath)
+		if err == nil {
+			err = tracer.WriteTrace(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "syncd: writing trace:", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "syncd: wrote trace %s (%d spans)\n", tracePath, tracer.Len())
+		}
+	}
+	if manifestPath != "" {
+		m := obs.NewManifest(start)
+		m.VisitFlags(func(record func(name, value string)) {
+			flag.CommandLine.Visit(func(f *flag.Flag) { record(f.Name, f.Value.String()) })
+		})
+		m.Finish(tracer)
+		if fr := s.FlightRecorder(); fr != nil {
+			snap := fr.Snapshot("", "")
+			m.Flight = &snap
+		}
+		if err := m.WriteFile(manifestPath); err != nil {
+			fmt.Fprintln(os.Stderr, "syncd: writing manifest:", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "syncd: wrote manifest %s\n", manifestPath)
+		}
 	}
 }
 

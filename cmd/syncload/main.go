@@ -20,7 +20,11 @@
 // consistent-hash routing exists for — and the report gains a per-node
 // breakdown of kernel builds, peer forwards, and cache fills scraped
 // from each node's /metrics, so a run shows whether the cluster built
-// each distinct kernel once or once per node.
+// each distinct kernel once or once per node. It also scrapes every
+// node's Prometheus exposition and sums the fixed-bucket
+// request_duration_ms histograms into one fleet-wide latency
+// distribution (true cluster p50/p99 with trace-ID exemplar counts),
+// reported as fleet_latency in the JSON document.
 //
 // With -json the report is a single typed document with a per-endpoint
 // latency breakdown (requests, errors, cache hits, coalesced, p50/p95/
@@ -49,6 +53,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/stats"
 )
@@ -176,10 +181,88 @@ func main() {
 		kMisses += ns.KernelCacheMisses
 		nodes = append(nodes, ns)
 	}
+	var fleet *fleetLatency
 	if *clusterURLs == "" {
 		nodes = nil // single-node report keeps its original shape
+	} else {
+		fleet = scrapeFleetLatency(client, bases)
 	}
-	render(byEndpoint, elapsed, *qps, *jsonOut, kHits, kMisses, nodes)
+	render(byEndpoint, elapsed, *qps, *jsonOut, kHits, kMisses, nodes, fleet)
+}
+
+// fleetLatency is the cluster-wide request-latency view assembled by
+// summing every node's fixed-bucket request_duration_ms histograms —
+// identical bucket layouts make the per-node scrapes directly
+// addable, which per-node summary quantiles never are.
+type fleetLatency struct {
+	Samples   uint64  `json:"samples"`
+	P50Ms     float64 `json:"p50_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	Exemplars int     `json:"exemplars"`
+}
+
+// scrapeFleetLatency pulls each node's Prometheus exposition, rebuilds
+// the per-endpoint request_duration_ms histograms, and merges all of
+// them into one fleet distribution. Nil when no node exposed buckets
+// (old servers, or every scrape failed) — the load results stand alone.
+func scrapeFleetLatency(client *http.Client, bases []string) *fleetLatency {
+	var snaps []obs.HistogramSnapshot
+	for _, b := range bases {
+		resp, err := client.Get(b + "/metrics?format=prom")
+		if err != nil {
+			continue
+		}
+		fams, err := obs.ParseProm(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			continue
+		}
+		for _, ep := range histogramEndpoints(fams, "request_duration_ms") {
+			if s, ok := obs.PromHistogram(fams, "request_duration_ms", "endpoint", ep); ok {
+				snaps = append(snaps, s)
+			}
+		}
+	}
+	if len(snaps) == 0 {
+		return nil
+	}
+	merged, err := obs.MergeHistograms(snaps...)
+	if err != nil || merged.Count == 0 {
+		return nil
+	}
+	fl := &fleetLatency{
+		Samples: merged.Count,
+		P50Ms:   round2(merged.Quantile(0.5)),
+		P99Ms:   round2(merged.Quantile(0.99)),
+	}
+	for _, ex := range merged.Exemplars {
+		if ex.TraceID != "" {
+			fl.Exemplars++
+		}
+	}
+	return fl
+}
+
+// histogramEndpoints lists the distinct endpoint label values under the
+// named histogram family.
+func histogramEndpoints(fams []obs.PromMetric, name string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, f := range fams {
+		if f.Name != name {
+			continue
+		}
+		for _, s := range f.Samples {
+			for _, kv := range s.Labels {
+				if kv[0] == "endpoint" && !seen[kv[1]] {
+					seen[kv[1]] = true
+					out = append(out, kv[1])
+				}
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // nodeStats is one node's post-run counter scrape: the kernel-cache
@@ -389,6 +472,9 @@ type loadReport struct {
 	KernelCacheMisses int64 `json:"kernel_cache_misses"`
 	// Nodes is the per-node scrape, present only in -cluster mode.
 	Nodes []nodeStats `json:"nodes,omitempty"`
+	// Fleet is the server-side latency distribution summed across every
+	// node's fixed-bucket histograms, present only in -cluster mode.
+	Fleet *fleetLatency `json:"fleet_latency,omitempty"`
 }
 
 func summarize(name string, os []outcome) endpointReport {
@@ -419,7 +505,7 @@ func round2(v float64) float64 {
 	return f
 }
 
-func render(byEndpoint map[string][]outcome, elapsed time.Duration, offeredQPS float64, asJSON bool, kernelHits, kernelMisses int64, nodes []nodeStats) {
+func render(byEndpoint map[string][]outcome, elapsed time.Duration, offeredQPS float64, asJSON bool, kernelHits, kernelMisses int64, nodes []nodeStats, fleet *fleetLatency) {
 	names := make([]string, 0, len(byEndpoint))
 	for n := range byEndpoint {
 		names = append(names, n)
@@ -440,6 +526,7 @@ func render(byEndpoint map[string][]outcome, elapsed time.Duration, offeredQPS f
 	rep.AchievedQPS = round2(float64(rep.Completed) / elapsed.Seconds())
 	rep.KernelCacheHits, rep.KernelCacheMisses = kernelHits, kernelMisses
 	rep.Nodes = nodes
+	rep.Fleet = fleet
 
 	if asJSON {
 		enc := json.NewEncoder(os.Stdout)
@@ -469,6 +556,10 @@ func render(byEndpoint map[string][]outcome, elapsed time.Duration, offeredQPS f
 	for _, n := range nodes {
 		fmt.Printf("node %s: kernel %d/%d hit/miss, forwards %d (errors %d), hedges %d (won %d), cache fills %d\n",
 			n.URL, n.KernelCacheHits, n.KernelCacheMisses, n.Forwards, n.ForwardErrors, n.Hedges, n.HedgeWins, n.CacheFills)
+	}
+	if fleet != nil {
+		fmt.Printf("fleet server-side latency (summed histograms): %d samples, p50 %.2fms, p99 %.2fms, %d exemplars\n",
+			fleet.Samples, fleet.P50Ms, fleet.P99Ms, fleet.Exemplars)
 	}
 }
 

@@ -9,6 +9,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ForwardedHeader marks a request as already relayed once. A node
@@ -142,9 +144,12 @@ func (f *Forwarder) observe(d time.Duration) {
 // attempt is one in-flight copy of the forward.
 type attempt struct {
 	peer   string
+	role   string // primary | hedge | failover
 	res    *Result
 	err    error
 	cancel context.CancelFunc
+	span   *obs.Span // per-copy span; nil with tracing disabled
+	ended  bool
 }
 
 // Do relays (method, path, body, header) to targets[0], hedging to
@@ -162,23 +167,45 @@ func (f *Forwarder) Do(ctx context.Context, method, path string, body []byte, he
 	start := time.Now()
 	results := make(chan *attempt, len(targets))
 	var attempts []*attempt
-	launch := func(peer string) {
+	launch := func(peer, role string) {
 		actx, cancel := context.WithCancel(ctx)
-		a := &attempt{peer: peer, cancel: cancel}
+		// Each copy gets its own span; the remote node parents its serve
+		// span under this one (via the TraceHeader send injects), so a
+		// merged trace shows exactly which copy — primary or hedge — did
+		// the remote work. Only Do's goroutine touches the span.
+		actx, span := obs.Start(actx, "cluster.attempt",
+			obs.String("peer", peer), obs.String("role", role))
+		a := &attempt{peer: peer, role: role, cancel: cancel, span: span}
 		attempts = append(attempts, a)
 		go func() {
 			a.res, a.err = f.send(actx, method, peer+path, body, header)
 			results <- a
 		}()
 	}
+	// finish ends an attempt's span exactly once, annotating its fate.
+	finish := func(a *attempt, attrs ...obs.Attr) {
+		if a.ended {
+			return
+		}
+		a.ended = true
+		a.span.Annotate(attrs...)
+		a.span.End()
+	}
+	hedged := false
 	defer func() {
+		// Losing attempts: cancel in-flight requests and close their
+		// spans, so no span is left orphaned (un-ended) by a race loss.
 		for _, a := range attempts {
 			a.cancel()
+			if hedged {
+				finish(a, obs.String("hedge", "canceled"))
+			} else {
+				finish(a, obs.String("outcome", "canceled"))
+			}
 		}
 	}()
 
-	launch(targets[0])
-	hedged := false
+	launch(targets[0], "primary")
 	var hedgeC <-chan time.Time
 	if delay, ok := f.HedgeDelay(); ok && len(targets) > 1 {
 		t := time.NewTimer(delay)
@@ -195,7 +222,7 @@ func (f *Forwarder) Do(ctx context.Context, method, path string, body []byte, he
 		case <-hedgeC:
 			hedgeC = nil
 			hedged = true
-			launch(targets[1])
+			launch(targets[1], "hedge")
 		case a := <-results:
 			if a.err == nil {
 				a.res.Peer = a.peer
@@ -203,16 +230,25 @@ func (f *Forwarder) Do(ctx context.Context, method, path string, body []byte, he
 				a.res.HedgeWon = hedged && a.peer != targets[0]
 				a.res.Latency = time.Since(start)
 				f.observe(a.res.Latency)
+				attrs := []obs.Attr{
+					obs.Int("http_status", int64(a.res.Status)),
+					obs.String("outcome", "win"),
+				}
+				if hedged {
+					attrs = append(attrs, obs.String("hedge", "winner"))
+				}
+				finish(a, attrs...)
 				return a.res, nil
 			}
 			failures++
 			lastErr = a.err
+			finish(a, obs.String("outcome", "transport_error"), obs.String("error", "peer_unreachable"))
 			if failures == len(attempts) {
 				if len(attempts) < len(targets) {
 					// Fail over immediately; disarm the hedge timer so it
 					// cannot launch the same target a second time.
 					hedgeC = nil
-					launch(targets[len(attempts)])
+					launch(targets[len(attempts)], "failover")
 					continue
 				}
 				return nil, fmt.Errorf("cluster: all %d forward targets unreachable: %w", len(targets), lastErr)
@@ -237,6 +273,11 @@ func (f *Forwarder) send(ctx context.Context, method, url string, body []byte, h
 		}
 	}
 	req.Header.Set(ForwardedHeader, "1")
+	// Propagate the trace so the peer's spans parent under this copy's
+	// attempt span (or the caller's span when tracing has no attempt).
+	if sc := obs.SpanContextOf(ctx); sc.Valid() {
+		req.Header.Set(obs.TraceHeader, sc.String())
+	}
 	if body != nil && req.Header.Get("Content-Type") == "" {
 		req.Header.Set("Content-Type", "application/json")
 	}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"io"
 	"net/http"
@@ -9,6 +10,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // peerServer is a fake syncd peer: it answers with its name after an
@@ -20,12 +23,16 @@ type peerServer struct {
 	srv       *httptest.Server
 	hits      atomic.Int64
 	cancelled atomic.Int64
+	lastTrace atomic.Value // string: last X-Syncd-Trace header seen
+	lastReqID atomic.Value // string: last X-Request-ID header seen
 }
 
 func newPeerServer(name string, delay time.Duration) *peerServer {
 	p := &peerServer{name: name, delay: delay}
 	p.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		p.hits.Add(1)
+		p.lastTrace.Store(r.Header.Get(obs.TraceHeader))
+		p.lastReqID.Store(r.Header.Get("X-Request-ID"))
 		// Drain the body: the server's client-disconnect detection (which
 		// cancels r.Context()) only engages once the body is consumed.
 		io.Copy(io.Discard, r.Body)
@@ -84,6 +91,112 @@ func TestHedgeFiresAfterDelayAndWins(t *testing.T) {
 			t.Fatal("slow peer's request context was never cancelled")
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestHedgeRaceSpanAttribution races a slow primary against a fast
+// hedge with tracing on and checks the exported trace tells the story:
+// exactly one cluster.attempt span per copy, both parented under the
+// caller's span (no orphans), the winner marked hedge=winner and the
+// canceled loser hedge=canceled. It also checks the winning copy's wire
+// headers: the trace context named the hedge attempt's own span (so the
+// remote serve span parents under the copy that actually did the work)
+// and the X-Request-ID rode along on the hedge copy.
+func TestHedgeRaceSpanAttribution(t *testing.T) {
+	slow := newPeerServer("slow", 2*time.Second)
+	defer slow.Close()
+	fast := newPeerServer("fast", 0)
+	defer fast.Close()
+
+	tr := obs.NewTracer()
+	ctx := obs.WithTracer(context.Background(), tr)
+	ctx, root := obs.Start(ctx, "forward.root")
+	f := NewForwarder(nil, HedgePolicy{HedgeAfter: 30 * time.Millisecond})
+	header := http.Header{}
+	header.Set("X-Request-ID", "req-42")
+	res, err := f.Do(ctx, http.MethodPost, "/v1/plan", []byte(`{}`), header,
+		[]string{slow.URL(), fast.URL()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Hedged || !res.HedgeWon {
+		t.Fatalf("want a hedge win, got %+v", res)
+	}
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := obs.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := doc.CompleteEvents()
+	// Root + primary attempt + hedge attempt. An un-ended (orphaned)
+	// attempt span would be missing; a double-ended one would duplicate.
+	if len(events) != 3 {
+		t.Fatalf("%d complete spans, want 3 (root + 2 attempts): %+v", len(events), events)
+	}
+	str := func(args map[string]any, k string) string {
+		s, _ := args[k].(string)
+		return s
+	}
+	num := func(args map[string]any, k string) float64 {
+		n, _ := args[k].(float64)
+		return n
+	}
+	var rootID float64
+	byRole := map[string]map[string]any{}
+	for _, ev := range events {
+		switch ev.Name {
+		case "forward.root":
+			rootID = num(ev.Args, "span_id")
+		case "cluster.attempt":
+			byRole[str(ev.Args, "role")] = ev.Args
+		}
+	}
+	if rootID == 0 || len(byRole) != 2 {
+		t.Fatalf("trace missing root or attempt spans: %+v", events)
+	}
+	primary, hedge := byRole["primary"], byRole["hedge"]
+	if primary == nil || hedge == nil {
+		t.Fatalf("attempt roles = %v, want primary and hedge", byRole)
+	}
+	for role, args := range byRole {
+		if p := num(args, "parent_span_id"); p != rootID {
+			t.Fatalf("%s attempt parent %v, want root %v (orphan span)", role, p, rootID)
+		}
+		if tid := str(args, "trace_id"); tid != root.TraceID() {
+			t.Fatalf("%s attempt trace %q, want %q", role, tid, root.TraceID())
+		}
+	}
+	if got := str(hedge, "hedge"); got != "winner" {
+		t.Fatalf("hedge attempt hedge=%q, want winner", got)
+	}
+	if got := str(primary, "hedge"); got != "canceled" {
+		t.Fatalf("primary attempt hedge=%q, want canceled", got)
+	}
+	if got := str(hedge, "peer"); got != fast.URL() {
+		t.Fatalf("winner peer %q, want %q", got, fast.URL())
+	}
+	if got := num(hedge, "http_status"); got != http.StatusOK {
+		t.Fatalf("winner http_status %v", got)
+	}
+
+	// Wire headers on the winning (hedge) copy.
+	if got, _ := fast.lastReqID.Load().(string); got != "req-42" {
+		t.Fatalf("hedge copy X-Request-ID %q, want req-42", got)
+	}
+	sc, err := obs.ParseSpanContext(fast.lastTrace.Load().(string))
+	if err != nil {
+		t.Fatalf("hedge copy trace header: %v", err)
+	}
+	if sc.TraceID != root.TraceID() {
+		t.Fatalf("hedge copy trace ID %q, want %q", sc.TraceID, root.TraceID())
+	}
+	if sc.SpanID != int64(num(hedge, "span_id")) {
+		t.Fatalf("hedge copy parents under span %d, want the hedge attempt %v", sc.SpanID, num(hedge, "span_id"))
 	}
 }
 

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -272,6 +273,38 @@ type Manager struct {
 	jobs     map[string]*Job
 	finished []string // finished job IDs, oldest first, for retention
 	wg       sync.WaitGroup
+
+	// Lifecycle counters: live gauges for the non-terminal states and
+	// cumulative totals for the terminal ones. Unlike Stats (a scan of
+	// currently tracked jobs), the totals survive retention, so metrics
+	// never undercount a long run's finished work.
+	pending       atomic.Int64
+	running       atomic.Int64
+	doneTotal     atomic.Int64
+	failedTotal   atomic.Int64
+	canceledTotal atomic.Int64
+}
+
+// Counts is the manager's lifecycle counter snapshot: pending/running
+// are gauges of current jobs, the *Total fields count every job that
+// ever reached that terminal state (retention never decrements them).
+type Counts struct {
+	Pending       int64 `json:"pending"`
+	Running       int64 `json:"running"`
+	DoneTotal     int64 `json:"done_total"`
+	FailedTotal   int64 `json:"failed_total"`
+	CanceledTotal int64 `json:"canceled_total"`
+}
+
+// Counts returns the lifecycle counters.
+func (m *Manager) Counts() Counts {
+	return Counts{
+		Pending:       m.pending.Load(),
+		Running:       m.running.Load(),
+		DoneTotal:     m.doneTotal.Load(),
+		FailedTotal:   m.failedTotal.Load(),
+		CanceledTotal: m.canceledTotal.Load(),
+	}
 }
 
 // NewManager builds a Manager with cfg (zero fields defaulted).
@@ -318,6 +351,7 @@ func (m *Manager) Create(id, kind string, request json.RawMessage, run RunFunc) 
 	}
 	m.jobs[id] = j
 	m.wg.Add(1)
+	m.pending.Add(1)
 	m.mu.Unlock()
 
 	go func() {
@@ -329,12 +363,16 @@ func (m *Manager) Create(id, kind string, request json.RawMessage, run RunFunc) 
 		case <-ctx.Done():
 			// Cancelled (or manager closed) while pending: never ran.
 			j.finish(Canceled, nil, "canceled", "canceled before start")
+			m.pending.Add(-1)
+			m.canceledTotal.Add(1)
 			m.retire(j)
 			return
 		}
 		j.mu.Lock()
 		if j.state.Terminal() { // cancelled between admit and slot
 			j.mu.Unlock()
+			m.pending.Add(-1)
+			m.canceledTotal.Add(1)
 			m.retire(j)
 			return
 		}
@@ -342,18 +380,24 @@ func (m *Manager) Create(id, kind string, request json.RawMessage, run RunFunc) 
 		j.started = time.Now()
 		j.appendLocked(Event{State: Running})
 		j.mu.Unlock()
+		m.pending.Add(-1)
+		m.running.Add(1)
 
 		result, reason, err := j.run(ctx, j)
+		m.running.Add(-1)
 		switch {
 		case err == nil:
 			j.finish(Done, result, "", "")
+			m.doneTotal.Add(1)
 		case errors.Is(err, context.Canceled) || ctx.Err() != nil:
 			j.finish(Canceled, nil, "canceled", "canceled")
+			m.canceledTotal.Add(1)
 		default:
 			if reason == "" {
 				reason = "job_failed"
 			}
 			j.finish(Failed, nil, reason, err.Error())
+			m.failedTotal.Add(1)
 		}
 		m.retire(j)
 	}()

@@ -337,6 +337,151 @@ func TestStats(t *testing.T) {
 	}
 }
 
+// TestCountsLifecycle drives one job through each lifecycle path and
+// checks the flat counters at every observable stage: the pending and
+// running gauges while the job is in flight, and the cumulative
+// terminal counters afterwards. The totals must survive retention —
+// that is their whole point over Stats() — so the done case also
+// retires the job and re-checks.
+func TestCountsLifecycle(t *testing.T) {
+	cases := []struct {
+		name string
+		// drive runs the scenario against a Workers:1 manager and
+		// returns once every job involved is terminal.
+		drive func(t *testing.T, m *Manager)
+		want  Counts
+	}{
+		{
+			name: "done",
+			drive: func(t *testing.T, m *Manager) {
+				release := make(chan struct{})
+				j, err := m.Create("j", "test", nil, func(ctx context.Context, job *Job) (json.RawMessage, string, error) {
+					<-release
+					return json.RawMessage(`{}`), "", nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for j.State() != Running {
+					time.Sleep(time.Millisecond)
+				}
+				if c := m.Counts(); c.Running != 1 || c.Pending != 0 {
+					t.Fatalf("mid-run counts %+v", c)
+				}
+				close(release)
+				waitTerminal(t, j)
+			},
+			want: Counts{DoneTotal: 1},
+		},
+		{
+			name: "failed",
+			drive: func(t *testing.T, m *Manager) {
+				j, err := m.Create("j", "test", nil, func(ctx context.Context, job *Job) (json.RawMessage, string, error) {
+					return nil, "boom", errors.New("boom")
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				waitTerminal(t, j)
+			},
+			want: Counts{FailedTotal: 1},
+		},
+		{
+			name: "canceled_running",
+			drive: func(t *testing.T, m *Manager) {
+				j, err := m.Create("j", "test", nil, func(ctx context.Context, job *Job) (json.RawMessage, string, error) {
+					<-ctx.Done()
+					return nil, "", ctx.Err()
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for j.State() != Running {
+					time.Sleep(time.Millisecond)
+				}
+				if _, err := m.Cancel("j"); err != nil {
+					t.Fatal(err)
+				}
+				waitTerminal(t, j)
+			},
+			want: Counts{CanceledTotal: 1},
+		},
+		{
+			name: "canceled_pending",
+			drive: func(t *testing.T, m *Manager) {
+				release := make(chan struct{})
+				hog, err := m.Create("hog", "test", nil, func(ctx context.Context, job *Job) (json.RawMessage, string, error) {
+					<-release
+					return nil, "", nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for hog.State() != Running {
+					time.Sleep(time.Millisecond)
+				}
+				queued, err := m.Create("queued", "test", nil, func(ctx context.Context, job *Job) (json.RawMessage, string, error) {
+					return nil, "", nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if c := m.Counts(); c.Pending != 1 || c.Running != 1 {
+					t.Fatalf("queued counts %+v", c)
+				}
+				if _, err := m.Cancel("queued"); err != nil {
+					t.Fatal(err)
+				}
+				waitTerminal(t, queued)
+				close(release)
+				waitTerminal(t, hog)
+			},
+			want: Counts{DoneTotal: 1, CanceledTotal: 1},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := NewManager(Config{Workers: 1, Retain: 1})
+			defer m.Close()
+			tc.drive(t, m)
+			waitCounts(t, m, tc.want)
+			// Push every terminal job out of retention; the cumulative
+			// totals must not move.
+			for i := 0; i < 3; i++ {
+				j, err := m.Create(fmt.Sprintf("churn-%d", i), "test", nil,
+					func(ctx context.Context, job *Job) (json.RawMessage, string, error) {
+						return nil, "", nil
+					})
+				if err != nil {
+					t.Fatal(err)
+				}
+				waitTerminal(t, j)
+			}
+			after := tc.want
+			after.DoneTotal += 3
+			waitCounts(t, m, after)
+		})
+	}
+}
+
+// waitCounts polls until the manager's flat counters reach want; the
+// gauge decrements and total increments land just after the terminal
+// event, so an immediate read can be one step behind.
+func waitCounts(t *testing.T, m *Manager, want Counts) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got := m.Counts()
+		if got == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("counts %+v, want %+v", got, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 func waitTerminal(t *testing.T, j *Job) {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)

@@ -1,0 +1,290 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Fixed-bucket histograms are the aggregatable complement to the
+// serving stack's summary quantiles: summaries computed per node cannot
+// be combined, but histogram buckets with identical bounds sum across a
+// fleet, so `syncload -cluster` can scrape every node and report true
+// fleet-wide percentiles. Each bucket optionally carries an exemplar —
+// the trace ID of one observation that landed in it — which is the
+// bridge from "the p99 is 80ms" to the flight-recorder or merged-trace
+// view of one request that actually took that long.
+
+// DefaultLatencyBucketsMS is the bucket layout (upper bounds in
+// milliseconds) shared by every latency histogram in the repo. All
+// nodes using one layout is what makes cross-node summation valid.
+var DefaultLatencyBucketsMS = []float64{
+	0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
+}
+
+// DefaultThroughputBuckets is the layout for rate-style observations
+// (job trials per second).
+var DefaultThroughputBuckets = []float64{
+	1e3, 1e4, 1e5, 2.5e5, 5e5, 1e6, 2.5e6, 5e6, 1e7, 5e7, 1e8,
+}
+
+// Exemplar is one sampled observation attached to a histogram bucket.
+type Exemplar struct {
+	TraceID string  `json:"trace_id"`
+	Value   float64 `json:"value"`
+}
+
+// Histogram is a fixed-bucket histogram with per-bucket exemplars.
+// Safe for concurrent use.
+type Histogram struct {
+	bounds []float64 // strictly increasing upper bounds; +Inf implicit
+
+	mu        sync.Mutex
+	counts    []uint64 // len(bounds)+1, last is the +Inf bucket
+	sum       float64
+	count     uint64
+	exemplars []Exemplar // len(bounds)+1; zero TraceID = none
+}
+
+// NewHistogram builds a histogram over the given upper bounds, which
+// must be strictly increasing. The +Inf bucket is implicit.
+func NewHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i] > bounds[i-1]) {
+			panic(fmt.Sprintf("obs: histogram bounds not increasing at %d: %v", i, bounds))
+		}
+	}
+	b := append([]float64(nil), bounds...)
+	return &Histogram{
+		bounds:    b,
+		counts:    make([]uint64, len(b)+1),
+		exemplars: make([]Exemplar, len(b)+1),
+	}
+}
+
+// Observe records one observation. A non-empty traceID replaces the
+// observation's bucket exemplar, keeping the freshest trace per bucket.
+func (h *Histogram) Observe(v float64, traceID string) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	if traceID != "" {
+		h.exemplars[i] = Exemplar{TraceID: traceID, Value: v}
+	}
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram, the unit of
+// export, parsing, and cross-node summation.
+type HistogramSnapshot struct {
+	Bounds    []float64  `json:"bounds"`
+	Counts    []uint64   `json:"counts"` // per-bucket (not cumulative), +Inf last
+	Sum       float64    `json:"sum"`
+	Count     uint64     `json:"count"`
+	Exemplars []Exemplar `json:"exemplars,omitempty"` // parallel to Counts; zero TraceID = none
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{
+		Bounds:    append([]float64(nil), h.bounds...),
+		Counts:    append([]uint64(nil), h.counts...),
+		Sum:       h.sum,
+		Count:     h.count,
+		Exemplars: append([]Exemplar(nil), h.exemplars...),
+	}
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) with the standard
+// Prometheus histogram_quantile linear interpolation inside the target
+// bucket. Observations in the +Inf bucket clamp to the highest finite
+// bound. Returns NaN on an empty histogram.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Counts) == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		if i >= len(s.Bounds) { // +Inf bucket
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = s.Bounds[i-1]
+		}
+		upper := s.Bounds[i]
+		if c == 0 {
+			return upper
+		}
+		return lower + (upper-lower)*(rank-prev)/float64(c)
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// MergeHistograms sums snapshots with identical bucket layouts — the
+// fleet-wide aggregation per-node scrapes feed. Exemplars keep the
+// first non-empty entry per bucket.
+func MergeHistograms(snaps ...HistogramSnapshot) (HistogramSnapshot, error) {
+	var out HistogramSnapshot
+	for _, s := range snaps {
+		if out.Bounds == nil {
+			out = HistogramSnapshot{
+				Bounds:    append([]float64(nil), s.Bounds...),
+				Counts:    append([]uint64(nil), s.Counts...),
+				Sum:       s.Sum,
+				Count:     s.Count,
+				Exemplars: append([]Exemplar(nil), s.Exemplars...),
+			}
+			continue
+		}
+		if len(s.Bounds) != len(out.Bounds) {
+			return HistogramSnapshot{}, fmt.Errorf("obs: merging histograms with %d vs %d buckets", len(s.Bounds), len(out.Bounds))
+		}
+		for i, b := range s.Bounds {
+			if b != out.Bounds[i] {
+				return HistogramSnapshot{}, fmt.Errorf("obs: merging histograms with mismatched bound %d: %v vs %v", i, b, out.Bounds[i])
+			}
+		}
+		for i, c := range s.Counts {
+			out.Counts[i] += c
+		}
+		out.Sum += s.Sum
+		out.Count += s.Count
+		for i, e := range s.Exemplars {
+			if i < len(out.Exemplars) && out.Exemplars[i].TraceID == "" {
+				out.Exemplars[i] = e
+			}
+		}
+	}
+	return out, nil
+}
+
+// HistogramSamples renders a snapshot as the conventional Prometheus
+// histogram series: cumulative {le="…"} buckets (with exemplars on
+// buckets that have one), then _sum and _count.
+func HistogramSamples(labels [][2]string, s HistogramSnapshot) []PromSample {
+	out := make([]PromSample, 0, len(s.Counts)+2)
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(s.Bounds) {
+			le = formatPromValue(s.Bounds[i])
+		}
+		ps := PromSample{
+			Labels: append(append([][2]string{}, labels...), Suffix("_bucket"), [2]string{"le", le}),
+			Value:  float64(cum),
+		}
+		if i < len(s.Exemplars) && s.Exemplars[i].TraceID != "" {
+			ps.Exemplar = &PromExemplar{
+				Labels: Label("trace_id", s.Exemplars[i].TraceID),
+				Value:  s.Exemplars[i].Value,
+			}
+		}
+		out = append(out, ps)
+	}
+	out = append(out,
+		PromSample{Labels: append(append([][2]string{}, labels...), Suffix("_sum")), Value: s.Sum},
+		PromSample{Labels: append(append([][2]string{}, labels...), Suffix("_count")), Value: float64(s.Count)},
+	)
+	return out
+}
+
+// PromHistogram reconstructs a HistogramSnapshot from a parsed
+// histogram family's samples whose labels include every pair of want —
+// the inverse of HistogramSamples, used by syncload to sum per-node
+// scrapes. The second return is false when the family or its buckets
+// are absent.
+func PromHistogram(metrics []PromMetric, name string, want ...string) (HistogramSnapshot, bool) {
+	wantPairs := Label(want...)
+	var m *PromMetric
+	for i := range metrics {
+		if metrics[i].Name == name {
+			m = &metrics[i]
+			break
+		}
+	}
+	if m == nil {
+		return HistogramSnapshot{}, false
+	}
+	type bkt struct {
+		le  float64
+		cum float64
+		ex  Exemplar
+	}
+	var buckets []bkt
+	var snap HistogramSnapshot
+	for _, s := range m.Samples {
+		suffix, le := "", ""
+		match := true
+		for _, l := range s.Labels {
+			switch l[0] {
+			case "__suffix__":
+				suffix = l[1]
+			case "le":
+				le = l[1]
+			}
+		}
+		for _, w := range wantPairs {
+			found := false
+			for _, l := range s.Labels {
+				if l == w {
+					found = true
+					break
+				}
+			}
+			if !found {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		switch suffix {
+		case "_bucket":
+			bound, err := parsePromValue(le)
+			if err != nil {
+				return HistogramSnapshot{}, false
+			}
+			b := bkt{le: bound, cum: s.Value}
+			if s.Exemplar != nil {
+				for _, l := range s.Exemplar.Labels {
+					if l[0] == "trace_id" {
+						b.ex = Exemplar{TraceID: l[1], Value: s.Exemplar.Value}
+					}
+				}
+			}
+			buckets = append(buckets, b)
+		case "_sum":
+			snap.Sum = s.Value
+		case "_count":
+			snap.Count = uint64(s.Value)
+		}
+	}
+	if len(buckets) == 0 {
+		return HistogramSnapshot{}, false
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	var prev float64
+	for _, b := range buckets {
+		if !math.IsInf(b.le, 1) {
+			snap.Bounds = append(snap.Bounds, b.le)
+		}
+		snap.Counts = append(snap.Counts, uint64(b.cum-prev))
+		snap.Exemplars = append(snap.Exemplars, b.ex)
+		prev = b.cum
+	}
+	return snap, true
+}

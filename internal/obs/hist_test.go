@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 5, 10})
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i%10)+0.5, "")
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	var total uint64
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total != 100 {
+		t.Fatalf("bucket counts sum to %d", total)
+	}
+	// Values 0.5..9.5 uniform: p50 near 5, p99 near 10 — within one
+	// bucket width of truth, the guarantee fixed buckets give.
+	if p50 := s.Quantile(0.5); p50 < 2 || p50 > 5 {
+		t.Fatalf("p50 = %v", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 < 5 || p99 > 10 {
+		t.Fatalf("p99 = %v", p99)
+	}
+	if !math.IsNaN(NewHistogram([]float64{1}).Snapshot().Quantile(0.5)) {
+		t.Fatalf("empty histogram quantile should be NaN")
+	}
+}
+
+func TestHistogramInfBucketClamps(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(1000, "")
+	if q := h.Snapshot().Quantile(0.5); q != 2 {
+		t.Fatalf("quantile in +Inf bucket = %v, want clamp to 2", q)
+	}
+}
+
+func TestHistogramExemplars(t *testing.T) {
+	h := NewHistogram([]float64{1, 10})
+	h.Observe(0.5, "aaaaaaaaaaaaaaaa")
+	h.Observe(5, "bbbbbbbbbbbbbbbb")
+	h.Observe(5, "") // must not clobber the exemplar
+	s := h.Snapshot()
+	if s.Exemplars[0].TraceID != "aaaaaaaaaaaaaaaa" || s.Exemplars[0].Value != 0.5 {
+		t.Fatalf("bucket 0 exemplar = %+v", s.Exemplars[0])
+	}
+	if s.Exemplars[1].TraceID != "bbbbbbbbbbbbbbbb" {
+		t.Fatalf("bucket 1 exemplar = %+v", s.Exemplars[1])
+	}
+	if s.Exemplars[2].TraceID != "" {
+		t.Fatalf("+Inf bucket unexpectedly has exemplar %+v", s.Exemplars[2])
+	}
+}
+
+func TestMergeHistograms(t *testing.T) {
+	a := NewHistogram(DefaultLatencyBucketsMS)
+	b := NewHistogram(DefaultLatencyBucketsMS)
+	for i := 0; i < 50; i++ {
+		a.Observe(3, "")
+		b.Observe(300, "ffffffffffffffff")
+	}
+	merged, err := MergeHistograms(a.Snapshot(), b.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Count != 100 {
+		t.Fatalf("merged count = %d", merged.Count)
+	}
+	if merged.Sum != 50*3+50*300 {
+		t.Fatalf("merged sum = %v", merged.Sum)
+	}
+	// Fleet p50 must fall between the two nodes' modes.
+	p50 := merged.Quantile(0.5)
+	if p50 < 2.5 || p50 > 500 {
+		t.Fatalf("fleet p50 = %v", p50)
+	}
+	// Exemplar from node b survives the merge.
+	found := false
+	for _, e := range merged.Exemplars {
+		if e.TraceID == "ffffffffffffffff" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("merge dropped exemplars: %+v", merged.Exemplars)
+	}
+
+	odd := NewHistogram([]float64{1, 2, 3})
+	if _, err := MergeHistograms(a.Snapshot(), odd.Snapshot()); err == nil {
+		t.Fatalf("merge accepted mismatched bucket layouts")
+	}
+}
+
+func TestHistogramPromRoundTrip(t *testing.T) {
+	h := NewHistogram([]float64{1, 5, 25})
+	h.Observe(0.4, "0123456789abcdef")
+	h.Observe(3, "")
+	h.Observe(100, "fedcba9876543210")
+	snap := h.Snapshot()
+
+	fam := []PromMetric{{
+		Name:    "request_duration_ms",
+		Help:    "per-endpoint latency",
+		Type:    "histogram",
+		Samples: HistogramSamples(Label("endpoint", "analyze"), snap),
+	}}
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, fam); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "# TYPE request_duration_ms histogram") {
+		t.Fatalf("missing TYPE line:\n%s", text)
+	}
+	if !strings.Contains(text, `request_duration_ms_bucket{endpoint="analyze",le="+Inf"} 3`) {
+		t.Fatalf("missing +Inf bucket:\n%s", text)
+	}
+	if !strings.Contains(text, `# {trace_id="0123456789abcdef"} 0.4`) {
+		t.Fatalf("missing exemplar:\n%s", text)
+	}
+
+	families, err := ParseProm(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("writer output does not re-parse: %v\n%s", err, text)
+	}
+	back, ok := PromHistogram(families, "request_duration_ms", "endpoint", "analyze")
+	if !ok {
+		t.Fatalf("PromHistogram did not find the family in:\n%s", text)
+	}
+	if back.Count != snap.Count || back.Sum != snap.Sum {
+		t.Fatalf("round trip count/sum = %d/%v, want %d/%v", back.Count, back.Sum, snap.Count, snap.Sum)
+	}
+	if len(back.Bounds) != len(snap.Bounds) {
+		t.Fatalf("round trip bounds = %v", back.Bounds)
+	}
+	for i := range back.Counts {
+		if back.Counts[i] != snap.Counts[i] {
+			t.Fatalf("bucket %d: %d != %d", i, back.Counts[i], snap.Counts[i])
+		}
+	}
+	if back.Exemplars[0].TraceID != "0123456789abcdef" {
+		t.Fatalf("round trip exemplar = %+v", back.Exemplars[0])
+	}
+
+	// Summing two parsed scrapes (the syncload -cluster path).
+	fleet, err := MergeHistograms(back, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fleet.Count != 2*snap.Count {
+		t.Fatalf("fleet count = %d", fleet.Count)
+	}
+}
+
+func TestParsePromExemplarForms(t *testing.T) {
+	text := "# TYPE m histogram\n" +
+		`m_bucket{le="1"} 2 # {trace_id="0123456789abcdef"} 0.7` + "\n" +
+		`m_bucket{le="+Inf"} 3` + "\n" +
+		"m_sum 4\nm_count 3\n"
+	fams, err := ParseProm(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 1 || len(fams[0].Samples) != 4 {
+		t.Fatalf("families = %+v", fams)
+	}
+	ex := fams[0].Samples[0].Exemplar
+	if ex == nil || ex.Value != 0.7 || ex.Labels[0] != [2]string{"trace_id", "0123456789abcdef"} {
+		t.Fatalf("exemplar = %+v", ex)
+	}
+
+	for _, bad := range []string{
+		"# TYPE m histogram\n" + `m_bucket{le="1"} 2 # {trace_id=} 0.7` + "\n",
+		"# TYPE m histogram\n" + `m_bucket{le="1"} 2 # {trace_id="x"` + "\n",
+		"# TYPE m histogram\n" + `m_bucket{le="1"} 2 # {trace_id="x"} notanumber` + "\n",
+	} {
+		if _, err := ParseProm(strings.NewReader(bad)); err == nil {
+			t.Errorf("parser accepted malformed exemplar: %q", bad)
+		}
+	}
+}
+
+func TestNewHistogramRejectsBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("NewHistogram accepted non-increasing bounds")
+		}
+	}()
+	NewHistogram([]float64{1, 1})
+}

@@ -32,6 +32,9 @@ type Manifest struct {
 	CPUSeconds  float64            `json:"cpu_s"`
 	Experiments []ExperimentTiming `json:"experiments,omitempty"`
 	Spans       []SpanStat         `json:"spans,omitempty"`
+	// Flight is the flight recorder's final snapshot — syncd folds it in
+	// on SIGTERM so a run's slow/error captures outlive the process.
+	Flight *FlightSnapshot `json:"flight,omitempty"`
 }
 
 // ExperimentTiming is one experiment's execution record in a manifest.

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MergeTraces stitches per-node trace files into one cluster-wide
+// timeline. Each node's spans keep their own process (pid) track; spans
+// whose remote parent resolves into another node's file are the seams.
+// Since nodes' trace epochs (and clocks) differ, per-node offsets are
+// estimated from those seams — a forwarded request's remote span must
+// lie inside its parent, so aligning span midpoints is the standard
+// symmetric-RTT estimate, exactly the observable-skew bound the paper's
+// clocked-vs-self-timed analysis reasons about.
+
+// NamedTrace is one node's trace document plus its display name.
+type NamedTrace struct {
+	Name string
+	Doc  *TraceDocument
+}
+
+// MergeStats summarizes what MergeTraces stitched together.
+type MergeStats struct {
+	Nodes          int                `json:"nodes"`
+	Spans          int                `json:"spans"`
+	Traces         int                `json:"traces"`           // distinct trace IDs
+	CrossNodeSpans int                `json:"cross_node_spans"` // spans parented in another node's file
+	OffsetsUS      map[string]float64 `json:"offsets_us"`       // per-node clock offset applied, µs
+}
+
+// spanAddr identifies a span across files: span IDs are per-process
+// counters, so only the (traceID, spanID) pair is cluster-unique.
+type spanAddr struct {
+	traceID string
+	spanID  int64
+}
+
+type mergeSpan struct {
+	node int
+	ev   TraceEvent
+	mid  float64 // ts + dur/2, µs in the node's own clock
+}
+
+// MergeTraces combines the nodes' documents into a single Chrome trace
+// keyed by trace ID, with per-node pid tracks and clock-offset
+// annotation. Node order fixes pid assignment (node i → pid i+1).
+func MergeTraces(nodes []NamedTrace) (*TraceDocument, MergeStats, error) {
+	if len(nodes) == 0 {
+		return nil, MergeStats{}, fmt.Errorf("obs: merge needs at least one trace")
+	}
+	// Span IDs are per-process counters, so (traceID, spanID) can collide
+	// across a trace's nodes; the index keeps every candidate and remote-
+	// parent resolution picks the one in a different node than the child.
+	byAddr := make(map[spanAddr][]mergeSpan)
+	var spans []mergeSpan
+	traces := map[string]bool{}
+	for i, n := range nodes {
+		if n.Doc == nil {
+			return nil, MergeStats{}, fmt.Errorf("obs: node %q has no document", n.Name)
+		}
+		for _, ev := range n.Doc.CompleteEvents() {
+			ms := mergeSpan{node: i, ev: ev, mid: ev.TS + ev.Dur/2}
+			spans = append(spans, ms)
+			tid, okT := argString(ev.Args, argTraceID)
+			sid, okS := argInt64(ev.Args, argSpanID)
+			if okT {
+				traces[tid] = true
+			}
+			if okT && okS {
+				addr := spanAddr{tid, sid}
+				byAddr[addr] = append(byAddr[addr], ms)
+			}
+		}
+	}
+
+	// Clock offsets: each resolved remote parent/child pair is an edge
+	// estimating (child node clock) − (parent node clock); BFS from node
+	// 0 propagates offsets, averaging all edges between a node pair.
+	type edgeKey struct{ a, b int } // a < b
+	edgeSum := map[edgeKey][]float64{}
+	cross := 0
+	for _, s := range spans {
+		if rp, _ := argBool(s.ev.Args, argRemoteParent); !rp {
+			continue
+		}
+		tid, _ := argString(s.ev.Args, argTraceID)
+		pid, ok := argInt64(s.ev.Args, argParentSpanID)
+		if !ok {
+			continue
+		}
+		var parent mergeSpan
+		found := false
+		for _, cand := range byAddr[spanAddr{tid, pid}] {
+			if cand.node != s.node {
+				parent = cand
+				found = true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		cross++
+		// Shifting the child's node by (parentMid − childMid) centres the
+		// remote span inside its parent.
+		delta := parent.mid - s.mid
+		k, d := edgeKey{parent.node, s.node}, delta
+		if parent.node > s.node {
+			k, d = edgeKey{s.node, parent.node}, -delta
+		}
+		edgeSum[k] = append(edgeSum[k], d)
+	}
+	offsets := make([]float64, len(nodes))
+	visited := make([]bool, len(nodes))
+	queue := []int{0}
+	visited[0] = true
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for k, deltas := range edgeSum {
+			var other int
+			var sign float64
+			switch cur {
+			case k.a:
+				other, sign = k.b, 1 // delta shifts k.b toward k.a
+			case k.b:
+				other, sign = k.a, -1
+			default:
+				continue
+			}
+			if visited[other] {
+				continue
+			}
+			var sum float64
+			for _, d := range deltas {
+				sum += d
+			}
+			offsets[other] = offsets[cur] + sign*sum/float64(len(deltas))
+			visited[other] = true
+			queue = append(queue, other)
+		}
+	}
+
+	out := &TraceDocument{DisplayTimeUnit: "ms"}
+	stats := MergeStats{
+		Nodes:          len(nodes),
+		Spans:          len(spans),
+		Traces:         len(traces),
+		CrossNodeSpans: cross,
+		OffsetsUS:      make(map[string]float64, len(nodes)),
+	}
+	for i, n := range nodes {
+		stats.OffsetsUS[n.Name] = offsets[i]
+		out.TraceEvents = append(out.TraceEvents, TraceEvent{
+			Name:  "process_name",
+			Phase: "M",
+			PID:   int64(i + 1),
+			Args:  map[string]any{"name": n.Name, "clock_offset_us": offsets[i]},
+		})
+		for _, ev := range n.Doc.TraceEvents {
+			if ev.Phase != "M" || ev.Name != "thread_name" {
+				continue
+			}
+			ev.PID = int64(i + 1)
+			out.TraceEvents = append(out.TraceEvents, ev)
+		}
+	}
+	merged := make([]TraceEvent, 0, len(spans))
+	for _, s := range spans {
+		ev := s.ev
+		ev.PID = int64(s.node + 1)
+		ev.TS += offsets[s.node]
+		if ev.TS < 0 {
+			ev.TS = 0 // ReadTrace rejects negative timestamps
+		}
+		args := make(map[string]any, len(ev.Args)+1)
+		for k, v := range ev.Args {
+			args[k] = v
+		}
+		args["node"] = nodes[s.node].Name
+		ev.Args = args
+		merged = append(merged, ev)
+	}
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].TS < merged[j].TS })
+	out.TraceEvents = append(out.TraceEvents, merged...)
+	return out, stats, nil
+}
+
+// The Args helpers tolerate both in-memory documents (int64 values) and
+// JSON round-tripped ones (float64).
+
+func argString(args map[string]any, key string) (string, bool) {
+	s, ok := args[key].(string)
+	return s, ok
+}
+
+func argInt64(args map[string]any, key string) (int64, bool) {
+	switch v := args[key].(type) {
+	case int64:
+		return v, true
+	case float64:
+		return int64(v), true
+	case int:
+		return int64(v), true
+	}
+	return 0, false
+}
+
+func argBool(args map[string]any, key string) (bool, bool) {
+	b, ok := args[key].(bool)
+	return b, ok
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"testing"
+)
+
+func writeDoc(w io.Writer, doc *TraceDocument) error {
+	return json.NewEncoder(w).Encode(doc)
+}
+
+// twoNodeTrace simulates a forwarded request: node A serves the client
+// and forwards; node B computes under A's span context. Returns the two
+// tracers' documents and the identities involved.
+func twoNodeTrace(t *testing.T) (docA, docB *TraceDocument, traceID string, forwardID int64) {
+	t.Helper()
+	trA := NewTracer()
+	ctxA := WithTracer(context.Background(), trA)
+	ctxA, serve := Start(ctxA, "serve.analyze", String("request_id", "r1"))
+	_, fwd := Start(ctxA, "cluster.forward")
+	traceID, forwardID = fwd.TraceID(), fwd.Context().SpanID
+
+	trB := NewTracer()
+	ctxB := WithTracer(context.Background(), trB)
+	ctxB = WithRemoteParent(ctxB, fwd.Context())
+	ctxB, remote := Start(ctxB, "serve.analyze")
+	_, work := Start(ctxB, "skew.analyze")
+	work.End()
+	remote.End()
+
+	fwd.End()
+	serve.End()
+	return trA.document(), trB.document(), traceID, forwardID
+}
+
+func TestMergeTracesStitchesNodes(t *testing.T) {
+	docA, docB, traceID, forwardID := twoNodeTrace(t)
+	merged, stats, err := MergeTraces([]NamedTrace{
+		{Name: "node0", Doc: docA},
+		{Name: "node1", Doc: docB},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Nodes != 2 || stats.Spans != 4 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.CrossNodeSpans != 1 {
+		t.Fatalf("cross-node spans = %d, want 1", stats.CrossNodeSpans)
+	}
+	if stats.Traces < 1 {
+		t.Fatalf("traces = %d", stats.Traces)
+	}
+	if _, ok := stats.OffsetsUS["node1"]; !ok {
+		t.Fatalf("no offset for node1: %+v", stats.OffsetsUS)
+	}
+
+	// The merged doc must still validate and carry both processes.
+	var buf bytes.Buffer
+	enc := merged
+	if err := writeDoc(&buf, enc); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("merged trace invalid: %v", err)
+	}
+	events := back.CompleteEvents()
+	if len(events) != 4 {
+		t.Fatalf("merged has %d complete events", len(events))
+	}
+	pids := map[int64]bool{}
+	var remoteEv *TraceEvent
+	for i := range events {
+		pids[events[i].PID] = true
+		if rp, _ := argBool(events[i].Args, argRemoteParent); rp {
+			remoteEv = &events[i]
+		}
+	}
+	if len(pids) != 2 {
+		t.Fatalf("merged events span %d pids, want 2", len(pids))
+	}
+	if remoteEv == nil {
+		t.Fatalf("no remote-parented event in merge")
+	}
+	if tid, _ := argString(remoteEv.Args, argTraceID); tid != traceID {
+		t.Fatalf("remote event trace %q, want %q", tid, traceID)
+	}
+	if p, _ := argInt64(remoteEv.Args, argParentSpanID); p != forwardID {
+		t.Fatalf("remote event parent %d, want forward span %d", p, forwardID)
+	}
+	if node, _ := argString(remoteEv.Args, "node"); node != "node1" {
+		t.Fatalf("remote event node = %q", node)
+	}
+}
+
+func TestMergeTracesJSONRoundTrip(t *testing.T) {
+	// The obscheck path: documents go through JSON (ints → float64)
+	// before merging; identity args must still resolve.
+	docA, docB, _, _ := twoNodeTrace(t)
+	var a, b bytes.Buffer
+	if err := writeDoc(&a, docA); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeDoc(&b, docB); err != nil {
+		t.Fatal(err)
+	}
+	backA, err := ReadTrace(&a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backB, err := ReadTrace(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := MergeTraces([]NamedTrace{{"n0", backA}, {"n1", backB}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CrossNodeSpans != 1 {
+		t.Fatalf("JSON round-tripped merge lost the cross-node seam: %+v", stats)
+	}
+}
+
+func TestMergeTracesErrors(t *testing.T) {
+	if _, _, err := MergeTraces(nil); err == nil {
+		t.Fatalf("empty merge accepted")
+	}
+	if _, _, err := MergeTraces([]NamedTrace{{Name: "x", Doc: nil}}); err == nil {
+		t.Fatalf("nil document accepted")
+	}
+}
+
+func TestMergeTracesSingleNode(t *testing.T) {
+	docA, _, _, _ := twoNodeTrace(t)
+	merged, stats, err := MergeTraces([]NamedTrace{{Name: "solo", Doc: docA}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CrossNodeSpans != 0 {
+		t.Fatalf("solo merge found cross-node spans: %+v", stats)
+	}
+	if len(merged.CompleteEvents()) != 2 {
+		t.Fatalf("solo merge events = %d", len(merged.CompleteEvents()))
+	}
+}

@@ -69,19 +69,23 @@ func (a Attr) Value() any {
 // Span is one timed region of work. A nil *Span (tracing disabled) is
 // valid: every method is a no-op.
 type Span struct {
-	tracer *Tracer
-	name   string
-	id     int64
-	parent int64
-	track  int64
-	start  time.Time // carries the monotonic clock
-	attrs  []Attr
+	tracer  *Tracer
+	name    string
+	id      int64
+	parent  int64
+	remote  bool // parent is a span in another process
+	traceID string
+	track   int64
+	start   time.Time // carries the monotonic clock
+	attrs   []Attr
 }
 
 // spanRecord is a finished span as stored by the tracer.
 type spanRecord struct {
 	name       string
 	id, parent int64
+	remote     bool
+	traceID    string
 	track      int64
 	start      time.Time
 	dur        time.Duration
@@ -96,6 +100,14 @@ type Tracer struct {
 
 	nextID    atomic.Int64
 	nextTrack atomic.Int64
+
+	// noRetain, when set, stops the tracer from accumulating finished
+	// spans for export — the mode of an always-on flight-recorder tracer,
+	// whose memory must stay bounded over an arbitrarily long daemon run.
+	noRetain atomic.Bool
+	// flight, when set, receives every finished span into its bounded
+	// ring (and captures slow/error span trees) regardless of noRetain.
+	flight atomic.Pointer[FlightRecorder]
 
 	mu     sync.Mutex
 	spans  []spanRecord
@@ -177,10 +189,21 @@ func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *S
 	if parent, ok := ctx.Value(spanKey{}).(*Span); ok {
 		s.parent = parent.id
 		s.track = parent.track
+		s.traceID = parent.traceID
+	} else if rp, ok := ctx.Value(remoteParentKey{}).(SpanContext); ok && rp.Valid() {
+		// A request forwarded from another node: parent under the remote
+		// span and join its trace, so merged per-node files reassemble
+		// one causal story.
+		s.parent = rp.SpanID
+		s.remote = true
+		s.traceID = rp.TraceID
+		s.track = t.newTrack(name)
 	} else {
 		// Top-level spans each get their own track so concurrent
-		// requests / experiments render side by side.
+		// requests / experiments render side by side, and a fresh trace
+		// ID — the identity every descendant (local or remote) shares.
 		s.track = t.newTrack(name)
+		s.traceID = newTraceID()
 	}
 	if tr, ok := ctx.Value(trackKey{}).(int64); ok {
 		s.track = tr
@@ -206,18 +229,35 @@ func (s *Span) End() {
 		return
 	}
 	rec := spanRecord{
-		name:   s.name,
-		id:     s.id,
-		parent: s.parent,
-		track:  s.track,
-		start:  s.start,
-		dur:    time.Since(s.start),
-		attrs:  s.attrs,
+		name:    s.name,
+		id:      s.id,
+		parent:  s.parent,
+		remote:  s.remote,
+		traceID: s.traceID,
+		track:   s.track,
+		start:   s.start,
+		dur:     time.Since(s.start),
+		attrs:   s.attrs,
 	}
-	s.tracer.mu.Lock()
-	s.tracer.spans = append(s.tracer.spans, rec)
-	s.tracer.mu.Unlock()
+	if !s.tracer.noRetain.Load() {
+		s.tracer.mu.Lock()
+		s.tracer.spans = append(s.tracer.spans, rec)
+		s.tracer.mu.Unlock()
+	}
+	if fr := s.tracer.flight.Load(); fr != nil {
+		fr.record(rec)
+	}
 }
+
+// SetRetain controls whether finished spans accumulate for export
+// (WriteTrace, Summary). On by default; a long-lived daemon whose
+// tracer exists only to feed a flight recorder turns it off so memory
+// stays bounded.
+func (t *Tracer) SetRetain(on bool) { t.noRetain.Store(!on) }
+
+// SetFlight attaches fr to receive every finished span. A nil fr
+// detaches.
+func (t *Tracer) SetFlight(fr *FlightRecorder) { t.flight.Store(fr) }
 
 // Len returns how many spans have finished.
 func (t *Tracer) Len() int {

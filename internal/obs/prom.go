@@ -22,6 +22,17 @@ type PromSample struct {
 	// parser preserves input order.
 	Labels [][2]string
 	Value  float64
+	// Exemplar, when non-nil, is rendered after the value in the
+	// OpenMetrics form: `name{...} value # {trace_id="…"} exemplarValue`.
+	Exemplar *PromExemplar
+}
+
+// PromExemplar is an OpenMetrics-style exemplar: one concrete
+// observation (typically carrying a trace_id label) attached to a
+// histogram bucket sample.
+type PromExemplar struct {
+	Labels [][2]string
+	Value  float64
 }
 
 // PromMetric is one metric family: a HELP line, a TYPE line, and its
@@ -87,7 +98,18 @@ func WriteProm(w io.Writer, metrics []PromMetric) error {
 				}
 				bw.WriteByte('}')
 			}
-			fmt.Fprintf(bw, " %s\n", formatPromValue(s.Value))
+			fmt.Fprintf(bw, " %s", formatPromValue(s.Value))
+			if ex := s.Exemplar; ex != nil {
+				bw.WriteString(" # {")
+				for i, l := range ex.Labels {
+					if i > 0 {
+						bw.WriteByte(',')
+					}
+					fmt.Fprintf(bw, "%s=%q", l[0], l[1])
+				}
+				fmt.Fprintf(bw, "} %s", formatPromValue(ex.Value))
+			}
+			bw.WriteByte('\n')
 		}
 	}
 	return bw.Flush()
@@ -217,7 +239,7 @@ func ParseProm(r io.Reader) ([]PromMetric, error) {
 			}
 			continue
 		}
-		name, labels, value, err := parseSample(line)
+		name, labels, value, ex, err := parseSample(line)
 		if err != nil {
 			return nil, fmt.Errorf("line %d: %w", lineNo, err)
 		}
@@ -227,7 +249,7 @@ func ParseProm(r io.Reader) ([]PromMetric, error) {
 		if base != name {
 			ls = append(ls, Suffix(strings.TrimPrefix(name, base)))
 		}
-		m.Samples = append(m.Samples, PromSample{Labels: ls, Value: value})
+		m.Samples = append(m.Samples, PromSample{Labels: ls, Value: value, Exemplar: ex})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -259,41 +281,76 @@ func baseFamilyIndexed(name string, index map[string]int, out []PromMetric) stri
 	return name
 }
 
-func parseSample(line string) (name string, labels [][2]string, value float64, err error) {
+func parseSample(line string) (name string, labels [][2]string, value float64, ex *PromExemplar, err error) {
+	// Split off an OpenMetrics exemplar before brace handling: with one
+	// present, the line's last '}' closes the exemplar's label set, not
+	// the sample's.
 	rest := line
+	if i := strings.Index(rest, " # {"); i >= 0 {
+		ex, err = parseExemplar(strings.TrimSpace(rest[i+3:]))
+		if err != nil {
+			return "", nil, 0, nil, fmt.Errorf("sample %q: %w", line, err)
+		}
+		rest = strings.TrimSpace(rest[:i])
+	}
 	brace := strings.IndexByte(rest, '{')
 	if brace >= 0 {
 		name = rest[:brace]
 		close := strings.LastIndexByte(rest, '}')
 		if close < brace {
-			return "", nil, 0, fmt.Errorf("unbalanced braces in %q", line)
+			return "", nil, 0, nil, fmt.Errorf("unbalanced braces in %q", line)
 		}
 		labels, err = parseLabels(rest[brace+1 : close])
 		if err != nil {
-			return "", nil, 0, err
+			return "", nil, 0, nil, err
 		}
 		rest = strings.TrimSpace(rest[close+1:])
 	} else {
 		var ok bool
 		name, rest, ok = strings.Cut(rest, " ")
 		if !ok {
-			return "", nil, 0, fmt.Errorf("sample %q has no value", line)
+			return "", nil, 0, nil, fmt.Errorf("sample %q has no value", line)
 		}
 		rest = strings.TrimSpace(rest)
 	}
 	if err := validMetricName(name); err != nil {
-		return "", nil, 0, err
+		return "", nil, 0, nil, err
 	}
 	// A timestamp may follow the value; accept and discard it.
 	fields := strings.Fields(rest)
 	if len(fields) == 0 || len(fields) > 2 {
-		return "", nil, 0, fmt.Errorf("sample %q: want value [timestamp]", line)
+		return "", nil, 0, nil, fmt.Errorf("sample %q: want value [timestamp]", line)
 	}
 	value, err = parsePromValue(fields[0])
 	if err != nil {
-		return "", nil, 0, fmt.Errorf("sample %q: %w", line, err)
+		return "", nil, 0, nil, fmt.Errorf("sample %q: %w", line, err)
 	}
-	return name, labels, value, nil
+	return name, labels, value, ex, nil
+}
+
+// parseExemplar parses the OpenMetrics exemplar clause `# {labels}
+// value` (the leading "# " already stripped to "{...} value").
+func parseExemplar(s string) (*PromExemplar, error) {
+	if len(s) == 0 || s[0] != '{' {
+		return nil, fmt.Errorf("exemplar must start with '{'")
+	}
+	close := strings.IndexByte(s, '}')
+	if close < 0 {
+		return nil, fmt.Errorf("exemplar has unbalanced braces")
+	}
+	labels, err := parseLabels(s[1:close])
+	if err != nil {
+		return nil, fmt.Errorf("exemplar: %w", err)
+	}
+	fields := strings.Fields(strings.TrimSpace(s[close+1:]))
+	if len(fields) == 0 || len(fields) > 2 { // value [timestamp]
+		return nil, fmt.Errorf("exemplar: want value [timestamp]")
+	}
+	v, err := parsePromValue(fields[0])
+	if err != nil {
+		return nil, fmt.Errorf("exemplar value: %w", err)
+	}
+	return &PromExemplar{Labels: labels, Value: v}, nil
 }
 
 func parsePromValue(s string) (float64, error) {

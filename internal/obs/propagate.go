@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// Cross-process trace propagation. A span carries a trace ID shared by
+// every span of one causal story — including spans recorded by other
+// processes that served a forwarded, hedged, or drained copy of the
+// request. The ID travels in the TraceHeader as a traceparent-style
+// "traceID/spanID" pair; the receiving process parents its top-level
+// span under the remote span ID and adopts the trace ID, so merging the
+// per-node trace files (MergeTraces) reassembles one cluster-wide
+// timeline.
+
+// TraceHeader is the HTTP header carrying a SpanContext between nodes:
+// "X-Syncd-Trace: <16 hex trace ID>/<16 hex span ID>".
+const TraceHeader = "X-Syncd-Trace"
+
+// SpanContext is the propagated identity of one span: the trace it
+// belongs to and its own ID within that trace.
+type SpanContext struct {
+	TraceID string
+	SpanID  int64
+}
+
+// Valid reports whether sc identifies a real span.
+func (sc SpanContext) Valid() bool { return sc.TraceID != "" && sc.SpanID > 0 }
+
+// String renders the header value form, "traceID/spanID" with the span
+// ID in fixed-width hex.
+func (sc SpanContext) String() string {
+	return sc.TraceID + "/" + fmt.Sprintf("%016x", uint64(sc.SpanID))
+}
+
+// ParseSpanContext parses the TraceHeader value form produced by
+// SpanContext.String.
+func ParseSpanContext(s string) (SpanContext, error) {
+	traceID, spanHex, ok := strings.Cut(strings.TrimSpace(s), "/")
+	if !ok {
+		return SpanContext{}, fmt.Errorf("obs: trace context %q: want traceID/spanID", s)
+	}
+	if len(traceID) != 16 || !isHex(traceID) {
+		return SpanContext{}, fmt.Errorf("obs: trace context %q: trace ID must be 16 hex chars", s)
+	}
+	id, err := strconv.ParseUint(spanHex, 16, 64)
+	if err != nil {
+		return SpanContext{}, fmt.Errorf("obs: trace context %q: span ID: %v", s, err)
+	}
+	if id == 0 || int64(id) < 0 {
+		return SpanContext{}, fmt.Errorf("obs: trace context %q: span ID out of range", s)
+	}
+	return SpanContext{TraceID: traceID, SpanID: int64(id)}, nil
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+type remoteParentKey struct{}
+
+// WithRemoteParent marks ctx so the next top-level Start parents under
+// the remote span sc and adopts its trace ID. An invalid sc returns ctx
+// unchanged. Service handlers call this with the parsed TraceHeader of
+// a forwarded request.
+func WithRemoteParent(ctx context.Context, sc SpanContext) context.Context {
+	if !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, remoteParentKey{}, sc)
+}
+
+// SpanContextOf returns the propagation context of ctx's current span,
+// or the remote parent it carries when no local span has started yet.
+// The zero SpanContext (Valid() == false) means ctx has no trace
+// identity to propagate.
+func SpanContextOf(ctx context.Context) SpanContext {
+	if s, ok := ctx.Value(spanKey{}).(*Span); ok && s != nil {
+		return s.Context()
+	}
+	if sc, ok := ctx.Value(remoteParentKey{}).(SpanContext); ok {
+		return sc
+	}
+	return SpanContext{}
+}
+
+// Context returns the span's propagation identity. A nil span returns
+// the zero SpanContext.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.traceID, SpanID: s.id}
+}
+
+// TraceID returns the span's trace ID ("" for a nil span).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.traceID
+}
+
+// traceIDCounter backs the fallback trace-ID source when the system
+// entropy pool is unreadable (never on a working kernel).
+var traceIDCounter atomic.Uint64
+
+// newTraceID returns 16 hex chars of entropy — unique across processes,
+// which is what lets per-node trace files merge without collisions.
+func newTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		binary.BigEndian.PutUint64(b[:], traceIDCounter.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}

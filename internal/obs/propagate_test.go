@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestSpanContextStringParseRoundTrip(t *testing.T) {
+	sc := SpanContext{TraceID: "0123456789abcdef", SpanID: 42}
+	s := sc.String()
+	back, err := ParseSpanContext(s)
+	if err != nil {
+		t.Fatalf("ParseSpanContext(%q): %v", s, err)
+	}
+	if back != sc {
+		t.Fatalf("round trip: got %+v, want %+v", back, sc)
+	}
+}
+
+func TestParseSpanContextRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"no-slash",
+		"0123456789abcdef",                  // missing span
+		"0123456789abcdef/",                 // empty span
+		"0123456789abcdef/0",                // zero span ID
+		"123/1f",                            // short trace ID
+		"0123456789ABCDEF/1f",               // uppercase hex
+		"0123456789abcdeg/1f",               // non-hex
+		"0123456789abcdef/nothex",           // bad span
+		"0123456789abcdef/1f/2a",            // extra segment
+		"0123456789abcdef/ffffffffffffffff", // span overflows int64
+	} {
+		if sc, err := ParseSpanContext(bad); err == nil {
+			t.Errorf("ParseSpanContext(%q) accepted: %+v", bad, sc)
+		}
+	}
+}
+
+func TestTraceIDPropagatesToChildren(t *testing.T) {
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+	ctx, root := Start(ctx, "serve.analyze")
+	if root.TraceID() == "" {
+		t.Fatalf("top-level span has no trace ID")
+	}
+	if len(root.TraceID()) != 16 || !isHex(root.TraceID()) {
+		t.Fatalf("trace ID %q is not 16 hex chars", root.TraceID())
+	}
+	_, child := Start(ctx, "skew.analyze")
+	if child.TraceID() != root.TraceID() {
+		t.Fatalf("child trace ID %q != root %q", child.TraceID(), root.TraceID())
+	}
+	child.End()
+	root.End()
+
+	// Distinct top-level spans get distinct trace IDs.
+	_, other := Start(WithTracer(context.Background(), tr), "serve.other")
+	if other.TraceID() == root.TraceID() {
+		t.Fatalf("independent top-level spans share trace ID %q", root.TraceID())
+	}
+	other.End()
+}
+
+func TestRemoteParentAdoptsTraceAndParents(t *testing.T) {
+	remote := SpanContext{TraceID: "00000000deadbeef", SpanID: 7}
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+	ctx = WithRemoteParent(ctx, remote)
+
+	// Before any local span starts, the propagation context is the
+	// remote parent itself (a second-hop forward keeps the chain).
+	if got := SpanContextOf(ctx); got != remote {
+		t.Fatalf("SpanContextOf = %+v, want remote %+v", got, remote)
+	}
+
+	ctx, s := Start(ctx, "serve.analyze")
+	if !s.remote {
+		t.Fatalf("span with remote parent not marked remote")
+	}
+	if s.parent != remote.SpanID {
+		t.Fatalf("span parent = %d, want remote %d", s.parent, remote.SpanID)
+	}
+	if s.TraceID() != remote.TraceID {
+		t.Fatalf("span trace ID %q, want adopted %q", s.TraceID(), remote.TraceID)
+	}
+	// A local child parents under the local span, not the remote one.
+	_, child := Start(ctx, "skew.analyze")
+	if child.parent != s.id || child.remote {
+		t.Fatalf("child parent=%d remote=%v, want %d/false", child.parent, child.remote, s.id)
+	}
+	if got := SpanContextOf(ctx); got != s.Context() {
+		t.Fatalf("SpanContextOf after Start = %+v, want local %+v", got, s.Context())
+	}
+	child.End()
+	s.End()
+}
+
+func TestWithRemoteParentInvalidIsNoop(t *testing.T) {
+	ctx := context.Background()
+	if got := WithRemoteParent(ctx, SpanContext{}); got != ctx {
+		t.Fatalf("invalid remote parent changed the context")
+	}
+	var nilSpan *Span
+	if sc := nilSpan.Context(); sc.Valid() {
+		t.Fatalf("nil span has valid context %+v", sc)
+	}
+	if id := nilSpan.TraceID(); id != "" {
+		t.Fatalf("nil span trace ID %q", id)
+	}
+}
+
+func TestTraceExportCarriesIdentity(t *testing.T) {
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+	ctx = WithRemoteParent(ctx, SpanContext{TraceID: "00000000deadbeef", SpanID: 7})
+	ctx, s := Start(ctx, "serve.analyze")
+	_, child := Start(ctx, "skew.analyze")
+	child.End()
+	s.End()
+
+	doc := tr.document()
+	events := doc.CompleteEvents()
+	if len(events) != 2 {
+		t.Fatalf("%d events, want 2", len(events))
+	}
+	for _, ev := range events {
+		if tid, _ := argString(ev.Args, argTraceID); tid != "00000000deadbeef" {
+			t.Fatalf("event %s trace_id = %v", ev.Name, ev.Args[argTraceID])
+		}
+	}
+	var root, kid TraceEvent
+	for _, ev := range events {
+		if ev.Name == "serve.analyze" {
+			root = ev
+		} else {
+			kid = ev
+		}
+	}
+	if rp, _ := argBool(root.Args, argRemoteParent); !rp {
+		t.Fatalf("root not marked remote_parent: %v", root.Args)
+	}
+	if p, _ := argInt64(root.Args, argParentSpanID); p != 7 {
+		t.Fatalf("root parent_span_id = %v", root.Args[argParentSpanID])
+	}
+	rootID, _ := argInt64(root.Args, argSpanID)
+	kidParent, _ := argInt64(kid.Args, argParentSpanID)
+	if rootID == 0 || kidParent != rootID {
+		t.Fatalf("child parent_span_id %d != root span_id %d", kidParent, rootID)
+	}
+}
+
+func TestNewTraceIDUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		id := newTraceID()
+		if len(id) != 16 || !isHex(id) {
+			t.Fatalf("trace ID %q malformed", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %q after %d draws", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func BenchmarkStartDisabled(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c, s := Start(ctx, "noop", Int("n", 1), String("s", "v"))
+		s.Annotate(Float("f", 2))
+		s.End()
+		_ = c
+	}
+}
+
+func TestHeaderNameStable(t *testing.T) {
+	// The wire header is part of the cluster protocol; renaming it would
+	// silently break mixed-version clusters.
+	if TraceHeader != "X-Syncd-Trace" {
+		t.Fatalf("TraceHeader = %q", TraceHeader)
+	}
+	if !strings.HasPrefix(TraceHeader, "X-Syncd-") {
+		t.Fatalf("TraceHeader %q outside the X-Syncd- namespace", TraceHeader)
+	}
+}

@@ -83,16 +83,35 @@ func (t *Tracer) document() *TraceDocument {
 			PID:   1,
 			TID:   s.track,
 		}
-		if len(s.attrs) > 0 {
-			ev.Args = make(map[string]any, len(s.attrs))
-			for _, a := range s.attrs {
-				ev.Args[a.Key] = a.Value()
-			}
+		// Propagation identity rides in Args so a plain Chrome trace
+		// viewer still loads the file while MergeTraces can stitch
+		// per-node files into one cluster-wide timeline.
+		ev.Args = make(map[string]any, len(s.attrs)+4)
+		ev.Args[argSpanID] = s.id
+		if s.parent != 0 {
+			ev.Args[argParentSpanID] = s.parent
+		}
+		if s.remote {
+			ev.Args[argRemoteParent] = true
+		}
+		if s.traceID != "" {
+			ev.Args[argTraceID] = s.traceID
+		}
+		for _, a := range s.attrs {
+			ev.Args[a.Key] = a.Value()
 		}
 		doc.TraceEvents = append(doc.TraceEvents, ev)
 	}
 	return doc
 }
+
+// Reserved Args keys carrying span identity in exported trace events.
+const (
+	argSpanID       = "span_id"
+	argParentSpanID = "parent_span_id"
+	argRemoteParent = "remote_parent"
+	argTraceID      = "trace_id"
+)
 
 // category derives the trace_event category from a span name's
 // "package.operation" convention, enabling per-engine filtering in the

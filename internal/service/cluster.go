@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/cluster"
@@ -118,16 +119,19 @@ func (s *Server) serveForwarded(ctx context.Context, w http.ResponseWriter, r *h
 	if err != nil {
 		s.metrics.forwardErrors.Add(1)
 		span.Annotate(obs.String("cluster", "unreachable"))
-		s.finish(w, r, endpoint, start, response{},
+		s.finish(w, r, endpoint, start, span, response{},
 			&httpError{status: http.StatusBadGateway, msg: fmt.Sprintf("cluster: %v", err), reason: ReasonPeerUnreachable}, "")
 		return
 	}
 	s.metrics.forwards.Add(fres.Peer, 1)
+	s.metrics.forwardHist.Observe(float64(fres.Latency.Nanoseconds())/1e6, span.TraceID())
 	if fres.Hedged {
 		s.metrics.hedges.Add(1)
+		span.Annotate(obs.String("hedged", "true"))
 	}
 	if fres.HedgeWon {
 		s.metrics.hedgeWins.Add(1)
+		span.Annotate(obs.String("hedge_won", "true"))
 	}
 	res := response{status: fres.Status, contentType: fres.ContentType, body: fres.Body}
 	if fres.Status == http.StatusOK {
@@ -138,8 +142,8 @@ func (s *Server) serveForwarded(ctx context.Context, w http.ResponseWriter, r *h
 		s.metrics.cacheFill.Add(1)
 	}
 	w.Header().Set(cluster.ServedByHeader, fres.Peer)
-	span.Annotate(obs.String("cluster", "forwarded"), obs.String("peer", fres.Peer))
-	s.finish(w, r, endpoint, start, res, nil, "remote")
+	span.Annotate(obs.String("cluster", "forwarded"), obs.String("served_by", fres.Peer))
+	s.finish(w, r, endpoint, start, span, res, nil, "remote")
 }
 
 // fillRequest is the body of POST /v1/cluster/fill: one result-cache
@@ -160,6 +164,11 @@ func (s *Server) handleClusterFill(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "method not allowed; use POST", ReasonMethodNotAllowed)
 		return
 	}
+	// The fill span parents under the pushing node's drain span (via the
+	// remote parent ServeHTTP extracted), stitching drains into traces.
+	_, span := obs.Start(r.Context(), "serve.fill",
+		obs.String("request_id", requestIDFrom(r.Context())))
+	defer span.End()
 	var req fillRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding fill: %v", err), ReasonBadRequest)
@@ -215,6 +224,13 @@ func (s *Server) DrainToPeers(ctx context.Context) int {
 	if s.cluster == nil {
 		return 0
 	}
+	// The drain is one traced operation: fills carry its span context and
+	// a drain request ID, so receiving nodes' fill spans parent under it
+	// in a merged trace and their logs stay greppable.
+	ctx = obs.WithTracer(ctx, s.tracer)
+	drainID := "drain-" + strconv.FormatInt(s.nextReq.Add(1), 10)
+	ctx, span := obs.Start(ctx, "cluster.drain", obs.String("request_id", drainID))
+	defer span.End()
 	migrated := 0
 	for _, e := range s.cache.Entries() {
 		if e.Val.status != http.StatusOK {
@@ -233,6 +249,10 @@ func (s *Server) DrainToPeers(ctx context.Context) int {
 			continue
 		}
 		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Request-ID", drainID)
+		if sc := obs.SpanContextOf(ctx); sc.Valid() {
+			req.Header.Set(obs.TraceHeader, sc.String())
+		}
 		resp, err := s.cluster.client.Do(req)
 		if err != nil {
 			continue
@@ -245,5 +265,6 @@ func (s *Server) DrainToPeers(ctx context.Context) int {
 			break
 		}
 	}
+	span.Annotate(obs.Int("migrated", int64(migrated)))
 	return migrated
 }

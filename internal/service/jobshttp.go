@@ -15,9 +15,11 @@ import (
 	"math"
 	"net/http"
 	"strings"
+	"time"
 
 	"repro/internal/comm"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/skew"
 	"repro/internal/stats"
 )
@@ -72,7 +74,7 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 		// visible 409 instead of a silent duplicate computation.
 		id = kind + "-" + cacheKey("job:"+kind, canonical)[:12]
 	}
-	j, err := s.jobs.Create(id, kind, raw, run)
+	j, err := s.jobs.Create(id, kind, raw, s.traceJob(r, kind, id, run))
 	switch {
 	case errors.Is(err, jobs.ErrExists):
 		writeError(w, http.StatusConflict, err.Error(), ReasonJobExists)
@@ -86,6 +88,32 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.jobsCreated.Add(1)
 	writeSnapshot(w, http.StatusAccepted, j.Snapshot())
+}
+
+// traceJob wraps a job's run function so its background execution is a
+// traced operation. The job outlives the submitting request, so its
+// root span adopts the submitter's span context as a remote parent —
+// the same mechanism used for cross-node forwards — which makes the
+// whole async computation parent under the POST /v1/jobs span in a
+// merged trace even though it runs on its own context.
+func (s *Server) traceJob(r *http.Request, kind, id string, run jobs.RunFunc) jobs.RunFunc {
+	parent := obs.SpanContextOf(r.Context())
+	requestID := requestIDFrom(r.Context())
+	return func(ctx context.Context, job *jobs.Job) (json.RawMessage, string, error) {
+		ctx = obs.WithTracer(ctx, s.tracer)
+		if parent.Valid() {
+			ctx = obs.WithRemoteParent(ctx, parent)
+		}
+		ctx, span := obs.Start(ctx, "job.run",
+			obs.String("kind", kind), obs.String("job_id", id),
+			obs.String("request_id", requestID))
+		defer span.End()
+		out, reason, err := run(ctx, job)
+		if err != nil {
+			span.Annotate(obs.String("error", err.Error()))
+		}
+		return out, reason, err
+	}
 }
 
 // prepareJob validates a JobRequest and binds its run function. It
@@ -331,11 +359,18 @@ func (s *Server) runAnalyzeJob(req *AnalyzeRequest, chunk int) jobs.RunFunc {
 					if end > trials {
 						end = trials
 					}
+					_, cs := obs.Start(ctx, "job.mc_chunk",
+						obs.String("tree", treeName), obs.Int("trials", int64(end-start)))
+					chunkStart := time.Now()
 					// Forking the RNG by absolute trial index makes the
 					// chunked sweep reproduce Kernel.MonteCarlo bit for bit.
 					for i := start; i < end; i++ {
 						samples = append(samples, k.Trial(m, rng.Fork(int64(i))))
 					}
+					if sec := time.Since(chunkStart).Seconds(); sec > 0 {
+						s.metrics.jobTrials.Observe(float64(end-start)/sec, cs.TraceID())
+					}
+					cs.End()
 					doneTrials += end - start
 					job.Publish(doneTrials, totalTrials, mcPartial(treeName, samples, trials))
 				}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -101,14 +102,28 @@ type metrics struct {
 
 	jobsCreated expvar.Int // jobs accepted by POST /v1/jobs
 
+	// Fixed-bucket histograms, the aggregatable complement of the
+	// latencyVar summaries: identical bucket layouts on every node let a
+	// fleet scraper sum them into true cluster-wide percentiles, and
+	// their bucket exemplars carry trace IDs into the exposition.
+	forwardHist *obs.Histogram // cluster forward+hedge latency, ms
+	jobTrials   *obs.Histogram // per-chunk job throughput, trials/s
+
 	mu        sync.Mutex
-	latencies map[string]*latencyVar // endpoint → histogram
+	latencies map[string]*latencyVar    // endpoint → summary window
+	histories map[string]*obs.Histogram // endpoint → fixed-bucket histogram
 
 	vars *expvar.Map
 }
 
 func newMetrics() *metrics {
-	m := &metrics{start: time.Now(), latencies: make(map[string]*latencyVar)}
+	m := &metrics{
+		start:       time.Now(),
+		latencies:   make(map[string]*latencyVar),
+		histories:   make(map[string]*obs.Histogram),
+		forwardHist: obs.NewHistogram(obs.DefaultLatencyBucketsMS),
+		jobTrials:   obs.NewHistogram(obs.DefaultThroughputBuckets),
+	}
 	m.vars = new(expvar.Map).Init()
 	m.vars.Set("requests", &m.requests)
 	m.vars.Set("errors", &m.errors)
@@ -142,12 +157,18 @@ func newMetrics() *metrics {
 }
 
 // registerJobs exposes the job manager's live state counts under the
-// "jobs" key of the metrics document.
+// "jobs" key of the metrics document, plus flat lifecycle gauges and
+// cumulative terminal-state counters that survive retention.
 func (m *metrics) registerJobs(mgr *jobs.Manager) {
 	m.vars.Set("jobs", expvar.Func(func() any { return mgr.Stats() }))
+	m.vars.Set("jobs_pending", expvar.Func(func() any { return mgr.Counts().Pending }))
+	m.vars.Set("jobs_running", expvar.Func(func() any { return mgr.Counts().Running }))
+	m.vars.Set("jobs_done_total", expvar.Func(func() any { return mgr.Counts().DoneTotal }))
+	m.vars.Set("jobs_failed_total", expvar.Func(func() any { return mgr.Counts().FailedTotal }))
+	m.vars.Set("jobs_canceled_total", expvar.Func(func() any { return mgr.Counts().CanceledTotal }))
 }
 
-// latency returns (creating on first use) the histogram for endpoint.
+// latency returns (creating on first use) the summary for endpoint.
 func (m *metrics) latency(endpoint string) *latencyVar {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -158,6 +179,19 @@ func (m *metrics) latency(endpoint string) *latencyVar {
 		m.vars.Set("latency_"+endpoint, l)
 	}
 	return l
+}
+
+// requestHist returns (creating on first use) the fixed-bucket latency
+// histogram for endpoint.
+func (m *metrics) requestHist(endpoint string) *obs.Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.histories[endpoint]
+	if !ok {
+		h = obs.NewHistogram(obs.DefaultLatencyBucketsMS)
+		m.histories[endpoint] = h
+	}
+	return h
 }
 
 // snapshot returns the full metrics document as indented JSON.

@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -172,6 +174,201 @@ func TestMetricsPromExposition(t *testing.T) {
 	}
 	if _, ok := obs.FindProm(fams, "request_latency_ms", "endpoint", "layout", "quantile", "0.99"); !ok {
 		t.Fatalf("request_latency_ms p99 for layout missing:\n%s", body)
+	}
+}
+
+// With the slow threshold at its floor every request is a capture: the
+// flight recorder endpoint must return the request's whole span tree —
+// with no trace export configured anywhere — and honor its filters.
+// Flight recording works with no Config.Tracer because the server makes
+// its own non-retaining one.
+func TestFlightRecorderEndpoint(t *testing.T) {
+	s := NewServer(Config{FlightSlow: time.Nanosecond})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/layout.svg?kind=linear&n=3", nil)
+	req.Header.Set("X-Request-ID", "slow-req-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, body := getURL(t, ts.URL+"/debug/flightrecorder")
+	if resp.StatusCode != 200 {
+		t.Fatalf("flightrecorder: status %d: %s", resp.StatusCode, body)
+	}
+	var snap obs.FlightSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("flightrecorder response not a snapshot: %v\n%s", err, body)
+	}
+	if len(snap.Captures) == 0 {
+		t.Fatalf("no captures with a 1ns slow threshold:\n%s", body)
+	}
+	cap0 := snap.Captures[0]
+	if cap0.Root != "serve.layout" || cap0.Reason != "slow" || cap0.TraceID == "" {
+		t.Fatalf("capture %+v, want a slow serve.layout root with a trace ID", cap0)
+	}
+	foundID := false
+	for _, sp := range cap0.Spans {
+		if sp.Attrs["request_id"] == "slow-req-1" {
+			foundID = true
+		}
+	}
+	if !foundID {
+		t.Fatalf("capture spans missing request_id attr: %+v", cap0.Spans)
+	}
+
+	// The attr filter narrows the recent-span view to the matching request.
+	_, body = getURL(t, ts.URL+"/debug/flightrecorder?attr=request_id=slow-req-1")
+	var filtered obs.FlightSnapshot
+	if err := json.Unmarshal(body, &filtered); err != nil {
+		t.Fatal(err)
+	}
+	if len(filtered.Spans) == 0 {
+		t.Fatalf("attr filter matched nothing:\n%s", body)
+	}
+	for _, sp := range filtered.Spans {
+		if sp.Attrs["request_id"] != "slow-req-1" {
+			t.Fatalf("filtered span leaked through: %+v", sp)
+		}
+	}
+
+	// POST is refused; a disabled recorder 404s.
+	pr, err := http.Post(ts.URL+"/debug/flightrecorder", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.Body.Close()
+	if pr.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST flightrecorder: status %d", pr.StatusCode)
+	}
+	off := NewServer(Config{DisableFlight: true})
+	tsOff := httptest.NewServer(off)
+	defer tsOff.Close()
+	resp, _ = getURL(t, tsOff.URL+"/debug/flightrecorder")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("disabled flightrecorder: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// The fixed-bucket request_duration_ms family must appear in the prom
+// exposition with cumulative buckets, a +Inf terminator, and at least
+// one exemplar carrying a trace ID; the parser must round-trip it back
+// into a histogram snapshot.
+func TestMetricsPromHistogramWithExemplars(t *testing.T) {
+	s := NewServer(Config{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	for i := 0; i < 3; i++ {
+		resp, body := getURL(t, ts.URL+"/v1/layout.svg?kind=linear&n=3")
+		if resp.StatusCode != 200 {
+			t.Fatalf("layout: status %d: %s", resp.StatusCode, body)
+		}
+	}
+	_, body := getURL(t, ts.URL+"/metrics?format=prom")
+	fams, err := obs.ParseProm(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, body)
+	}
+	snap, ok := obs.PromHistogram(fams, "request_duration_ms", "endpoint", "layout")
+	if !ok {
+		t.Fatalf("request_duration_ms{endpoint=layout} missing:\n%s", body)
+	}
+	if snap.Count != 3 {
+		t.Fatalf("histogram count %d, want 3", snap.Count)
+	}
+	hasExemplar := false
+	for _, ex := range snap.Exemplars {
+		if ex.TraceID != "" {
+			hasExemplar = true
+		}
+	}
+	if !hasExemplar {
+		t.Fatalf("no exemplar with a trace ID in request_duration_ms:\n%s", body)
+	}
+	if p99 := snap.Quantile(0.99); math.IsNaN(p99) || p99 < 0 {
+		t.Fatalf("p99 from scraped buckets = %v", p99)
+	}
+}
+
+// The flat job lifecycle gauges and cumulative terminal counters must
+// reach both expositions: the expvar JSON document and the prom text.
+func TestJobGaugesExposed(t *testing.T) {
+	s := NewServer(Config{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	job := `{"analyze":{"topology":{"kind":"linear","n":4},"trees":["htree"]}}`
+	resp, body := getURL3(t, ts.URL+"/v1/jobs", job)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("job create: status %d: %s", resp.StatusCode, body)
+	}
+	waitJobsSettled(t, s)
+
+	_, prom := getURL(t, ts.URL+"/metrics?format=prom")
+	fams, err := obs.ParseProm(bytes.NewReader(prom))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, prom)
+	}
+	for name, want := range map[string]float64{
+		"jobs_pending": 0, "jobs_running": 0, "jobs_done_total": 1,
+		"jobs_failed_total": 0, "jobs_canceled_total": 0,
+	} {
+		sm, ok := obs.FindProm(fams, name)
+		if !ok {
+			t.Fatalf("family %s missing:\n%s", name, prom)
+		}
+		if sm.Value != want {
+			t.Errorf("%s = %g, want %g", name, sm.Value, want)
+		}
+	}
+
+	_, js := getURL(t, ts.URL+"/metrics")
+	var doc map[string]any
+	if err := json.Unmarshal(js, &doc); err != nil {
+		t.Fatalf("expvar document: %v", err)
+	}
+	for _, key := range []string{"jobs_pending", "jobs_running", "jobs_done_total", "jobs_failed_total", "jobs_canceled_total"} {
+		if _, ok := doc[key]; !ok {
+			t.Fatalf("expvar document missing %s:\n%s", key, js)
+		}
+	}
+	if got := doc["jobs_done_total"]; got != 1.0 {
+		t.Fatalf("jobs_done_total = %v, want 1", got)
+	}
+}
+
+// getURL3 POSTs a JSON body.
+func getURL3(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading body: %v", err)
+	}
+	return resp, b
+}
+
+// waitJobsSettled polls until no job is pending or running.
+func waitJobsSettled(t *testing.T, s *Server) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		c := s.jobs.Counts()
+		if c.Pending == 0 && c.Running == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("jobs never settled: %+v", c)
+		}
+		time.Sleep(2 * time.Millisecond)
 	}
 }
 

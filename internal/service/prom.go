@@ -73,6 +73,12 @@ func (s *Server) promFamilies() []obs.PromMetric {
 			counter("cluster_hedge_wins_total", "Forwards whose hedge copy answered first.", m.hedgeWins.Value()),
 			counter("cluster_cache_fill_total", "Local result-cache entries filled from a peer.", m.cacheFill.Value()),
 			gauge("cluster_peers_down", "Peers currently failing health probes.", float64(len(s.cluster.health.Down()))),
+			obs.PromMetric{
+				Name:    "cluster_forward_duration_ms",
+				Help:    "Forward (including hedge) round-trip latency in milliseconds; buckets sum across nodes.",
+				Type:    "histogram",
+				Samples: obs.HistogramSamples(nil, m.forwardHist.Snapshot()),
+			},
 		)
 	}
 	if s.jobs != nil {
@@ -86,8 +92,21 @@ func (s *Server) promFamilies() []obs.PromMetric {
 			states.Samples = append(states.Samples, obs.PromSample{
 				Labels: obs.Label("state", string(st)), Value: float64(stats[st])})
 		}
+		counts := s.jobs.Counts()
 		fams = append(fams, states,
-			counter("jobs_created_total", "Jobs accepted by POST /v1/jobs.", m.jobsCreated.Value()))
+			counter("jobs_created_total", "Jobs accepted by POST /v1/jobs.", m.jobsCreated.Value()),
+			gauge("jobs_pending", "Jobs admitted but not yet running.", float64(counts.Pending)),
+			gauge("jobs_running", "Jobs currently executing.", float64(counts.Running)),
+			counter("jobs_done_total", "Jobs that completed successfully (survives retention).", counts.DoneTotal),
+			counter("jobs_failed_total", "Jobs that ended in failure (survives retention).", counts.FailedTotal),
+			counter("jobs_canceled_total", "Jobs canceled before or during execution (survives retention).", counts.CanceledTotal),
+			obs.PromMetric{
+				Name:    "job_trials_per_second",
+				Help:    "Per-chunk Monte-Carlo throughput of analyze jobs, trials per second.",
+				Type:    "histogram",
+				Samples: obs.HistogramSamples(nil, m.jobTrials.Snapshot()),
+			},
+		)
 	}
 
 	lat := obs.PromMetric{
@@ -105,6 +124,15 @@ func (s *Server) promFamilies() []obs.PromMetric {
 	for i, ep := range endpoints {
 		hists[i] = m.latencies[ep]
 	}
+	hepoints := make([]string, 0, len(m.histories))
+	for ep := range m.histories {
+		hepoints = append(hepoints, ep)
+	}
+	sort.Strings(hepoints)
+	buckets := make([]*obs.Histogram, len(hepoints))
+	for i, ep := range hepoints {
+		buckets[i] = m.histories[ep]
+	}
 	m.mu.Unlock()
 	for i, ep := range endpoints {
 		count, sum, p50, p95, p99 := hists[i].summary()
@@ -114,6 +142,18 @@ func (s *Server) promFamilies() []obs.PromMetric {
 			sum, count)...)
 	}
 	fams = append(fams, lat)
+	dur := obs.PromMetric{
+		Name: "request_duration_ms",
+		Help: "Request latency in milliseconds by endpoint (fixed buckets with trace exemplars; sums across nodes).",
+		Type: "histogram",
+	}
+	for i, ep := range hepoints {
+		dur.Samples = append(dur.Samples,
+			obs.HistogramSamples(obs.Label("endpoint", ep), buckets[i].Snapshot())...)
+	}
+	if len(dur.Samples) > 0 {
+		fams = append(fams, dur)
+	}
 	return fams
 }
 

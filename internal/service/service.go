@@ -62,9 +62,20 @@ type Config struct {
 	// Default: logging disabled.
 	LogWriter io.Writer
 	// Tracer, when set, records one span per request (plus the engine
-	// spans underneath it) into the given tracer. Default: tracing
-	// disabled, at zero per-request cost.
+	// spans underneath it) into the given tracer. Default: the server
+	// still runs a non-retaining tracer to feed the flight recorder, so
+	// per-request spans exist but accumulate nowhere except its bounded
+	// ring (set DisableFlight too for zero per-request cost).
 	Tracer *obs.Tracer
+	// FlightSpans bounds the flight recorder's span ring. <= 0 takes
+	// obs.DefaultFlightSpans.
+	FlightSpans int
+	// FlightSlow is the threshold above which a completed request's full
+	// span tree is captured for post-hoc diagnosis. <= 0 takes
+	// obs.DefaultFlightSlow.
+	FlightSlow time.Duration
+	// DisableFlight turns the always-on flight recorder off.
+	DisableFlight bool
 	// Cluster, when set, joins this server to a static peer group:
 	// requests are routed on a consistent-hash ring over content-
 	// addressed keys, forwarded to their owning node with hedging, and
@@ -144,6 +155,15 @@ type Server struct {
 	logger        *log.Logger
 	nextReq       atomic.Int64 // request-ID counter
 
+	// tracer is the effective tracer every request context carries:
+	// cfg.Tracer when set, otherwise a non-retaining tracer that exists
+	// only to feed the flight recorder. Nil only with DisableFlight and
+	// no cfg.Tracer.
+	tracer *obs.Tracer
+	// recorder is the always-on flight recorder behind
+	// GET /debug/flightrecorder (nil with DisableFlight).
+	recorder *obs.FlightRecorder
+
 	// cluster is non-nil only for servers built with NewClusterServer;
 	// every nil check below is the single-node fast path.
 	cluster *clusterState
@@ -172,8 +192,20 @@ func NewServer(cfg Config) *Server {
 	if cfg.LogWriter != nil {
 		s.logger = log.New(cfg.LogWriter, "", 0)
 	}
+	s.tracer = cfg.Tracer
+	if !cfg.DisableFlight {
+		s.recorder = obs.NewFlightRecorder(cfg.FlightSpans, cfg.FlightSlow)
+		if s.tracer == nil {
+			// Always-on mode: spans exist for the recorder's ring but are
+			// not retained for export, keeping memory bounded forever.
+			s.tracer = obs.NewTracer()
+			s.tracer.SetRetain(false)
+		}
+		s.tracer.SetFlight(s.recorder)
+	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/flightrecorder", s.handleFlightRecorder)
 	s.mux.HandleFunc("/v1/plan", post(decoded(s, "plan", func(r *PlanRequest) { r.applyDefaults() }, timeoutOfPlan, s.computePlan)))
 	s.mux.HandleFunc("/v1/analyze", post(decoded(s, "analyze", func(r *AnalyzeRequest) { r.applyDefaults() }, timeoutOfAnalyze, s.computeAnalyze)))
 	s.mux.HandleFunc("/v1/simulate", post(decoded(s, "simulate", func(r *SimulateRequest) { r.applyDefaults() }, timeoutOfSimulate, s.computeSimulate)))
@@ -240,8 +272,44 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("X-Request-ID", id)
 	ctx := context.WithValue(r.Context(), requestIDKey{}, id)
-	ctx = obs.WithTracer(ctx, s.cfg.Tracer)
+	ctx = obs.WithTracer(ctx, s.tracer)
+	// A forwarded/hedged/drained request carries the sender's span
+	// identity; adopting it parents this node's spans under the remote
+	// span so merged traces read as one causal story.
+	if v := r.Header.Get(obs.TraceHeader); v != "" {
+		if sc, err := obs.ParseSpanContext(v); err == nil {
+			ctx = obs.WithRemoteParent(ctx, sc)
+		}
+	}
 	s.mux.ServeHTTP(w, r.WithContext(ctx))
+}
+
+// FlightRecorder returns the server's always-on flight recorder (nil
+// when disabled), for manifest snapshots at shutdown.
+func (s *Server) FlightRecorder() *obs.FlightRecorder { return s.recorder }
+
+// handleFlightRecorder serves GET /debug/flightrecorder: the recorder's
+// recent-span ring and slow/error captures. Query parameters narrow the
+// span list: ?trace_id=… to one trace, ?attr=key=value (e.g.
+// attr=request_id=abc) to spans carrying that attribute.
+func (s *Server) handleFlightRecorder(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "method not allowed; use GET", ReasonMethodNotAllowed)
+		return
+	}
+	if s.recorder == nil {
+		writeError(w, http.StatusNotFound, "flight recorder disabled", ReasonBadRequest)
+		return
+	}
+	snap := s.recorder.Snapshot(r.URL.Query().Get("trace_id"), r.URL.Query().Get("attr"))
+	b, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("encoding snapshot: %v", err), ReasonInternal)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(b, '\n'))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -304,17 +372,17 @@ func decoded[R any](s *Server, endpoint string, defaults func(*R), timeoutMS fun
 		// so cluster mode can replay the identical bytes to a peer.
 		raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 		if err != nil {
-			s.finish(w, r, endpoint, time.Now(), response{}, badRequest("decoding request: %v", err), "")
+			s.finish(w, r, endpoint, time.Now(), nil, response{}, badRequest("decoding request: %v", err), "")
 			return
 		}
 		if err := json.Unmarshal(raw, &req); err != nil {
-			s.finish(w, r, endpoint, time.Now(), response{}, badRequest("decoding request: %v", err), "")
+			s.finish(w, r, endpoint, time.Now(), nil, response{}, badRequest("decoding request: %v", err), "")
 			return
 		}
 		defaults(&req)
 		canonical, err := canonicalize(&req)
 		if err != nil {
-			s.finish(w, r, endpoint, time.Now(), response{}, err, "")
+			s.finish(w, r, endpoint, time.Now(), nil, response{}, err, "")
 			return
 		}
 		key := cacheKey(endpoint, canonical)
@@ -349,7 +417,7 @@ func (s *Server) serveKeyed(w http.ResponseWriter, r *http.Request, endpoint, ke
 	if res, ok := s.cache.Get(key); ok {
 		s.metrics.hits.Add(1)
 		span.Annotate(obs.String("cache", "hit"))
-		s.finish(w, r, endpoint, start, res, nil, "hit")
+		s.finish(w, r, endpoint, start, span, res, nil, "hit")
 		return
 	}
 
@@ -395,7 +463,7 @@ func (s *Server) serveKeyed(w http.ResponseWriter, r *http.Request, endpoint, ke
 		s.metrics.misses.Add(1)
 	}
 	span.Annotate(obs.String("cache", cacheState))
-	s.finish(w, r, endpoint, start, res, err, cacheState)
+	s.finish(w, r, endpoint, start, span, res, err, cacheState)
 }
 
 // handleLayout serves GET /v1/layout.svg, translating query parameters
@@ -408,12 +476,12 @@ func (s *Server) handleLayout(w http.ResponseWriter, r *http.Request) {
 	}
 	req, err := layoutRequestFromQuery(r)
 	if err != nil {
-		s.finish(w, r, "layout", time.Now(), response{}, err, "")
+		s.finish(w, r, "layout", time.Now(), nil, response{}, err, "")
 		return
 	}
 	canonical, err := canonicalize(req)
 	if err != nil {
-		s.finish(w, r, "layout", time.Now(), response{}, err, "")
+		s.finish(w, r, "layout", time.Now(), nil, response{}, err, "")
 		return
 	}
 	key := cacheKey("layout", canonical)
@@ -464,9 +532,11 @@ func layoutRequestFromQuery(r *http.Request) (*LayoutRequest, error) {
 	return req, nil
 }
 
-// finish maps a compute result onto the wire, records metrics, and
-// emits the structured log line.
-func (s *Server) finish(w http.ResponseWriter, r *http.Request, endpoint string, start time.Time, res response, err error, cacheState string) {
+// finish maps a compute result onto the wire, records metrics (summary
+// and histogram, the latter with the span's trace ID as its exemplar),
+// and emits the structured log line. span may be nil (decode-stage
+// failures that never reached the serving flow).
+func (s *Server) finish(w http.ResponseWriter, r *http.Request, endpoint string, start time.Time, span *obs.Span, res response, err error, cacheState string) {
 	s.metrics.requests.Add(1)
 	status := res.status
 	if err != nil {
@@ -477,7 +547,15 @@ func (s *Server) finish(w http.ResponseWriter, r *http.Request, endpoint string,
 		s.metrics.errors.Add(1)
 	}
 	elapsed := time.Since(start)
-	s.metrics.latency(endpoint).Observe(float64(elapsed.Nanoseconds()) / 1e6)
+	ms := float64(elapsed.Nanoseconds()) / 1e6
+	s.metrics.latency(endpoint).Observe(ms)
+	s.metrics.requestHist(endpoint).Observe(ms, span.TraceID())
+	span.Annotate(obs.Int("http_status", int64(status)))
+	if err != nil {
+		// The "error" attr is also the flight recorder's capture trigger:
+		// a failed request's span tree is retained even when fast.
+		span.Annotate(obs.String("error", reasonOf(err)))
+	}
 
 	w.Header().Set("Content-Type", res.contentType)
 	if cacheState != "" {
