@@ -151,7 +151,24 @@ func HTree(g *comm.Graph) (*Tree, error) {
 	if g.NumCells() == 0 {
 		return nil, fmt.Errorf("clocktree: HTree on empty graph")
 	}
-	b := NewBuilder("htree/" + g.Name)
+	return buildHTreeWith(g, NewBuilder("htree/"+g.Name))
+}
+
+// HTreeCompact builds the same H-tree as HTree — same name, node IDs,
+// edge lengths, and bit-identical root distances — in compact mode: wire
+// routes, child lists, and O(1)-LCA tables are not retained, so the
+// result fits arrays far past what a full tree can hold. LCA queries
+// fall back to the O(depth) parent walk, which stays O(log n) on the
+// balanced trees this builder produces. Equalize works; Buffered does
+// not (it needs the wire geometry).
+func HTreeCompact(g *comm.Graph) (*Tree, error) {
+	if g.NumCells() == 0 {
+		return nil, fmt.Errorf("clocktree: HTreeCompact on empty graph")
+	}
+	return buildHTreeWith(g, NewCompactBuilder("htree/"+g.Name))
+}
+
+func buildHTreeWith(g *comm.Graph, b *Builder) (*Tree, error) {
 	cells := append([]comm.Cell(nil), g.Cells...)
 	center := bboxCenter(cells)
 	if len(cells) == 1 {
@@ -181,28 +198,118 @@ func buildHTree(b *Builder, parent NodeID, cells []comm.Cell) {
 }
 
 // splitCells halves the cell set at the median along the longer axis of
-// its bounding box.
+// its bounding box, partitioning in place: on return, cells[:m] holds
+// the m = len/2 smallest cells under the axis order and cells[m:] the
+// rest. The halves are the same *sets* a full sort would produce (cell
+// positions are distinct, so the axis comparator is a total order and
+// the median cut is unique), but selection runs in O(n) expected time
+// instead of O(n log n) and allocates nothing — at 8192² the old
+// sort-per-recursion-level construction spent minutes and tens of
+// gigabytes of allocation churn here. Tree construction only consumes
+// the halves as sets (bounding-box centers and further splits), so the
+// built tree is identical node for node.
 func splitCells(cells []comm.Cell) (lo, hi []comm.Cell) {
 	r := geom.EmptyRect()
 	for _, c := range cells {
 		r = r.Union(geom.Rect{Min: c.Pos, Max: c.Pos})
 	}
 	byX := r.Width() >= r.Height()
-	sorted := append([]comm.Cell(nil), cells...)
-	sort.Slice(sorted, func(i, j int) bool {
-		if byX {
-			if sorted[i].Pos.X != sorted[j].Pos.X {
-				return sorted[i].Pos.X < sorted[j].Pos.X
+	m := len(cells) / 2
+	selectCells(cells, m, byX)
+	return cells[:m], cells[m:]
+}
+
+// cellLess is the axis total order splitCells cuts on: primary axis
+// coordinate, tie-broken by the other coordinate. With distinct cell
+// positions no two cells compare equal.
+func cellLess(a, b comm.Cell, byX bool) bool {
+	if byX {
+		if a.Pos.X != b.Pos.X {
+			return a.Pos.X < b.Pos.X
+		}
+		return a.Pos.Y < b.Pos.Y
+	}
+	if a.Pos.Y != b.Pos.Y {
+		return a.Pos.Y < b.Pos.Y
+	}
+	return a.Pos.X < b.Pos.X
+}
+
+// selectCells partially orders cells in place so cells[:k] are the k
+// smallest under cellLess. Deterministic quickselect: median-of-three
+// pivots with a three-way (Dutch-flag) partition, falling back to a full
+// sort of the remaining range if the recursion budget is exhausted, so
+// the worst case stays O(n log n) without randomness.
+func selectCells(cells []comm.Cell, k int, byX bool) {
+	if k <= 0 || k >= len(cells) {
+		return
+	}
+	less := func(i, j int) bool { return cellLess(cells[i], cells[j], byX) }
+	lo, hi := 0, len(cells)
+	budget := 2 * bitsLen(len(cells))
+	for hi-lo > 16 {
+		if budget == 0 {
+			sort.Slice(cells[lo:hi], func(i, j int) bool { return less(lo+i, lo+j) })
+			return
+		}
+		budget--
+		pivot := medianOfThreeCells(cells[lo], cells[lo+(hi-lo)/2], cells[hi-1], byX)
+		// Three-way partition: [lo,lt) < pivot, [lt,gt) == pivot,
+		// [gt,hi) > pivot. The middle block is non-empty (the pivot is an
+		// element), so the range always shrinks.
+		lt, gt, i := lo, hi, lo
+		for i < gt {
+			switch {
+			case cellLess(cells[i], pivot, byX):
+				cells[i], cells[lt] = cells[lt], cells[i]
+				lt++
+				i++
+			case cellLess(pivot, cells[i], byX):
+				gt--
+				cells[i], cells[gt] = cells[gt], cells[i]
+			default:
+				i++
 			}
-			return sorted[i].Pos.Y < sorted[j].Pos.Y
 		}
-		if sorted[i].Pos.Y != sorted[j].Pos.Y {
-			return sorted[i].Pos.Y < sorted[j].Pos.Y
+		switch {
+		case k < lt:
+			hi = lt
+		case k >= gt:
+			lo = gt
+		default:
+			return // the cut lands inside the ==-pivot block: done
 		}
-		return sorted[i].Pos.X < sorted[j].Pos.X
-	})
-	m := len(sorted) / 2
-	return sorted[:m], sorted[m:]
+	}
+	// Small ranges: insertion sort finishes the job.
+	for i := lo + 1; i < hi; i++ {
+		for j := i; j > lo && less(j, j-1); j-- {
+			cells[j], cells[j-1] = cells[j-1], cells[j]
+		}
+	}
+}
+
+// medianOfThreeCells returns the median of a, b, c under cellLess.
+func medianOfThreeCells(a, b, c comm.Cell, byX bool) comm.Cell {
+	if cellLess(b, a, byX) {
+		a, b = b, a
+	}
+	if cellLess(c, b, byX) {
+		b = c
+		if cellLess(b, a, byX) {
+			b = a
+		}
+	}
+	return b
+}
+
+// bitsLen returns the bit length of n (floor(log2 n) + 1 for n > 0).
+func bitsLen(n int) int {
+	l := 0
+	for n > 0 {
+		l++
+		n >>= 1
+	}
+	return l
 }
 
 func bboxCenter(cells []comm.Cell) geom.Point {
@@ -313,6 +420,9 @@ func AlongCommTree(g *comm.Graph) (*Tree, error) {
 func Buffered(t *Tree, spacing float64) (*Tree, error) {
 	if spacing <= 0 {
 		return nil, fmt.Errorf("clocktree: Buffered spacing must be positive, got %g", spacing)
+	}
+	if t.compact {
+		return nil, fmt.Errorf("clocktree: Buffered needs wire geometry, which compact tree %q does not retain", t.Name)
 	}
 	b := NewBuilder(fmt.Sprintf("buffered%.3g/%s", spacing, t.Name))
 	// Rebuild top-down, keeping a map from old node IDs to new ones.

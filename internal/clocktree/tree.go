@@ -43,9 +43,20 @@ type Tree struct {
 	edgeLen  []float64   // edgeLen[v] = wire[v].Length(), 0 at the root
 	extra    []float64   // tuned slack added to edge v by Equalize
 
+	// compact marks trees built by NewCompactBuilder: wire routes,
+	// child lists, and the O(n log n) LCA tables are not retained, only
+	// the parent/edgeLen/rootDist/depth arrays. Distance queries stay
+	// bit-identical (same arithmetic on the same operands); LCA degrades
+	// to a lockstep parent walk — O(depth), which is O(log n) for the
+	// balanced trees compact mode exists for. Buffered and wire-geometry
+	// queries are unavailable. This is what lets 8192²-cell arrays fit
+	// in memory: the retained state is ~56 bytes/node instead of the
+	// several hundred a full tree carries.
+	compact bool
+
 	rootDist []float64
 	depth    []int
-	up       [][]int32 // binary-lifting ancestor table
+	up       [][]int32 // binary-lifting ancestor table; nil for compact trees
 
 	// Euler-tour RMQ structures for O(1) LCA: euler is the tour's node
 	// sequence (length 2n−1), firstVisit[v] the index of v's first tour
@@ -71,11 +82,27 @@ func (t *Tree) Node(id NodeID) Node { return t.nodes[id] }
 // Parent returns the parent of v, or -1 for the root.
 func (t *Tree) Parent(v NodeID) NodeID { return t.parent[v] }
 
-// Children returns v's children; the slice must not be modified.
-func (t *Tree) Children(v NodeID) []NodeID { return t.children[v] }
+// Compact reports whether the tree was built in compact mode (no wire
+// routes, child lists, or O(1)-LCA tables retained).
+func (t *Tree) Compact() bool { return t.compact }
+
+// Children returns v's children; the slice must not be modified. Compact
+// trees do not retain child lists and always return nil.
+func (t *Tree) Children(v NodeID) []NodeID {
+	if t.children == nil {
+		return nil
+	}
+	return t.children[v]
+}
 
 // Wire returns the wire route from v's parent to v (nil at the root).
-func (t *Tree) Wire(v NodeID) geom.Path { return t.wire[v] }
+// Compact trees do not retain wire routes and always return nil.
+func (t *Tree) Wire(v NodeID) geom.Path {
+	if t.wire == nil {
+		return nil
+	}
+	return t.wire[v]
+}
 
 // EdgeLen returns the electrical length of the wire from v's parent to v,
 // including any tuning slack added by Equalize.
@@ -116,6 +143,9 @@ func (t *Tree) MaxRootDist() float64 {
 // from the Euler-tour sparse table built at Finalize: the LCA is the
 // minimum-depth node in the tour between the two nodes' first visits.
 func (t *Tree) LCA(a, b NodeID) NodeID {
+	if t.sparse == nil {
+		return t.lcaWalk(a, b)
+	}
 	l, r := t.firstVisit[a], t.firstVisit[b]
 	if l > r {
 		l, r = r, l
@@ -128,10 +158,31 @@ func (t *Tree) LCA(a, b NodeID) NodeID {
 	return NodeID(t.euler[i])
 }
 
+// lcaWalk is the table-free LCA used by compact trees: lift the deeper
+// node to the shallower's depth, then walk both up in lockstep. O(depth)
+// per query — O(log n) on the balanced trees compact mode targets.
+func (t *Tree) lcaWalk(a, b NodeID) NodeID {
+	for t.depth[a] > t.depth[b] {
+		a = t.parent[a]
+	}
+	for t.depth[b] > t.depth[a] {
+		b = t.parent[b]
+	}
+	for a != b {
+		a = t.parent[a]
+		b = t.parent[b]
+	}
+	return a
+}
+
 // LCABinaryLifting is the O(log n) binary-lifting LCA retained alongside
 // the Euler-tour implementation as an independent oracle: differential
-// tests cross-check the two on every tree shape.
+// tests cross-check the two on every tree shape. Compact trees have no
+// lifting table and answer with the parent walk.
 func (t *Tree) LCABinaryLifting(a, b NodeID) NodeID {
+	if t.up == nil {
+		return t.lcaWalk(a, b)
+	}
 	u, v := int32(a), int32(b)
 	if t.depth[u] < t.depth[v] {
 		u, v = v, u
@@ -265,6 +316,20 @@ func (t *Tree) Equalize() float64 {
 
 // recomputeDistances refreshes rootDist after edge-length changes.
 func (t *Tree) recomputeDistances() {
+	if t.compact {
+		// The Builder creates every parent before its children, so
+		// ascending node order is topological; the per-node arithmetic is
+		// identical to the stack walk below, so rootDist values are
+		// bit-identical between the two modes.
+		for v := range t.parent {
+			if p := t.parent[v]; p >= 0 {
+				t.rootDist[v] = t.rootDist[p] + t.EdgeLen(NodeID(v))
+			} else {
+				t.rootDist[v] = 0
+			}
+		}
+		return
+	}
 	stack := []NodeID{t.root}
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
@@ -283,6 +348,9 @@ func (t *Tree) recomputeDistances() {
 // child positions, and acyclicity (every node reachable from the root
 // exactly once).
 func (t *Tree) Validate() error {
+	if t.compact {
+		return t.validateCompact()
+	}
 	n := len(t.nodes)
 	if n == 0 {
 		return fmt.Errorf("clocktree %q: empty tree", t.Name)
@@ -331,6 +399,42 @@ func (t *Tree) Validate() error {
 	return nil
 }
 
+// validateCompact checks the invariants a compact tree can check without
+// child lists or wires: parent-before-child ordering (which implies a
+// single root, acyclicity, and full reachability — every non-root chains
+// down to the root through strictly smaller indices), binary branching,
+// and a consistent cell index.
+func (t *Tree) validateCompact() error {
+	n := len(t.nodes)
+	if n == 0 {
+		return fmt.Errorf("clocktree %q: empty tree", t.Name)
+	}
+	if t.parent[t.root] != -1 {
+		return fmt.Errorf("clocktree %q: root %d has a parent", t.Name, t.root)
+	}
+	counts := make([]uint8, n)
+	for v := 0; v < n; v++ {
+		if NodeID(v) == t.root {
+			continue
+		}
+		p := t.parent[v]
+		if p < 0 || int(p) >= v {
+			return fmt.Errorf("clocktree %q: compact node %d has parent %d; parents must precede children",
+				t.Name, v, p)
+		}
+		if counts[p] == 2 {
+			return fmt.Errorf("clocktree %q: node %d has more than 2 children (A4 requires binary)", t.Name, p)
+		}
+		counts[p]++
+	}
+	for c, id := range t.cellNode {
+		if t.nodes[id].Cell != c {
+			return fmt.Errorf("clocktree %q: cell index broken for cell %d", t.Name, c)
+		}
+	}
+	return nil
+}
+
 // Builder assembles a Tree incrementally. Create with NewBuilder, add the
 // root with Root, attach nodes with Child, then call Finalize.
 type Builder struct {
@@ -341,6 +445,16 @@ type Builder struct {
 // NewBuilder returns a Builder for a tree with the given name.
 func NewBuilder(name string) *Builder {
 	return &Builder{t: &Tree{Name: name, cellNode: make(map[comm.CellID]NodeID)}}
+}
+
+// NewCompactBuilder returns a Builder whose tree is built in compact
+// mode: wire routes and child lists are dropped as nodes are added, and
+// Finalize skips the O(n log n) LCA tables in favor of the parent-walk
+// LCA. The tree keeps the same name, node IDs, edge lengths, and root
+// distances (bit-identical) as the full tree the same Builder calls
+// would produce — only geometry retention and query complexity differ.
+func NewCompactBuilder(name string) *Builder {
+	return &Builder{t: &Tree{Name: name, compact: true, cellNode: make(map[comm.CellID]NodeID)}}
 }
 
 // Root creates the root node. It may be called only once.
@@ -367,9 +481,11 @@ func (b *Builder) Child(parent NodeID, pos geom.Point, cell comm.CellID, wire ge
 	}
 	id := b.addNode(pos, cell, false)
 	b.t.parent[id] = parent
-	b.t.children[parent] = append(b.t.children[parent], id)
-	b.t.wire[id] = wire
 	b.t.edgeLen[id] = wire.Length()
+	if !b.t.compact {
+		b.t.children[parent] = append(b.t.children[parent], id)
+		b.t.wire[id] = wire
+	}
 	return id
 }
 
@@ -377,8 +493,10 @@ func (b *Builder) addNode(pos geom.Point, cell comm.CellID, buffer bool) NodeID 
 	id := NodeID(len(b.t.nodes))
 	b.t.nodes = append(b.t.nodes, Node{ID: id, Pos: pos, Cell: cell, Buffer: buffer})
 	b.t.parent = append(b.t.parent, -1)
-	b.t.children = append(b.t.children, nil)
-	b.t.wire = append(b.t.wire, nil)
+	if !b.t.compact {
+		b.t.children = append(b.t.children, nil)
+		b.t.wire = append(b.t.wire, nil)
+	}
 	b.t.edgeLen = append(b.t.edgeLen, 0)
 	b.t.extra = append(b.t.extra, 0)
 	if cell != comm.Host {
@@ -401,6 +519,20 @@ func (b *Builder) Finalize() (*Tree, error) {
 	n := len(t.nodes)
 	t.rootDist = make([]float64, n)
 	t.depth = make([]int, n)
+	if t.compact {
+		// One forward pass computes both distances and depths (parents
+		// precede children), and no ancestor tables are built.
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+		for v := 0; v < n; v++ {
+			if p := t.parent[v]; p >= 0 {
+				t.rootDist[v] = t.rootDist[p] + t.EdgeLen(NodeID(v))
+				t.depth[v] = t.depth[p] + 1
+			}
+		}
+		return t, nil
+	}
 	t.recomputeDistances()
 	// Depths via BFS from root.
 	queue := []NodeID{t.root}

@@ -88,6 +88,15 @@ type graphMemo struct {
 	pairs       [][2]CellID
 	numEdges    int
 	fingerprint uint64
+
+	// The CSR pair index (PairIndex) memoizes independently: streamed
+	// analysis must be able to build it without ever materializing the
+	// flat pair slice above, so the two caches share nothing but the
+	// same freeze-on-first-use contract.
+	idxOnce        sync.Once
+	idx            *PairIndex
+	idxNumEdges    int
+	idxFingerprint uint64
 }
 
 // edgeFingerprint hashes the edge set's content (endpoints and labels,

@@ -1,6 +1,7 @@
 package propcheck
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -30,6 +31,12 @@ var registry = []Invariant{
 		Ref:   "Sections III–V (implementation)",
 		Doc:   "precomputed skew kernels reproduce the reference analysis and Monte-Carlo bit for bit",
 		Check: checkKernelMatchesReference,
+	},
+	{
+		Name:  "streamed-analyze-matches-kernel",
+		Ref:   "Sections III–V (implementation)",
+		Doc:   "the streamed shard fold reproduces the kernel analysis bit for bit at any shard size and worker count, and exhaustive sampled Monte Carlo recovers the exact maximum",
+		Check: checkStreamedMatchesKernel,
 	},
 	{
 		Name:  "clocksim-kernel-matches-reference",
@@ -203,6 +210,72 @@ func checkKernelMatchesReference(rng *stats.RNG) error {
 	if kmc != rmc {
 		return fmt.Errorf("%s on %s seed=%d trials=%d: kernel Monte-Carlo %v != reference %v",
 			g.Name, tree.Name, seed, trials, kmc, rmc)
+	}
+	return nil
+}
+
+// checkStreamedMatchesKernel pins the streamed analysis path to the
+// flat kernel with zero tolerance: on a random (graph, tree, model),
+// Streamer.Analyze under a random shard size and worker count must
+// reproduce the kernel's Analysis and guaranteed minimum bit for bit
+// (the shard fold replays the same ascending strictly-greater scan, and
+// the sketch merge is order-independent), the merged quantiles must
+// stay within the sketch's advertised relative error of the exact
+// maximum, and a sampled Monte-Carlo run whose reservoir covers every
+// pair must degenerate to the exact maximum.
+func checkStreamedMatchesKernel(rng *stats.RNG) error {
+	g, err := AnyGraph(rng)
+	if err != nil {
+		return err
+	}
+	tree, err := TreeFor(rng, g)
+	if err != nil {
+		return err
+	}
+	m := LinearModel(rng)
+	want, err := skew.Analyze(g, tree, m)
+	if err != nil {
+		return err
+	}
+	st, err := skew.NewStreamer(g, tree)
+	if err != nil {
+		return err
+	}
+	opt := skew.StreamOptions{
+		ShardSize: int64(intIn(rng, 1, 64)),
+		Workers:   intIn(rng, 1, 4),
+	}
+	got, err := st.Analyze(context.Background(), m, opt)
+	if err != nil {
+		return err
+	}
+	if got.Analysis != want {
+		return fmt.Errorf("%s on %s shard=%d workers=%d: streamed analysis %+v != kernel %+v",
+			g.Name, tree.Name, opt.ShardSize, opt.Workers, got.Analysis, want)
+	}
+	if km := skew.GuaranteedMinSkew(g, tree, m); got.GuaranteedMinSkew != km {
+		return fmt.Errorf("%s on %s: streamed guaranteed min %g != kernel %g", g.Name, tree.Name, got.GuaranteedMinSkew, km)
+	}
+	if got.P50 > got.P90 || got.P90 > got.P99 {
+		return fmt.Errorf("%s on %s: quantiles not monotone: p50=%g p90=%g p99=%g", g.Name, tree.Name, got.P50, got.P90, got.P99)
+	}
+	if got.P99 > want.MaxSkew*(1+got.QuantileRelError)+1e-9 {
+		return fmt.Errorf("%s on %s: p99 %g escapes exact max %g beyond rel error %g",
+			g.Name, tree.Name, got.P99, want.MaxSkew, got.QuantileRelError)
+	}
+	opt.MCTrials = intIn(rng, 1, 4)
+	opt.MCSampleCap = st.NumPairs() + 1
+	opt.Seed = rng.Int63()
+	got, err = st.Analyze(context.Background(), m, opt)
+	if err != nil {
+		return err
+	}
+	if got.Sampled == nil || !got.Sampled.Exhaustive {
+		return fmt.Errorf("%s on %s: full-coverage sampled run not marked exhaustive: %+v", g.Name, tree.Name, got.Sampled)
+	}
+	if got.Sampled.Max != want.MaxSkew || got.Sampled.CI95 != 0 {
+		return fmt.Errorf("%s on %s: exhaustive sampled max %g (ci %g) != exact %g",
+			g.Name, tree.Name, got.Sampled.Max, got.Sampled.CI95, want.MaxSkew)
 	}
 	return nil
 }

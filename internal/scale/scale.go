@@ -114,14 +114,21 @@ type sizeEnv struct {
 	kernel    *skew.Kernel
 	treeErr   error
 	kernelErr error
+
+	// streamer is the streamed path's environment: a compact H-tree plus
+	// the CSR pair index, deliberately NOT subject to cfg.Limits — the
+	// streamed engine exists to measure the sizes the kernel rejects.
+	streamer    *skew.Streamer
+	streamerErr error
 }
 
 // engine is one measured entry point.
 type engine struct {
-	name        string
-	needsTree   bool
-	needsKernel bool
-	run         func(cfg Config, env *sizeEnv) error
+	name          string
+	needsTree     bool
+	needsKernel   bool
+	needsStreamer bool
+	run           func(cfg Config, env *sizeEnv) error
 }
 
 // skewModel is the Linear model every skew engine measures under — the
@@ -151,6 +158,16 @@ func allEngines() []engine {
 		{name: "guaranteed_min_skew", needsKernel: true, run: func(cfg Config, env *sizeEnv) error {
 			Sink = env.kernel.GuaranteedMinSkew(skewModel)
 			return nil
+		}},
+		{name: "analyze_streamed", needsStreamer: true, run: func(cfg Config, env *sizeEnv) error {
+			// The full streamed analysis — exact max plus sketch quantiles
+			// and the sampled Monte-Carlo estimate — in bounded memory, at
+			// sizes where kernel_build records array_too_large.
+			res, err := env.streamer.Analyze(context.Background(), skewModel, skew.StreamOptions{
+				MCTrials: cfg.MCTrials, Seed: cfg.Seed,
+			})
+			Sink = res
+			return err
 		}},
 		{name: "montecarlo", needsKernel: true, run: func(cfg Config, env *sizeEnv) error {
 			w, err := env.kernel.MonteCarlo(skewModel, cfg.MCTrials, stats.NewRNG(cfg.Seed))
@@ -435,11 +452,30 @@ func runSizeEngines(ctx context.Context, cfg Config, engines []engine, topo stri
 		return
 	}
 	base.Cells = env.g.NumCells()
-	env.tree, env.treeErr = clocktree.HTree(env.g)
-	if env.treeErr == nil {
+	// Shared setup is built only when a selected engine needs it: a
+	// streamed-only ladder at 8192² must never pay for the full H-tree
+	// (wire geometry and child lists for 100M+ nodes) or a kernel build
+	// the size guard exists to reject.
+	var needTree, needKernel, needStreamer bool
+	for _, e := range engines {
+		needTree = needTree || e.needsTree || e.needsKernel
+		needKernel = needKernel || e.needsKernel
+		needStreamer = needStreamer || e.needsStreamer
+	}
+	if needTree {
+		env.tree, env.treeErr = clocktree.HTree(env.g)
+	}
+	switch {
+	case needKernel && env.treeErr == nil:
 		env.kernel, env.kernelErr = skew.NewKernelWithLimits(env.g, env.tree, cfg.Limits)
-	} else {
+	case env.treeErr != nil:
 		env.kernelErr = env.treeErr
+	}
+	if needStreamer {
+		var compact *clocktree.Tree
+		if compact, env.streamerErr = clocktree.HTreeCompact(env.g); env.streamerErr == nil {
+			env.streamer, env.streamerErr = skew.NewStreamer(env.g, compact)
+		}
 	}
 	for _, e := range engines {
 		p := base
@@ -452,6 +488,8 @@ func runSizeEngines(ctx context.Context, cfg Config, engines []engine, topo stri
 			p.Status, p.Error = StatusError, env.treeErr.Error()
 		case e.needsKernel && env.kernelErr != nil:
 			p.Status, p.Error = StatusError, env.kernelErr.Error()
+		case e.needsStreamer && env.streamerErr != nil:
+			p.Status, p.Error = StatusError, env.streamerErr.Error()
 		default:
 			m, err := measure(ctx, cfg, func() error { return e.run(cfg, env) })
 			if err != nil {
@@ -463,6 +501,9 @@ func runSizeEngines(ctx context.Context, cfg Config, engines []engine, topo stri
 		}
 		if (e.needsKernel || e.name == "kernel_build") && env.kernel != nil {
 			p.KernelBytes = env.kernel.FootprintBytes()
+		}
+		if e.needsStreamer && env.streamer != nil {
+			p.KernelBytes = env.streamer.FootprintBytes()
 		}
 		p.PeakRSSBytes = peakRSSBytes()
 		updates <- update{e.name, p}

@@ -180,6 +180,35 @@ func TestSweepOversizeKernelRecordsTypedError(t *testing.T) {
 	}
 }
 
+func TestSweepStreamedEngineRunsPastKernelLimits(t *testing.T) {
+	// The streamed engine's whole reason to exist: it measures at sizes
+	// the kernel limits reject. Under MaxPairs=4 the kernel-backed
+	// engines error while analyze_streamed measures, reports its own
+	// (CSR index) footprint, and the footprint stays far below what the
+	// flat kernel for the same size would cost.
+	cfg := tinyCfg()
+	cfg.Sides = []int{8}
+	cfg.Engines = []string{"analyze_streamed"}
+	cfg.Limits = skew.Limits{MaxPairs: 4}
+	r, err := Sweep(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 1 {
+		t.Fatalf("series = %d, want 1", len(r.Series))
+	}
+	p := r.Series[0].Points[0]
+	if p.Status != StatusOK {
+		t.Fatalf("analyze_streamed: status %q (%s), want ok despite MaxPairs=4", p.Status, p.Error)
+	}
+	if p.KernelBytes <= 0 {
+		t.Errorf("analyze_streamed point missing streamer footprint, got %d", p.KernelBytes)
+	}
+	if p.NsPerOp <= 0 || p.Iters <= 0 {
+		t.Errorf("unmeasured ok point %+v", p)
+	}
+}
+
 func TestSweepConfigErrors(t *testing.T) {
 	cfg := tinyCfg()
 	cfg.Engines = []string{"warp-drive"}
@@ -209,7 +238,7 @@ func TestSweepConfigErrors(t *testing.T) {
 func TestEngineAndTopologyNames(t *testing.T) {
 	names := EngineNames()
 	want := []string{"plan", "kernel_build", "analyze", "guaranteed_min_skew",
-		"montecarlo", "clocksim", "clocksim_kernel", "hybrid", "selftimed"}
+		"analyze_streamed", "montecarlo", "clocksim", "clocksim_kernel", "hybrid", "selftimed"}
 	if len(names) != len(want) {
 		t.Fatalf("EngineNames = %v, want %v", names, want)
 	}

@@ -425,6 +425,23 @@ type TreeAnalysis struct {
 	GuaranteedMinSkew   float64 `json:"guaranteed_min_skew,omitempty"`
 	MonteCarloMaxSkew   float64 `json:"montecarlo_max_skew,omitempty"`
 	CertifiedLowerBound float64 `json:"certified_lower_bound,omitempty"`
+
+	// Streamed marks a result served by the bounded-memory streamed path
+	// instead of a materialized kernel — the machine-readable signal that
+	// the array exceeded the server's kernel size limits and the fallback
+	// engaged. MaxSkew, WorstPair, MaxD/MaxS, and GuaranteedMinSkew are
+	// still exact (bit-identical to what a kernel would report); the skew
+	// quantiles come from a mergeable sketch with the stated relative
+	// error, and Monte-Carlo trials become a sampled-max estimate with a
+	// confidence interval rather than MonteCarloMaxSkew.
+	Streamed         bool                     `json:"streamed,omitempty"`
+	StreamShards     int                      `json:"stream_shards,omitempty"`
+	StreamShardSize  int64                    `json:"stream_shard_size,omitempty"`
+	SkewP50          float64                  `json:"skew_p50,omitempty"`
+	SkewP90          float64                  `json:"skew_p90,omitempty"`
+	SkewP99          float64                  `json:"skew_p99,omitempty"`
+	QuantileRelError float64                  `json:"quantile_rel_error,omitempty"`
+	Sampled          *skew.SampledMaxEstimate `json:"sampled,omitempty"`
 }
 
 // AnalyzeResponse is the analyze endpoint's body.
@@ -457,12 +474,17 @@ func (s *Server) computeAnalyze(ctx context.Context, req *AnalyzeRequest) (respo
 		out := TreeAnalysis{Tree: req.Trees[i]}
 		k, err := s.kernelFor(g, req.Trees[i], req.Equalize, req.BufferSpacing)
 		if err != nil {
-			// An oversize array fails the whole request with its typed
-			// status: inlining it like a mere builder mismatch would bury
-			// the 413 in a 200 body.
+			// An oversize array switches to the streamed path, which
+			// answers exactly in bounded memory; with the fallback
+			// disabled it fails the whole request with its typed 413 —
+			// inlining it like a mere builder mismatch would bury the
+			// status in a 200 body.
 			var he *httpError
 			if errors.As(err, &he) && he.status == http.StatusRequestEntityTooLarge {
-				return out, err
+				if s.cfg.NoStreamedFallback {
+					return out, err
+				}
+				return s.streamedTreeAnalysis(ctx, g, req.Trees[i], req, model, nil)
 			}
 			out.Error = err.Error()
 			return out, nil

@@ -293,6 +293,35 @@ func mcPartial(tree string, samples []float64, total int) json.RawMessage {
 	return b
 }
 
+// StreamedPartial is the partial-result document attached to a job's
+// progress events while a tree runs on the streamed fallback path:
+// shard-level progress plus the statistics so far. MaxSkew is a running
+// exact maximum over the pairs scanned; the quantiles come from the
+// partially merged sketch and tighten as shards fold in.
+type StreamedPartial struct {
+	Tree       string  `json:"tree"`
+	Streamed   bool    `json:"streamed"`
+	PairsDone  int64   `json:"pairs_done"`
+	PairsTotal int64   `json:"pairs_total"`
+	ShardsDone int     `json:"shards_done"`
+	Shards     int     `json:"shards"`
+	MaxSkew    float64 `json:"max_skew"`
+	P50        float64 `json:"p50"`
+	P90        float64 `json:"p90"`
+	P99        float64 `json:"p99"`
+}
+
+func streamedPartial(tree string, p skew.StreamPartial) json.RawMessage {
+	doc := StreamedPartial{
+		Tree: tree, Streamed: true,
+		PairsDone: p.PairsDone, PairsTotal: p.PairsTotal,
+		ShardsDone: p.ShardsDone, Shards: p.Shards,
+		MaxSkew: p.MaxSkew, P50: p.P50, P90: p.P90, P99: p.P99,
+	}
+	b, _ := json.Marshal(doc)
+	return b
+}
+
 // runAnalyzeJob is the analyze job body: the same analysis as POST
 // /v1/analyze — same kernels, same per-trial RNG forks, bit-identical
 // Monte-Carlo maximum — but with the trials chunked so progress and
@@ -322,12 +351,25 @@ func (s *Server) runAnalyzeJob(req *AnalyzeRequest, chunk int) jobs.RunFunc {
 			out := TreeAnalysis{Tree: treeName}
 			k, err := s.kernelFor(g, treeName, req.Equalize, req.BufferSpacing)
 			if err != nil {
-				// Mirror computeAnalyze: an oversize array fails the job
-				// with its typed reason; a mere builder mismatch reports
-				// inline and the sweep continues.
+				// Mirror computeAnalyze: an oversize array falls back to the
+				// streamed path — publishing shard-level partials as the scan
+				// runs — or, with the fallback disabled, fails the job with
+				// its typed reason. A mere builder mismatch reports inline
+				// and the sweep continues.
 				var he *httpError
 				if errors.As(err, &he) && he.status == http.StatusRequestEntityTooLarge {
-					return nil, ReasonArrayTooLarge, err
+					if s.cfg.NoStreamedFallback {
+						return nil, ReasonArrayTooLarge, err
+					}
+					sa, err := s.streamedTreeAnalysis(ctx, g, treeName, req, model, func(p skew.StreamPartial) {
+						job.Publish(doneTrials, totalTrials, streamedPartial(treeName, p))
+					})
+					if err != nil {
+						return nil, reasonOf(err), err
+					}
+					resp.Results = append(resp.Results, sa)
+					doneTrials += trials
+					continue
 				}
 				out.Error = err.Error()
 				resp.Results = append(resp.Results, out)

@@ -8,13 +8,16 @@ import (
 	"repro/internal/skew"
 )
 
-// TestKernelLimitsSurfaceAs413 pins the oversize-kernel contract: a
-// request whose (graph, tree) kernel would exceed the configured
-// limits fails with 413 and the machine-readable reason
-// "array_too_large", instead of 500 or an attempted allocation.
+// TestKernelLimitsSurfaceAs413 pins the oversize-kernel opt-out
+// contract: with the streamed fallback disabled, a request whose
+// (graph, tree) kernel would exceed the configured limits fails with
+// 413 and the machine-readable reason "array_too_large", instead of
+// 500 or an attempted allocation. (With the default fallback enabled,
+// oversize analyze requests answer 200 streamed — see stream_test.go.)
 func TestKernelLimitsSurfaceAs413(t *testing.T) {
 	_, ts := newTestServer(t, Config{
-		KernelLimits: skew.Limits{MaxPairs: 4},
+		KernelLimits:       skew.Limits{MaxPairs: 4},
+		NoStreamedFallback: true,
 	})
 	for _, path := range []string{"/v1/analyze", "/v1/simulate"} {
 		t.Run(path, func(t *testing.T) {
@@ -56,7 +59,8 @@ func TestKernelLimitsSmallArraysUnaffected(t *testing.T) {
 // successful compute).
 func TestKernelLimits413Repeatable(t *testing.T) {
 	_, ts := newTestServer(t, Config{
-		KernelLimits: skew.Limits{MaxPairs: 4},
+		KernelLimits:       skew.Limits{MaxPairs: 4},
+		NoStreamedFallback: true,
 	})
 	for i := 0; i < 2; i++ {
 		resp, body := postJSON(t, ts.URL+"/v1/analyze", `{"topology":{"kind":"mesh","n":8}}`)

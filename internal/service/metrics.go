@@ -94,6 +94,10 @@ type metrics struct {
 	simKernelHits   expvar.Int // simulation-kernel cache hits (clocksim kernel or hybrid system reused)
 	simKernelMisses expvar.Int // simulation-kernel cache misses (engine precomputation built)
 
+	streamedFallbacks expvar.Int // analyses served by the streamed path after a 413-size kernel rejection
+	streamedShards    expvar.Int // pair shards processed by the streamed path (local and on behalf of peers)
+	streamedSpills    expvar.Int // shards spilled to a peer over /v1/cluster/shard
+
 	forwards      *expvar.Map // requests forwarded to peers, keyed by peer URL
 	forwardErrors expvar.Int  // forwards with no reachable target (served 502)
 	hedges        expvar.Int  // forwards whose hedge copy was sent
@@ -136,6 +140,9 @@ func newMetrics() *metrics {
 	m.vars.Set("kernel_cache_misses", &m.kernelMisses)
 	m.vars.Set("sim_kernel_cache_hits", &m.simKernelHits)
 	m.vars.Set("sim_kernel_cache_misses", &m.simKernelMisses)
+	m.vars.Set("streamed_fallback_total", &m.streamedFallbacks)
+	m.vars.Set("streamed_shards_total", &m.streamedShards)
+	m.vars.Set("streamed_spills_total", &m.streamedSpills)
 	m.forwards = new(expvar.Map).Init()
 	m.vars.Set("cluster_forward_total", m.forwards)
 	m.vars.Set("cluster_forward_errors_total", &m.forwardErrors)
@@ -154,6 +161,14 @@ func newMetrics() *metrics {
 		return time.Since(m.start).Seconds()
 	}))
 	return m
+}
+
+// registerKernelBytes exposes the server's estimate of resident bytes
+// across every cached kernel and streamer as the kernel_bytes_in_use
+// gauge, so operators can watch precomputation footprint against the
+// configured kernel byte budget.
+func (m *metrics) registerKernelBytes(f func() int64) {
+	m.vars.Set("kernel_bytes_in_use", expvar.Func(func() any { return f() }))
 }
 
 // registerJobs exposes the job manager's live state counts under the

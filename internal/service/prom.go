@@ -39,9 +39,14 @@ func (s *Server) promFamilies() []obs.PromMetric {
 		counter("kernel_cache_evictions_total", "Kernel cache entries displaced by the capacity bound.", s.kernels.Evictions()),
 		counter("sim_kernel_cache_hits_total", "Simulation-kernel cache hits (clocksim kernel or hybrid system reused).", m.simKernelHits.Value()),
 		counter("sim_kernel_cache_misses_total", "Simulation-kernel cache misses (engine precomputation built).", m.simKernelMisses.Value()),
+		counter("streamed_fallback_total", "Analyses served by the streamed path after a 413-size kernel rejection.", m.streamedFallbacks.Value()),
+		counter("streamed_shards_total", "Pair shards processed by the streamed path (local and on behalf of peers).", m.streamedShards.Value()),
+		counter("streamed_spills_total", "Shards spilled to a ring-owning peer over /v1/cluster/shard.", m.streamedSpills.Value()),
 		gauge("in_flight", "Requests currently being served.", float64(m.inFlight.Value())),
 		gauge("cache_entries", "Entries currently in the result cache.", float64(s.cache.Len())),
 		gauge("kernel_cache_entries", "Entries currently in the skew-kernel cache.", float64(s.kernels.Len())),
+		gauge("kernel_bytes_in_use", "Estimated resident bytes of every cached skew kernel and streamer.", float64(s.kernelBytesInUse())),
+		gauge("streamer_cache_entries", "Entries currently in the streamed-analysis streamer cache.", float64(s.streamers.Len())),
 		gauge("sim_kernel_cache_entries", "Entries currently in the simulation-kernel caches.", float64(s.simKernels.Len()+s.hybridSystems.Len())),
 		gauge("uptime_seconds", "Seconds since the server started.", time.Since(m.start).Seconds()),
 	}

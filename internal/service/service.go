@@ -44,6 +44,18 @@ type Config struct {
 	// reason "array_too_large" instead of index corruption or an OOM
 	// kill. Zero fields take skew.DefaultLimits.
 	KernelLimits skew.Limits
+	// NoStreamedFallback disables the streamed-analysis fallback:
+	// analyze requests whose kernel would exceed KernelLimits answer 413
+	// array_too_large instead of transparently switching to the
+	// bounded-memory streamed path. Default: fallback enabled.
+	NoStreamedFallback bool
+	// StreamShardSize is the pair-block size of the streamed path's
+	// shards. <= 0 takes skew.DefaultShardSize.
+	StreamShardSize int64
+	// StreamPeerShards, in cluster mode, lets the streamed path spill
+	// shards to their ring-owning peers over /v1/cluster/shard instead of
+	// computing every shard locally. Default: off (shards stay local).
+	StreamPeerShards bool
 	// Workers bounds each request's engine fan-out (candidate trees,
 	// Monte-Carlo trials, simulation trials, batch configs). Default
 	// GOMAXPROCS.
@@ -142,6 +154,11 @@ type Server struct {
 	cfg     Config
 	cache   *lru[response]
 	kernels *lru[*skew.Kernel]
+	// streamers caches the streamed path's per-(graph, tree recipe)
+	// precomputation — the CSR pair index plus a compact tree, ~8 B/pair
+	// against the kernel's ~40 — under the same content addressing as
+	// kernels but a distinct prefix.
+	streamers *lru[*skew.Streamer]
 	// simKernels and hybridSystems are the simulation engines' analogue
 	// of the skew-kernel cache: immutable per-(graph, recipe)
 	// precomputations reused across regimes, seeds, trial counts, and
@@ -183,6 +200,7 @@ func NewServer(cfg Config) *Server {
 		cfg:           cfg,
 		cache:         newLRU[response](cfg.CacheEntries),
 		kernels:       newLRU[*skew.Kernel](cfg.KernelCacheEntries),
+		streamers:     newLRU[*skew.Streamer](cfg.KernelCacheEntries),
 		simKernels:    newLRU[*clocksim.Kernel](cfg.KernelCacheEntries),
 		hybridSystems: newLRU[*hybrid.System](cfg.KernelCacheEntries),
 		flight:        newFlightGroup(),
@@ -192,6 +210,7 @@ func NewServer(cfg Config) *Server {
 	if cfg.LogWriter != nil {
 		s.logger = log.New(cfg.LogWriter, "", 0)
 	}
+	s.metrics.registerKernelBytes(s.kernelBytesInUse)
 	s.tracer = cfg.Tracer
 	if !cfg.DisableFlight {
 		s.recorder = obs.NewFlightRecorder(cfg.FlightSpans, cfg.FlightSlow)
@@ -236,6 +255,7 @@ func NewClusterServer(cfg Config) (*Server, error) {
 	s.cluster = cs
 	s.mux.HandleFunc("/v1/cluster/info", s.handleClusterInfo)
 	s.mux.HandleFunc("/v1/cluster/fill", s.handleClusterFill)
+	s.mux.HandleFunc("/v1/cluster/shard", s.handleClusterShard)
 	return s, nil
 }
 

@@ -1,0 +1,348 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/clocktree"
+	"repro/internal/comm"
+	"repro/internal/skew"
+)
+
+// TestStreamedFallbackMatchesKernel pins the fallback's exactness
+// contract over the wire: for every request shape, the answer a
+// tiny-limit server produces via the streamed path carries the same
+// exact fields — max skew, worst pair, distances, pair count,
+// guaranteed minimum — as a big-limit server's kernel answer, plus the
+// machine-readable streamed marker.
+func TestStreamedFallbackMatchesKernel(t *testing.T) {
+	_, small := newTestServer(t, Config{KernelLimits: skew.Limits{MaxPairs: 4}})
+	_, big := newTestServer(t, Config{KernelLimits: skew.Limits{MaxPairs: 1 << 20}})
+
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"mesh htree linear", `{"topology":{"kind":"mesh","n":8}}`},
+		{"mesh htree equalized", `{"topology":{"kind":"mesh","n":8},"equalize":true}`},
+		{"mesh htree summation", `{"topology":{"kind":"mesh","n":7},"model":{"kind":"summation","eps":0.25}}`},
+		{"rect mesh spine", `{"topology":{"kind":"mesh","rows":5,"cols":9},"trees":["spine"]}`},
+		{"torus htree", `{"topology":{"kind":"torus","rows":4,"cols":6}}`},
+		{"mesh htree buffered", `{"topology":{"kind":"mesh","n":8},"buffer_spacing":2}`},
+		{"mesh two trees", `{"topology":{"kind":"mesh","n":8},"trees":["htree","serpentine"]}`},
+		{"mesh sampled mc", `{"topology":{"kind":"mesh","n":8},"montecarlo_trials":16,"seed":7}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, rawSmall := postJSON(t, small.URL+"/v1/analyze", tc.body)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("small-limit server: status %d, want 200: %s", resp.StatusCode, rawSmall)
+			}
+			resp, rawBig := postJSON(t, big.URL+"/v1/analyze", tc.body)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("big-limit server: status %d, want 200: %s", resp.StatusCode, rawBig)
+			}
+			var got, want AnalyzeResponse
+			if err := json.Unmarshal(rawSmall, &got); err != nil {
+				t.Fatal(err)
+			}
+			if err := json.Unmarshal(rawBig, &want); err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Results) != len(want.Results) {
+				t.Fatalf("result counts differ: %d vs %d", len(got.Results), len(want.Results))
+			}
+			for i, g := range got.Results {
+				w := want.Results[i]
+				if w.Error != "" {
+					continue // builder mismatch reports inline on both
+				}
+				if !g.Streamed {
+					t.Fatalf("tree %s: small-limit answer not marked streamed: %s", g.Tree, rawSmall)
+				}
+				if g.MaxSkew != w.MaxSkew || g.WorstPair != w.WorstPair ||
+					g.MaxD != w.MaxD || g.MaxS != w.MaxS || g.Pairs != w.Pairs ||
+					g.GuaranteedMinSkew != w.GuaranteedMinSkew {
+					t.Errorf("tree %s: streamed answer diverges from kernel:\n  streamed %+v\n  kernel   %+v", g.Tree, g, w)
+				}
+				if g.StreamShards < 1 {
+					t.Errorf("tree %s: streamed answer reports %d shards", g.Tree, g.StreamShards)
+				}
+				if g.SkewP99 < g.SkewP50 || g.SkewP99 > g.MaxSkew*(1+g.QuantileRelError)+1e-12 {
+					t.Errorf("tree %s: implausible quantiles p50=%g p99=%g max=%g", g.Tree, g.SkewP50, g.SkewP99, g.MaxSkew)
+				}
+				if strings.Contains(tc.body, "montecarlo_trials") {
+					if g.Sampled == nil {
+						t.Fatalf("tree %s: montecarlo_trials set but no sampled estimate", g.Tree)
+					}
+					// Small graphs fit under the sample cap, so the sampled
+					// estimate short-circuits to the exhaustive exact value.
+					if !g.Sampled.Exhaustive || g.Sampled.Max != g.MaxSkew || g.Sampled.CI95 != 0 {
+						t.Errorf("tree %s: exhaustive sampled estimate %+v, want Max=%g CI95=0", g.Tree, g.Sampled, g.MaxSkew)
+					}
+					if w.MonteCarloMaxSkew == 0 {
+						t.Errorf("tree %s: kernel reference lost its Monte-Carlo result", g.Tree)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStreamedFallbackMetrics: the fallback shows up in both metric
+// expositions — streamed counters in the expvar document, counters and
+// the kernel_bytes_in_use gauge in the Prometheus text.
+func TestStreamedFallbackMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{KernelLimits: skew.Limits{MaxPairs: 4}})
+	resp, body := postJSON(t, ts.URL+"/v1/analyze", `{"topology":{"kind":"mesh","n":8}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var doc struct {
+		StreamedFallbacks int64 `json:"streamed_fallback_total"`
+		StreamedShards    int64 `json:"streamed_shards_total"`
+		KernelBytes       int64 `json:"kernel_bytes_in_use"`
+	}
+	getJSON(t, ts.URL+"/metrics", &doc)
+	if doc.StreamedFallbacks < 1 {
+		t.Errorf("streamed_fallback_total = %d, want >= 1", doc.StreamedFallbacks)
+	}
+	if doc.StreamedShards < 1 {
+		t.Errorf("streamed_shards_total = %d, want >= 1", doc.StreamedShards)
+	}
+	if doc.KernelBytes <= 0 {
+		t.Errorf("kernel_bytes_in_use = %d, want > 0 after a streamer build", doc.KernelBytes)
+	}
+	prom, err := http.Get(ts.URL + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prom.Body.Close()
+	b, err := io.ReadAll(prom.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(b)
+	for _, name := range []string{"streamed_fallback_total", "streamed_shards_total", "kernel_bytes_in_use", "streamer_cache_entries"} {
+		if !strings.Contains(text, name) {
+			t.Errorf("prom exposition missing %s", name)
+		}
+	}
+}
+
+// TestStreamedCertifiedBoundOnCompactTree: the certified lower bound
+// needs a full tree; on the compact tree the streamed path builds for
+// htree it must report its inapplicability inline rather than silently
+// certifying nothing.
+func TestStreamedCertifiedBoundOnCompactTree(t *testing.T) {
+	_, ts := newTestServer(t, Config{KernelLimits: skew.Limits{MaxPairs: 4}})
+	resp, body := postJSON(t, ts.URL+"/v1/analyze",
+		`{"topology":{"kind":"mesh","n":8},"model":{"kind":"summation","eps":0.25},"certified_lower_bound":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var doc AnalyzeResponse
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	r := doc.Results[0]
+	if !r.Streamed || r.MaxSkew == 0 {
+		t.Fatalf("expected a streamed analysis, got %+v", r)
+	}
+	if r.CertifiedLowerBound != 0 || !strings.Contains(r.Error, "compact") {
+		t.Errorf("compact-tree certified bound: got bound %g, error %q; want 0 and an inline compact-tree error",
+			r.CertifiedLowerBound, r.Error)
+	}
+}
+
+// TestStreamedJobPartials: an analyze job that falls back to the
+// streamed path publishes shard-level partials (pairs scanned, sketch
+// quantiles so far) and finishes with the streamed result document.
+func TestStreamedJobPartials(t *testing.T) {
+	_, ts := newTestServer(t, Config{KernelLimits: skew.Limits{MaxPairs: 4}, StreamShardSize: 16})
+	resp, body := postJSON(t, ts.URL+"/v1/jobs",
+		`{"analyze":{"topology":{"kind":"mesh","n":10}}}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("job create: status %d: %s", resp.StatusCode, body)
+	}
+	var snap struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	stream, err := http.Get(ts.URL + "/v1/jobs/" + snap.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	var sawPartial bool
+	var result json.RawMessage
+	dec := json.NewDecoder(stream.Body)
+	for {
+		var ev struct {
+			State   string          `json:"state"`
+			Partial json.RawMessage `json:"partial,omitempty"`
+			Result  json.RawMessage `json:"result,omitempty"`
+			Error   string          `json:"error,omitempty"`
+		}
+		if err := dec.Decode(&ev); err != nil {
+			break
+		}
+		if len(ev.Partial) > 0 {
+			var p StreamedPartial
+			if err := json.Unmarshal(ev.Partial, &p); err != nil {
+				t.Fatalf("partial not a StreamedPartial: %v: %s", err, ev.Partial)
+			}
+			if !p.Streamed || p.PairsTotal <= 0 || p.PairsDone > p.PairsTotal {
+				t.Fatalf("implausible streamed partial %+v", p)
+			}
+			sawPartial = true
+		}
+		if ev.Error != "" {
+			t.Fatalf("job failed: %s", ev.Error)
+		}
+		if len(ev.Result) > 0 {
+			result = ev.Result
+			break
+		}
+	}
+	if !sawPartial {
+		t.Error("job stream carried no streamed partials")
+	}
+	var doc AnalyzeResponse
+	if err := json.Unmarshal(result, &doc); err != nil {
+		t.Fatalf("job result: %v: %s", err, result)
+	}
+	if len(doc.Results) != 1 || !doc.Results[0].Streamed || doc.Results[0].MaxSkew <= 0 {
+		t.Errorf("job result not a streamed analysis: %s", result)
+	}
+}
+
+// TestClusterShardEndpoint: POST /v1/cluster/shard computes one pair
+// shard bit-identically to a local Streamer.ShardStats, and rejects bad
+// methods and ranges.
+func TestClusterShardEndpoint(t *testing.T) {
+	tc := newTestCluster(t, 2, nil)
+
+	g, err := comm.Build("mesh", 6, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := clocktree.HTreeCompact(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := skew.NewStreamer(g, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := skew.Linear{M: 1, Eps: 0.1}
+	want, err := st.ShardStats(model, 8, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	body := `{"topology":{"kind":"mesh","n":6},"tree":"htree","model":{"kind":"linear"},"lo":8,"hi":24}`
+	resp, raw := postJSON(t, tc.urls[0]+"/v1/cluster/shard", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var got skew.ShardStats
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Lo != want.Lo || got.Hi != want.Hi || got.MaxSkew != want.MaxSkew ||
+		got.WorstA != want.WorstA || got.WorstB != want.WorstB ||
+		got.MaxD != want.MaxD || got.MaxS != want.MaxS {
+		t.Errorf("shard over the wire diverges:\n  got  %+v\n  want %+v", got, want)
+	}
+	if got.Sketch == nil || want.Sketch == nil || *got.Sketch != *want.Sketch {
+		t.Error("shard sketch did not round-trip bit-identically")
+	}
+
+	resp, raw = postJSON(t, tc.urls[0]+"/v1/cluster/shard",
+		`{"topology":{"kind":"mesh","n":6},"lo":3,"hi":2}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("inverted range: status %d, want 400: %s", resp.StatusCode, raw)
+	}
+	getResp, err := http.Get(tc.urls[0] + "/v1/cluster/shard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET: status %d, want 405", getResp.StatusCode)
+	}
+}
+
+// TestStreamedPeerShardSpill: with -stream-peer-shards on, a streamed
+// analysis spills the shards the ring assigns to peers and still
+// answers exactly — the spilled sketches and maxima fold back into the
+// same bit-identical result a single node produces.
+func TestStreamedPeerShardSpill(t *testing.T) {
+	tc := newTestCluster(t, 2, func(i int, cfg *Config) {
+		cfg.KernelLimits = skew.Limits{MaxPairs: 4}
+		cfg.StreamShardSize = 16
+		cfg.StreamPeerShards = true
+	})
+	body := `{"topology":{"kind":"mesh","n":12},"trees":["htree"]}`
+
+	resp, raw := postJSON(t, tc.urls[0]+"/v1/analyze", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var got AnalyzeResponse
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != 1 || !got.Results[0].Streamed {
+		t.Fatalf("expected one streamed result: %s", raw)
+	}
+
+	// Reference: a standalone big-limit server's kernel answer.
+	_, ref := newTestServer(t, Config{KernelLimits: skew.Limits{MaxPairs: 1 << 20}})
+	_, rawRef := postJSON(t, ref.URL+"/v1/analyze", body)
+	var want AnalyzeResponse
+	if err := json.Unmarshal(rawRef, &want); err != nil {
+		t.Fatal(err)
+	}
+	g, w := got.Results[0], want.Results[0]
+	if g.MaxSkew != w.MaxSkew || g.WorstPair != w.WorstPair || g.Pairs != w.Pairs {
+		t.Errorf("spilled streamed answer diverges from kernel:\n  got  %+v\n  want %+v", g, w)
+	}
+
+	// The ring decides, per shard, whether the computing node spilled it;
+	// recompute that assignment and hold the spill counter to it exactly.
+	req := &AnalyzeRequest{}
+	if err := json.Unmarshal([]byte(body), req); err != nil {
+		t.Fatal(err)
+	}
+	req.applyDefaults()
+	base, ok := req.affinityKey()
+	if !ok {
+		t.Fatal("analyze request must have an affinity key")
+	}
+	ring := tc.servers[0].cluster.ring
+	owner := ring.Owner(base)
+	var expected int64
+	for lo := int64(0); lo < int64(g.Pairs); lo += 16 {
+		if ring.Owner(fmt.Sprintf("%s/shard/%d", base, lo)) != owner {
+			expected++
+		}
+	}
+	var spills int64
+	for _, s := range tc.servers {
+		spills += s.metrics.streamedSpills.Value()
+	}
+	if spills != expected {
+		t.Errorf("streamed_spills_total = %d across the cluster, ring assigns %d shards to peers", spills, expected)
+	}
+	if expected == 0 {
+		t.Log("ring assigned every shard to the computing node; spill path not exercised this run")
+	}
+}

@@ -75,10 +75,15 @@ func NewKernelWithLimits(g *comm.Graph, tree *clocktree.Tree, lim Limits) (*Kern
 	if !tree.Covers(g) {
 		return nil, fmt.Errorf("skew: tree %q does not clock every cell of %q", tree.Name, g.Name)
 	}
-	pairs := g.CommunicatingPairs()
-	if err := checkKernelSize(g.Name, tree.Name, tree.NumNodes(), len(pairs), lim); err != nil {
+	// Size-check against the CSR pair index (~8 B/pair) before
+	// materializing the flat pair slice (16 B/pair plus a map-backed
+	// dedup transient): an oversize graph must be rejected — and handed
+	// to the streamed path — without ever paying the allocation the
+	// limit exists to prevent.
+	if err := checkKernelSize(g.Name, tree.Name, tree.NumNodes(), int(g.PairIndex().NumPairs()), lim); err != nil {
 		return nil, err
 	}
+	pairs := g.CommunicatingPairs()
 	k := &Kernel{
 		graph: g, tree: tree, pairs: pairs,
 		pairA: make([]int32, len(pairs)),
